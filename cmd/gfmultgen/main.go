@@ -1,0 +1,137 @@
+// Command gfmultgen generates gate-level GF(2^m) multiplier netlists in the
+// architectures the paper evaluates (and two extras): tabular Mastrovito,
+// matrix-form Mastrovito, flattened Montgomery, standalone MonPro,
+// Karatsuba and digit-serial — optionally synthesized and technology-mapped,
+// in equation, BLIF or structural Verilog format.
+//
+// Usage:
+//
+//	gfmultgen -m 64 -arch mastrovito -o mult64.eqn
+//	gfmultgen -m 233 -p "x^233+x^159+1" -arch montgomery -synth -format blif -o m.blif
+//	gfmultgen -m 32 -arch digitserial -digit 4 -format verilog -o ds32.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gfmultgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gfmultgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		m       = fs.Int("m", 64, "field size (GF(2^m))")
+		polyStr = fs.String("p", "", `irreducible polynomial, e.g. "x^64+x^21+x^19+x^4+1" (default: NIST/lowest-weight for m)`)
+		arch    = fs.String("arch", "mastrovito", "architecture: mastrovito, matrix, montgomery, monpro, karatsuba, digitserial")
+		digit   = fs.Int("digit", 4, "digit width for -arch digitserial")
+		synth   = fs.Bool("synth", false, "run the synthesis pipeline (strash, XOR balance, mapping)")
+		mapping = fs.String("map", "none", "technology mapping: none, fuse (NAND/NOR/XNOR fusion), nand (NAND-heavy), aoi (complex-cell fusion)")
+		format  = fs.String("format", "eqn", "output format: eqn, blif or verilog")
+		out     = fs.String("o", "", "output file (default stdout)")
+		info    = fs.Bool("info", false, "print netlist statistics to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p gfre.Poly
+	var err error
+	if *polyStr != "" {
+		if p, err = gfre.ParsePoly(*polyStr); err != nil {
+			return err
+		}
+		if p.Deg() != *m {
+			return fmt.Errorf("polynomial %v has degree %d, want m=%d", p, p.Deg(), *m)
+		}
+	} else if p, err = gfre.DefaultPolynomial(*m); err != nil {
+		return err
+	}
+
+	var n *gfre.Netlist
+	switch *arch {
+	case "mastrovito":
+		n, err = gfre.NewMastrovito(*m, p)
+	case "matrix":
+		n, err = gfre.NewMastrovitoMatrix(*m, p)
+	case "montgomery":
+		n, err = gfre.NewMontgomery(*m, p)
+	case "monpro":
+		n, err = gfre.NewMonPro(*m, p)
+	case "karatsuba":
+		n, err = gfre.NewKaratsuba(*m, p)
+	case "digitserial":
+		n, err = gfre.NewDigitSerial(*m, p, *digit)
+	default:
+		err = fmt.Errorf("unknown architecture %q", *arch)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *synth {
+		if n, err = gfre.Synthesize(n); err != nil {
+			return err
+		}
+	}
+	switch *mapping {
+	case "none":
+	case "fuse":
+		n, err = gfre.TechMap(n, gfre.MapFuseInverters)
+	case "nand":
+		n, err = gfre.TechMap(n, gfre.MapNandHeavy)
+	case "aoi":
+		n, err = gfre.TechMap(n, gfre.MapFuseInverters)
+		if err == nil {
+			n, err = gfre.MapAOI(n)
+		}
+	default:
+		err = fmt.Errorf("unknown mapping %q", *mapping)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "eqn":
+		err = n.WriteEQN(w)
+	case "blif":
+		err = n.WriteBLIF(w)
+	case "verilog":
+		err = n.WriteVerilog(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *info {
+		st := n.Stats()
+		fmt.Fprintf(stderr, "%s: P(x)=%v, %d inputs, %d outputs, %d equations, depth %d\n",
+			n.Name, p, st.Inputs, st.Outputs, st.Equations, st.Depth)
+		for ty, cnt := range st.ByType {
+			fmt.Fprintf(stderr, "  %-7v %d\n", ty, cnt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+func TestRunAllArchitecturesRoundTrip(t *testing.T) {
+	// Generate with every architecture and every format, read the result
+	// back, and extract the polynomial from the generated file.
+	for _, arch := range []string{"mastrovito", "matrix", "montgomery", "karatsuba", "digitserial"} {
+		for _, format := range []string{"eqn", "blif", "verilog"} {
+			path := filepath.Join(t.TempDir(), "out."+format)
+			var out, errOut bytes.Buffer
+			err := run([]string{"-m", "8", "-arch", arch, "-format", format, "-o", path},
+				&out, &errOut)
+			if err != nil {
+				t.Fatalf("%s/%s: %v\n%s", arch, format, err, errOut.String())
+			}
+			n := readBack(t, path, format)
+			ext, err := gfre.Extract(n, gfre.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: extract: %v", arch, format, err)
+			}
+			if ext.P.String() != "x^8+x^4+x^3+x+1" {
+				t.Errorf("%s/%s: extracted %v", arch, format, ext.P)
+			}
+		}
+	}
+}
+
+func readBack(t *testing.T, path, format string) *gfre.Netlist {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var n *gfre.Netlist
+	switch format {
+	case "eqn":
+		n, err = gfre.ReadEQN(f, "rt")
+	case "blif":
+		n, err = gfre.ReadBLIF(f)
+	case "verilog":
+		n, err = gfre.ReadVerilog(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunSynthAndMap(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-m", "8", "-arch", "matrix", "-synth", "-map", "nand", "-info"},
+		&out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "INORDER") {
+		t.Error("expected EQN output on stdout")
+	}
+	if !strings.Contains(errOut.String(), "equations") {
+		t.Errorf("-info should print stats to stderr:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "NAND") {
+		t.Errorf("-map nand should produce NAND cells:\n%s", errOut.String())
+	}
+}
+
+func TestRunExplicitPolynomial(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-m", "4", "-p", "x^4+x^3+1", "-quietignored"}, &out, &errOut)
+	if err == nil {
+		t.Error("unknown flag should fail")
+	}
+	out.Reset()
+	if err := run([]string{"-m", "4", "-p", "x^4+x^3+1"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	n, err := gfre.ReadEQN(strings.NewReader(out.String()), "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := gfre.Extract(n, gfre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.P.String() != "x^4+x^3+1" {
+		t.Errorf("extracted %v, want the explicit P1", ext.P)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-m", "4", "-p", "x^5+x^2+1"},                     // degree mismatch
+		{"-m", "4", "-p", "garbage"},                       // unparsable
+		{"-m", "8", "-arch", "nosuch"},                     // unknown arch
+		{"-m", "8", "-format", "pdf"},                      // unknown format
+		{"-m", "8", "-map", "wat"},                         // unknown mapping
+		{"-m", "8", "-arch", "digitserial", "-digit", "0"}, // bad digit
+	}
+	for i, args := range cases {
+		if err := run(args, &buf, &buf); err == nil {
+			t.Errorf("case %d (%v) should fail", i, args)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+// writeNetlist generates a small multiplier netlist file for CLI tests.
+func writeNetlist(t *testing.T, name, arch string, m int) string {
+	t.Helper()
+	p, err := gfre.DefaultPolynomial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n *gfre.Netlist
+	switch arch {
+	case "mastrovito":
+		n, err = gfre.NewMastrovito(m, p)
+	case "montgomery":
+		n, err = gfre.NewMontgomery(m, p)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	switch filepath.Ext(name) {
+	case ".blif":
+		err = n.WriteBLIF(f)
+	case ".v":
+		err = n.WriteVerilog(f)
+	default:
+		err = n.WriteEQN(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasicExtraction(t *testing.T) {
+	path := writeNetlist(t, "m8.eqn", "mastrovito", 8)
+	var out, errOut bytes.Buffer
+	if err := run([]string{path}, &out, &errOut); err != nil {
+		t.Fatalf("%v\n%s", err, errOut.String())
+	}
+	for _, want := range []string{"x^8+x^4+x^3+x+1", "PASS", "GF(2^8)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	path := writeNetlist(t, "m8.blif", "montgomery", 8)
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "x^8+x^4+x^3+x+1" {
+		t.Errorf("quiet output = %q", got)
+	}
+}
+
+func TestRunJSONWithStats(t *testing.T) {
+	path := writeNetlist(t, "m8.v", "mastrovito", 8)
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-stats", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Polynomial string `json:"polynomial"`
+		M          int    `json:"m"`
+		Verified   bool   `json:"verified"`
+		Bits       []struct {
+			Name string `json:"name"`
+		} `json:"bits"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Polynomial != "x^8+x^4+x^3+x+1" || rep.M != 8 || !rep.Verified || len(rep.Bits) != 8 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	path := writeNetlist(t, "m2.eqn", "mastrovito", 2)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "z1", "-quiet", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "F0 = z1") {
+		t.Errorf("trace missing:\n%s", out.String())
+	}
+}
+
+func TestRunSimulateFlag(t *testing.T) {
+	path := writeNetlist(t, "m8.eqn", "mastrovito", 8)
+	var out bytes.Buffer
+	if err := run([]string{"-simulate", "2", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "simulation cross-check: PASS") {
+		t.Errorf("missing cross-check line:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out, &out); err == nil {
+		t.Error("no args should fail")
+	}
+	if err := run([]string{"/nonexistent/file.eqn"}, &out, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := writeNetlist(t, "m8.eqn", "mastrovito", 8)
+	if err := run([]string{"-format", "bogus", path}, &out, &out); err == nil {
+		t.Error("bad format should fail")
+	}
+	if err := run([]string{"-trace", "nosuch", path}, &out, &out); err == nil {
+		t.Error("unknown trace output should fail")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := writeNetlist(t, "m8r.eqn", "mastrovito", 8)
+	var out bytes.Buffer
+	if err := run([]string{"-report", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"polynomial:", "pentanomial", "verified:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// AES field identification: a batch of anonymous GF(2^8) multiplier blocks
+// is pulled out of different crypto datapaths. Exactly one of them computes
+// in the Rijndael field GF(2^8)/(x^8+x^4+x^3+x+1); identify it by reverse
+// engineering each block's irreducible polynomial, then prove the
+// identification by regenerating the AES S-box from the recovered field and
+// checking it against FIPS-197 test vectors.
+//
+//	go run ./examples/aesfield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+// sboxVectors holds known S-box values from FIPS-197: S(0x00)=0x63,
+// S(0x01)=0x7c, S(0x53)=0xed, S(0xff)=0x16.
+var sboxVectors = map[byte]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16}
+
+// aesSBox computes the Rijndael S-box entry for v over the given field:
+// multiplicative inverse (0 ↦ 0) followed by the bitwise affine transform
+// b_i ← b_i ⊕ b_{i+4} ⊕ b_{i+5} ⊕ b_{i+6} ⊕ b_{i+7} ⊕ c_i with c = 0x63.
+func aesSBox(f *gfre.Field, v byte) (byte, error) {
+	x := polyFromByte(v)
+	if !x.IsZero() {
+		inv, err := f.Inv(x)
+		if err != nil {
+			return 0, err
+		}
+		x = inv
+	}
+	var inv byte
+	for i := 0; i < 8; i++ {
+		if x.Coeff(i) == 1 {
+			inv |= 1 << uint(i)
+		}
+	}
+	var out byte
+	for i := uint(0); i < 8; i++ {
+		bit := inv >> i & 1
+		bit ^= inv >> ((i + 4) % 8) & 1
+		bit ^= inv >> ((i + 5) % 8) & 1
+		bit ^= inv >> ((i + 6) % 8) & 1
+		bit ^= inv >> ((i + 7) % 8) & 1
+		bit ^= 0x63 >> i & 1
+		out |= (bit & 1) << i
+	}
+	return out, nil
+}
+
+func polyFromByte(v byte) gfre.Poly {
+	var terms []int
+	for i := 0; i < 8; i++ {
+		if v>>uint(i)&1 == 1 {
+			terms = append(terms, i)
+		}
+	}
+	if len(terms) == 0 {
+		return gfre.MustParsePoly("0")
+	}
+	p := gfre.MustParsePoly("0")
+	for _, t := range terms {
+		p = p.Add(gfre.MustParsePoly(fmt.Sprintf("x^%d", t)))
+	}
+	return p
+}
+
+func main() {
+	rijndael := gfre.MustParsePoly("x^8+x^4+x^3+x+1")
+	candidates := []struct {
+		name string
+		p    gfre.Poly
+	}{
+		{"block-A", gfre.MustParsePoly("x^8+x^4+x^3+x^2+1")}, // a different octic
+		{"block-B", rijndael},                                // the AES field
+		{"block-C", gfre.MustParsePoly("x^8+x^5+x^3+x+1")},   // another octic
+	}
+
+	fmt.Println("reverse engineering 3 anonymous GF(2^8) multiplier blocks…")
+	var aesField *gfre.Field
+	for _, c := range candidates {
+		// The blocks arrive as flattened netlists of different architectures.
+		var n *gfre.Netlist
+		var err error
+		switch c.name {
+		case "block-A":
+			n, err = gfre.NewMontgomery(8, c.p)
+		case "block-B":
+			n, err = gfre.NewKaratsuba(8, c.p)
+		default:
+			n, err = gfre.NewMastrovito(8, c.p)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ext, err := gfre.Extract(n, gfre.Options{Threads: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "not the AES field"
+		if ext.P.Equal(rijndael) {
+			verdict = "RIJNDAEL FIELD — this is the AES datapath"
+			aesField, err = gfre.NewField(ext.P)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("  %-8s P(x) = %-22v → %s\n", c.name, ext.P, verdict)
+	}
+	if aesField == nil {
+		log.Fatal("no AES field found")
+	}
+
+	fmt.Println("\nregenerating the S-box from the recovered field:")
+	for _, in := range []byte{0x00, 0x01, 0x53, 0xff} {
+		got, err := aesSBox(aesField, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if got != sboxVectors[in] {
+			status = fmt.Sprintf("MISMATCH (want %#02x)", sboxVectors[in])
+		}
+		fmt.Printf("  S(%#02x) = %#02x  %s\n", in, got, status)
+	}
+}

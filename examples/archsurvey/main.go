@@ -1,0 +1,45 @@
+// Archsurvey reproduces the paper's Section II-D motivation: for a fixed
+// field size, the choice of irreducible polynomial decides the XOR cost of
+// the multiplier's field reduction — and therefore circuit area and speed.
+// It prints the reduction cost model and actual generated gate counts for
+// the Figure 1 example (GF(2^4)) and for the architecture-optimal GF(2^233)
+// polynomials of Table IV.
+//
+//	go run ./examples/archsurvey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+func survey(label string, m int, p gfre.Poly) {
+	n, err := gfre.NewMastrovito(m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := n.Stats()
+	fmt.Printf("  %-18s %-34v weight %d   reduction XORs %4d   total gates: %d AND + %d XOR\n",
+		label, p, p.Weight(), gfre.ReductionXORCount(p),
+		st.ByType[gfre.And], st.ByType[gfre.Xor])
+}
+
+func main() {
+	fmt.Println("Figure 1 / Section II-D: two constructions of GF(2^4)")
+	survey("P1", 4, gfre.MustParsePoly("x^4+x^3+1"))
+	survey("P2", 4, gfre.MustParsePoly("x^4+x+1"))
+	fmt.Println("  → the paper counts 9 reduction XORs for P1 and 6 for P2; P2 wins.")
+	fmt.Println()
+
+	fmt.Println("Table IV polynomials: GF(2^233) across microprocessor architectures")
+	for _, ap := range gfre.Arch233Polynomials() {
+		survey(ap.Arch, 233, ap.P)
+	}
+	fmt.Println("  → trinomials (ARM, NIST) need far fewer reduction XORs than")
+	fmt.Println("    pentanomials (Pentium, MSP430); [Scott 2007] shows the best")
+	fmt.Println("    choice still depends on the word size and shift costs of the")
+	fmt.Println("    target CPU — which is why many P(x) coexist in the wild, and")
+	fmt.Println("    why reverse engineering them from netlists matters.")
+}

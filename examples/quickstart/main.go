@@ -1,0 +1,47 @@
+// Quickstart: generate a GF(2^m) multiplier, pretend we know nothing about
+// it, and reverse engineer its irreducible polynomial.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+func main() {
+	// A vendor ships a 32-bit GF multiplier netlist. Internally they used
+	// this pentanomial — but the analyst below never sees it.
+	secret := gfre.MustParsePoly("x^32+x^7+x^3+x^2+1")
+	netlist, err := gfre.NewMontgomery(32, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := netlist.Stats()
+	fmt.Printf("received netlist: %d inputs, %d outputs, %d gate equations, depth %d\n",
+		stats.Inputs, stats.Outputs, stats.Equations, stats.Depth)
+
+	// Reverse engineer: backward-rewrite every output bit in parallel, find
+	// the out-field product set, reconstruct P(x), verify against a golden
+	// GF(2^m) multiplier built from the recovered polynomial.
+	start := time.Now()
+	ext, err := gfre.Extract(netlist, gfre.Options{Threads: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered:        P(x) = %v  (in %v)\n", ext.P, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("verified:         %v (netlist ≡ A·B mod P for all inputs)\n", ext.Verified)
+	fmt.Printf("matches secret:   %v\n", ext.P.Equal(secret))
+
+	// With P(x) in hand, the analyst can re-implement the vendor's field.
+	field, err := gfre.NewField(ext.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := gfre.MustParsePoly("x^5+x^2+1")
+	b := gfre.MustParsePoly("x^31+x")
+	fmt.Printf("software field:   (%v)·(%v) = %v\n", a, b, field.Mul(a, b))
+}

@@ -1,0 +1,265 @@
+// Package gfre reverse engineers the irreducible polynomial P(x) used by a
+// gate-level GF(2^m) multiplier, implementing the computer-algebra technique
+// of Yu, Holcomb and Ciesielski, "Reverse Engineering of Irreducible
+// Polynomials in GF(2^m) Arithmetic" (DATE 2017).
+//
+// The library takes a flattened combinational netlist — Mastrovito,
+// Montgomery, or anything a synthesis tool produced from them — and, with no
+// knowledge of the architecture:
+//
+//  1. rewrites every output bit backwards through its logic cone into a
+//     canonical algebraic normal form (ANF), one worker per output bit;
+//  2. locates the first out-field product set P_m = {a_i·b_j : i+j = m} in
+//     those expressions to reconstruct P(x) = x^m + Σ{x^i : P_m ⊆ EXP_i};
+//  3. verifies the netlist against a golden GF(2^m) specification built from
+//     the recovered P(x) — a complete equivalence check, since ANF is
+//     canonical.
+//
+// # Quick start
+//
+//	n, _ := gfre.NewMastrovito(163, gfre.MustParsePoly("x^163+x^80+x^47+x^9+1"))
+//	ext, err := gfre.Extract(n, gfre.Options{Threads: 16})
+//	if err != nil { ... }
+//	fmt.Println(ext.P) // x^163+x^80+x^47+x^9+1, verified
+//
+// Netlists can also be read from equation-format or BLIF files (ReadEQN,
+// ReadBLIF), generated in several architectures (NewMastrovito,
+// NewMastrovitoMatrix, NewMontgomery), and run through the synthesis
+// pipeline (Synthesize, TechMap) before extraction.
+//
+// The exported identifiers are aliases of the implementation packages under
+// internal/; see their doc comments for the full API of each subsystem.
+package gfre
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/galoisfield/gfre/internal/anf"
+	"github.com/galoisfield/gfre/internal/extract"
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2m"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/opt"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Poly is a univariate polynomial over GF(2) (bit-vector backed).
+	Poly = gf2poly.Poly
+	// Netlist is a combinational gate-level circuit.
+	Netlist = netlist.Netlist
+	// GateType enumerates the supported cell functions.
+	GateType = netlist.GateType
+	// Field is a binary extension field GF(2^m) for golden-model arithmetic.
+	Field = gf2m.Field
+	// Extraction is the result of reverse engineering a multiplier.
+	Extraction = extract.Extraction
+	// Options configures extraction (thread count, port prefixes, verify).
+	Options = extract.Options
+	// RewriteResult carries per-output-bit expressions and statistics.
+	RewriteResult = rewrite.Result
+	// RewriteOptions configures a raw rewriting run.
+	RewriteOptions = rewrite.Options
+	// BitStats is the per-output-bit cost record (Figure 4's data).
+	BitStats = rewrite.BitStats
+	// MapStyle selects the technology-mapping flavor.
+	MapStyle = opt.MapStyle
+	// ArchPoly pairs an architecture label with its optimal polynomial.
+	ArchPoly = polytab.ArchPoly
+)
+
+// Extraction failure classes; test with errors.Is.
+var (
+	ErrNotMultiplier  = extract.ErrNotMultiplier
+	ErrNotIrreducible = extract.ErrNotIrreducible
+	ErrMismatch       = extract.ErrMismatch
+	ErrBadPorts       = extract.ErrBadPorts
+)
+
+// Technology-mapping styles.
+const (
+	MapFuseInverters = opt.MapFuseInverters
+	MapNandHeavy     = opt.MapNandHeavy
+)
+
+// Gate types, for callers that construct or inspect netlists directly.
+const (
+	Input  = netlist.Input
+	Const0 = netlist.Const0
+	Const1 = netlist.Const1
+	Buf    = netlist.Buf
+	Not    = netlist.Not
+	And    = netlist.And
+	Or     = netlist.Or
+	Xor    = netlist.Xor
+	Xnor   = netlist.Xnor
+	Nand   = netlist.Nand
+	Nor    = netlist.Nor
+	Aoi21  = netlist.Aoi21
+	Oai21  = netlist.Oai21
+	Aoi22  = netlist.Aoi22
+	Oai22  = netlist.Oai22
+	Mux    = netlist.Mux
+	Lut    = netlist.Lut
+)
+
+// NewNetlist returns an empty netlist to be populated with AddInput,
+// AddGate, AddLut and MarkOutput.
+func NewNetlist(name string) *Netlist { return netlist.New(name) }
+
+// ParsePoly reads a polynomial like "x^233+x^74+1".
+func ParsePoly(s string) (Poly, error) { return gf2poly.Parse(s) }
+
+// MustParsePoly is ParsePoly that panics on error.
+func MustParsePoly(s string) Poly { return gf2poly.MustParse(s) }
+
+// NISTPolynomial returns the NIST-recommended irreducible polynomial for
+// GF(2^m), if m is one of the standardized sizes (64..571).
+func NISTPolynomial(m int) (Poly, bool) {
+	p, ok := polytab.NIST[m]
+	return p, ok
+}
+
+// DefaultPolynomial returns an irreducible polynomial of degree m: the NIST
+// choice when standardized, otherwise the first irreducible trinomial, then
+// pentanomial.
+func DefaultPolynomial(m int) (Poly, error) { return polytab.Default(m) }
+
+// Arch233Polynomials lists the architecture-optimal GF(2^233) polynomials of
+// the paper's Table IV (Intel-Pentium, ARM, MSP430, NIST).
+func Arch233Polynomials() []ArchPoly { return append([]ArchPoly(nil), polytab.Arch233...) }
+
+// ReductionXORCount is the Section II-D cost model: the number of XOR
+// operations the field reduction of a multiplier built on p needs.
+func ReductionXORCount(p Poly) int { return polytab.ReductionXORCount(p) }
+
+// NewField constructs GF(2^m) arithmetic from an irreducible polynomial.
+func NewField(p Poly) (*Field, error) { return gf2m.New(p) }
+
+// NewMastrovito generates a tabular Mastrovito multiplier netlist
+// (shared partial-product sums; the Figure 1 construction).
+func NewMastrovito(m int, p Poly) (*Netlist, error) { return gen.Mastrovito(m, p) }
+
+// NewMastrovitoMatrix generates the classic matrix-form Mastrovito
+// multiplier with fully independent per-output cones (the redundant
+// benchmark style of Tables I and III).
+func NewMastrovitoMatrix(m int, p Poly) (*Netlist, error) { return gen.MastrovitoMatrix(m, p) }
+
+// NewMontgomery generates a flattened Montgomery multiplier:
+// MonPro(MonPro(A,B), x^{2m} mod P) = A·B mod P (Table II's benchmarks).
+func NewMontgomery(m int, p Poly) (*Netlist, error) { return gen.Montgomery(m, p) }
+
+// NewMonPro generates a standalone Montgomery-product block computing
+// A·B·x^(-m) mod P.
+func NewMonPro(m int, p Poly) (*Netlist, error) { return gen.MonPro(m, p) }
+
+// NewKaratsuba generates a GF(2^m) multiplier whose polynomial product uses
+// recursive Karatsuba decomposition before the field reduction.
+func NewKaratsuba(m int, p Poly) (*Netlist, error) { return gen.Karatsuba(m, p) }
+
+// NewDigitSerial generates a least-significant-digit-first digit-serial
+// GF(2^m) multiplier with digit width d.
+func NewDigitSerial(m int, p Poly, d int) (*Netlist, error) { return gen.DigitSerial(m, p, d) }
+
+// ReadEQN parses an equation-format netlist (ABC-style .eqn with ^ for XOR).
+func ReadEQN(r io.Reader, name string) (*Netlist, error) { return netlist.ReadEQN(r, name) }
+
+// ReadBLIF parses a combinational BLIF netlist.
+func ReadBLIF(r io.Reader) (*Netlist, error) { return netlist.ReadBLIF(r) }
+
+// ReadVerilog parses a structural gate-level Verilog netlist (the flavor
+// synthesis tools emit for flattened designs).
+func ReadVerilog(r io.Reader) (*Netlist, error) { return netlist.ReadVerilog(r) }
+
+// Simplify runs constant propagation, cleanup and structural hashing.
+func Simplify(n *Netlist) (*Netlist, error) { return opt.Simplify(n) }
+
+// BalanceXor rebalances XOR trees with mod-2 leaf cancellation.
+func BalanceXor(n *Netlist) (*Netlist, error) { return opt.BalanceXor(n) }
+
+// TechMap maps the netlist onto a standard-cell-style library.
+func TechMap(n *Netlist, style MapStyle) (*Netlist, error) { return opt.TechMap(n, style) }
+
+// Synthesize runs the full optimization pipeline used for the paper's
+// Table III ("optimized and mapped" multipliers).
+func Synthesize(n *Netlist) (*Netlist, error) { return opt.Synthesize(n) }
+
+// Rewrite extracts the canonical ANF of every output bit (Algorithm 1,
+// parallel per Theorem 2) without interpreting the result.
+func Rewrite(n *Netlist, opts RewriteOptions) (*RewriteResult, error) {
+	return rewrite.Outputs(n, opts)
+}
+
+// Extract reverse engineers the irreducible polynomial of a multiplier
+// netlist (Algorithm 2) and, unless disabled, verifies the design against
+// the golden specification built from the recovered P(x).
+func Extract(n *Netlist, opts Options) (*Extraction, error) {
+	return extract.IrreduciblePolynomial(n, opts)
+}
+
+// InferredPorts is a port mapping recovered from the expressions alone.
+type InferredPorts = extract.InferredPorts
+
+// ExtractInferred reverse engineers P(x) from a multiplier whose port
+// naming and ordering are unknown or scrambled: the operand partition, bit
+// order and output order are inferred from the rewritten expressions before
+// Algorithm 2 runs — an extension beyond the paper, which assumes canonical
+// port names.
+func ExtractInferred(n *Netlist, opts Options) (*Extraction, *InferredPorts, error) {
+	return extract.IrreduciblePolynomialInferred(n, opts)
+}
+
+// Verify re-checks an extraction against the golden specification.
+func Verify(n *Netlist, ext *Extraction) error { return extract.Verify(n, ext) }
+
+// SimulationCrossCheck validates an extraction by random simulation against
+// software field multiplication — an independent path that does not rely on
+// the rewriting engine.
+func SimulationCrossCheck(n *Netlist, ext *Extraction, trials int, seed int64) error {
+	return extract.SimulationCrossCheck(n, ext, trials, seed)
+}
+
+// RewriteForward computes every output's ANF by forward abstraction — the
+// naive baseline that materializes an expression for every internal gate.
+// It agrees with Rewrite bit-for-bit but its working set is the sum of all
+// intermediate expressions; provided for comparison and for callers that
+// want expressions of internal nodes.
+func RewriteForward(n *Netlist) (*RewriteResult, error) { return rewrite.Forward(n) }
+
+// TraceRewrite rewrites one output (by port name) while logging every
+// Algorithm 1 iteration to w in the style of the paper's Figure 3.
+// Intended for small designs.
+func TraceRewrite(n *Netlist, outputName string, w io.Writer) (rewrite.BitResult, error) {
+	names := n.OutputNames()
+	outs := n.Outputs()
+	for i, nm := range names {
+		if nm == outputName {
+			return rewrite.TraceOutput(n, outs[i], w)
+		}
+	}
+	return rewrite.BitResult{}, fmt.Errorf("gfre: no output named %q", outputName)
+}
+
+// FormatExpr renders an ANF polynomial with the netlist's signal names.
+func FormatExpr(p ANFPoly, n *Netlist) string { return rewrite.FormatPoly(p, n) }
+
+// ANFPoly is a multivariate polynomial over GF(2) in algebraic normal form.
+type ANFPoly = anf.Poly
+
+// VerifyAgainst checks a netlist against a KNOWN irreducible polynomial —
+// the classical GF(2^m) verification problem where P(x) is given.
+func VerifyAgainst(n *Netlist, p Poly, opts Options) (*Extraction, error) {
+	return extract.VerifyAgainst(n, p, opts)
+}
+
+// MapAOI fuses inverted AND-OR/OR-AND trees into AOI21/AOI22/OAI21/OAI22
+// complex cells (function-preserving; sharing-aware).
+func MapAOI(n *Netlist) (*Netlist, error) { return opt.MapAOI(n) }
+
+// Report renders a human-readable analysis of an extraction (polynomial
+// class, standard-catalog matches, primitivity, rewriting cost).
+func Report(n *Netlist, ext *Extraction) string { return extract.Report(n, ext) }

@@ -1,0 +1,161 @@
+package gfre_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+func TestEndToEndMastrovito(t *testing.T) {
+	p := gfre.MustParsePoly("x^16+x^5+x^3+x^2+1")
+	if !p.Irreducible() {
+		t.Fatal("test polynomial should be irreducible")
+	}
+	n, err := gfre.NewMastrovito(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := gfre.Extract(n, gfre.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.P.Equal(p) {
+		t.Errorf("extracted %v, want %v", ext.P, p)
+	}
+	if !ext.Verified {
+		t.Error("extraction should be verified")
+	}
+	if err := gfre.SimulationCrossCheck(n, ext, 2, 9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndThroughFileFormats(t *testing.T) {
+	// Generate -> synthesize -> write EQN -> read back -> extract: the
+	// workflow of analyzing a third-party netlist file.
+	p, err := gfre.DefaultPolynomial(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gfre.NewMontgomery(12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := gfre.Synthesize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := syn.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gfre.ReadEQN(strings.NewReader(buf.String()), "from_file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := gfre.Extract(back, gfre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.P.Equal(p) {
+		t.Errorf("extracted %v, want %v", ext.P, p)
+	}
+
+	var blif bytes.Buffer
+	if err := syn.WriteBLIF(&blif); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := gfre.ReadBLIF(strings.NewReader(blif.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2, err := gfre.Extract(back2, gfre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext2.P.Equal(p) {
+		t.Errorf("BLIF round trip extracted %v, want %v", ext2.P, p)
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	if p, ok := gfre.NISTPolynomial(233); !ok || p.String() != "x^233+x^74+1" {
+		t.Errorf("NISTPolynomial(233) = %v, %v", p, ok)
+	}
+	if _, ok := gfre.NISTPolynomial(100); ok {
+		t.Error("NISTPolynomial(100) should not exist")
+	}
+	archs := gfre.Arch233Polynomials()
+	if len(archs) != 4 {
+		t.Fatalf("Arch233Polynomials: %d entries", len(archs))
+	}
+	// Section II-D cost model re-exported.
+	if gfre.ReductionXORCount(gfre.MustParsePoly("x^4+x+1")) != 6 {
+		t.Error("ReductionXORCount wrong")
+	}
+}
+
+func TestPublicFieldArithmetic(t *testing.T) {
+	p, _ := gfre.NISTPolynomial(64)
+	f, err := gfre.NewField(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	a := f.Rand(r)
+	if a.IsZero() {
+		a = gfre.MustParsePoly("x+1")
+	}
+	inv, err := f.Inv(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Mul(a, inv).IsOne() {
+		t.Error("field inverse broken through public API")
+	}
+}
+
+func TestPublicErrorClasses(t *testing.T) {
+	// A trivially wrong circuit must fail with one of the exported errors.
+	n, err := gfre.ReadEQN(strings.NewReader(`
+INORDER = a0 a1 b0 b1;
+OUTORDER = z0 z1;
+z0 = a0 * b0;
+z1 = a1 + b1;
+`), "junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gfre.Extract(n, gfre.Options{})
+	if err == nil {
+		t.Fatal("junk circuit should not extract")
+	}
+	if !errors.Is(err, gfre.ErrNotMultiplier) && !errors.Is(err, gfre.ErrNotIrreducible) &&
+		!errors.Is(err, gfre.ErrMismatch) && !errors.Is(err, gfre.ErrBadPorts) {
+		t.Errorf("error %v is not one of the exported classes", err)
+	}
+}
+
+func TestRewriteOnlyWorkflow(t *testing.T) {
+	p, _ := gfre.DefaultPolynomial(8)
+	n, err := gfre.NewMastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := gfre.Rewrite(n, gfre.RewriteOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Bits) != 8 {
+		t.Fatalf("%d bit expressions", len(rw.Bits))
+	}
+	for _, b := range rw.Bits {
+		if b.Expr.IsZero() {
+			t.Errorf("bit %d rewrote to zero", b.Bit)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/galoisfield/gfre
+
+go 1.22

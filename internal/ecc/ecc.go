@@ -1,0 +1,265 @@
+// Package ecc implements elliptic curve arithmetic over binary extension
+// fields GF(2^m) — the application domain that motivates the paper
+// (ECC/AES hardware uses GF(2^m) multipliers).
+//
+// Curves are non-supersingular short Weierstrass binary curves
+//
+//	y² + x·y = x³ + a·x² + b,  a, b ∈ GF(2^m), b ≠ 0
+//
+// in affine coordinates, the form used by the NIST B-/K- curves. The
+// examples/ecc program builds a curve on top of a field whose irreducible
+// polynomial was recovered from a gate-level multiplier by package extract —
+// demonstrating that the reverse-engineered P(x) is sufficient to rebuild
+// the full cryptosystem the hardware implements.
+package ecc
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/galoisfield/gfre/internal/gf2m"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+)
+
+// Point is an affine curve point; Inf marks the point at infinity (the
+// group identity).
+type Point struct {
+	X, Y gf2poly.Poly
+	Inf  bool
+}
+
+// Infinity returns the identity point.
+func Infinity() Point { return Point{Inf: true} }
+
+// Equal reports whether two points are the same.
+func (p Point) Equal(q Point) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Equal(q.X) && p.Y.Equal(q.Y)
+}
+
+// String renders the point for diagnostics.
+func (p Point) String() string {
+	if p.Inf {
+		return "∞"
+	}
+	return fmt.Sprintf("(%v, %v)", p.X, p.Y)
+}
+
+// Curve is y² + xy = x³ + ax² + b over a binary field.
+type Curve struct {
+	F    *gf2m.Field
+	A, B gf2poly.Poly
+}
+
+// NewCurve validates the parameters (b ≠ 0 keeps the curve non-singular).
+func NewCurve(f *gf2m.Field, a, b gf2poly.Poly) (*Curve, error) {
+	a, b = f.Reduce(a), f.Reduce(b)
+	if b.IsZero() {
+		return nil, fmt.Errorf("ecc: b must be nonzero (singular curve)")
+	}
+	return &Curve{F: f, A: a, B: b}, nil
+}
+
+// IsOnCurve reports whether p satisfies the curve equation.
+func (c *Curve) IsOnCurve(p Point) bool {
+	if p.Inf {
+		return true
+	}
+	f := c.F
+	lhs := f.Add(f.Square(p.Y), f.Mul(p.X, p.Y))
+	rhs := f.Add(f.Add(f.Mul(f.Square(p.X), p.X), f.Mul(c.A, f.Square(p.X))), c.B)
+	return lhs.Equal(rhs)
+}
+
+// Neg returns -p = (x, x+y).
+func (c *Curve) Neg(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	return Point{X: p.X, Y: c.F.Add(p.X, p.Y)}
+}
+
+// Add returns p + q using the binary-curve affine formulas.
+func (c *Curve) Add(p, q Point) Point {
+	switch {
+	case p.Inf:
+		return q
+	case q.Inf:
+		return p
+	}
+	f := c.F
+	if p.X.Equal(q.X) {
+		if p.Y.Equal(q.Y) {
+			return c.Double(p)
+		}
+		// q = -p.
+		return Infinity()
+	}
+	// λ = (y1+y2)/(x1+x2)
+	lam, err := f.Div(f.Add(p.Y, q.Y), f.Add(p.X, q.X))
+	if err != nil {
+		panic("ecc: unreachable division by zero in Add")
+	}
+	// x3 = λ² + λ + x1 + x2 + a
+	x3 := f.Add(f.Add(f.Add(f.Add(f.Square(lam), lam), p.X), q.X), c.A)
+	// y3 = λ(x1+x3) + x3 + y1
+	y3 := f.Add(f.Add(f.Mul(lam, f.Add(p.X, x3)), x3), p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Double returns 2p.
+func (c *Curve) Double(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	f := c.F
+	if p.X.IsZero() {
+		// λ undefined: 2p = ∞ (p is its own negative: y² = b).
+		return Infinity()
+	}
+	// λ = x + y/x
+	t, err := f.Div(p.Y, p.X)
+	if err != nil {
+		panic("ecc: unreachable division by zero in Double")
+	}
+	lam := f.Add(p.X, t)
+	// x3 = λ² + λ + a
+	x3 := f.Add(f.Add(f.Square(lam), lam), c.A)
+	// y3 = x1² + (λ+1)·x3
+	y3 := f.Add(f.Square(p.X), f.Mul(f.Add(lam, gf2poly.One()), x3))
+	return Point{X: x3, Y: y3}
+}
+
+// ScalarMul returns k·p by double-and-add. Negative k multiplies -p.
+func (c *Curve) ScalarMul(k *big.Int, p Point) Point {
+	if k.Sign() < 0 {
+		return c.ScalarMul(new(big.Int).Neg(k), c.Neg(p))
+	}
+	acc := Infinity()
+	add := p
+	for i := 0; i < k.BitLen(); i++ {
+		if k.Bit(i) == 1 {
+			acc = c.Add(acc, add)
+		}
+		add = c.Double(add)
+	}
+	return acc
+}
+
+// HalfTrace solves z² + z = v for odd extension degree m, returning the
+// half-trace H(v) = Σ v^(2^(2i)), i = 0..(m-1)/2. A solution exists iff
+// Tr(v) = 0; the second return value reports solvability.
+func HalfTrace(f *gf2m.Field, v gf2poly.Poly) (gf2poly.Poly, bool) {
+	if f.M()%2 == 0 {
+		// Half-trace only closes the quadratic for odd m.
+		return gf2poly.Poly{}, false
+	}
+	if f.Trace(v) != 0 {
+		return gf2poly.Poly{}, false
+	}
+	h := gf2poly.Zero()
+	t := f.Reduce(v)
+	for i := 0; i <= (f.M()-1)/2; i++ {
+		h = h.Add(t)
+		t = f.Square(f.Square(t))
+	}
+	return h, true
+}
+
+// RandomPoint samples a uniformly random affine point on the curve by
+// drawing x until y² + xy = x³ + ax² + b is solvable (about half of all x
+// work), then solving the quadratic with the half-trace. Requires odd m.
+func (c *Curve) RandomPoint(r *rand.Rand) (Point, error) {
+	f := c.F
+	if f.M()%2 == 0 {
+		return Point{}, fmt.Errorf("ecc: RandomPoint requires odd extension degree, have m=%d", f.M())
+	}
+	for tries := 0; tries < 4*f.M()+64; tries++ {
+		x := f.Rand(r)
+		if x.IsZero() {
+			continue
+		}
+		// Substitute y = x·z: x²z² + x²z = x³+ax²+b, so
+		// z² + z = x + a + b/x².
+		binv, err := f.Inv(f.Square(x))
+		if err != nil {
+			continue
+		}
+		rhs := f.Add(f.Add(x, c.A), f.Mul(c.B, binv))
+		z, ok := HalfTrace(f, rhs)
+		if !ok {
+			continue
+		}
+		y := f.Mul(x, z)
+		p := Point{X: x, Y: y}
+		if !c.IsOnCurve(p) {
+			return Point{}, fmt.Errorf("ecc: half-trace produced an off-curve point (internal error)")
+		}
+		return p, nil
+	}
+	return Point{}, fmt.Errorf("ecc: no point found (degenerate parameters?)")
+}
+
+// Compressed is a point encoded as its x-coordinate plus one tie-break bit
+// (the standard binary-curve compression: the bit is the constant term of
+// y/x, which distinguishes the two square-root candidates).
+type Compressed struct {
+	X   gf2poly.Poly
+	Bit uint
+	Inf bool
+}
+
+// Compress encodes a point. Requires p on the curve.
+func (c *Curve) Compress(p Point) (Compressed, error) {
+	if p.Inf {
+		return Compressed{Inf: true}, nil
+	}
+	if !c.IsOnCurve(p) {
+		return Compressed{}, fmt.Errorf("ecc: compressing an off-curve point")
+	}
+	if p.X.IsZero() {
+		return Compressed{X: p.X}, nil // y = sqrt(b) is unique
+	}
+	z, err := c.F.Div(p.Y, p.X)
+	if err != nil {
+		return Compressed{}, err
+	}
+	return Compressed{X: p.X, Bit: z.Coeff(0)}, nil
+}
+
+// Decompress recovers the full point. Requires odd extension degree (the
+// half-trace quadratic solver); returns an error when x is not the
+// x-coordinate of any point.
+func (c *Curve) Decompress(cp Compressed) (Point, error) {
+	if cp.Inf {
+		return Infinity(), nil
+	}
+	f := c.F
+	if cp.X.IsZero() {
+		return Point{X: gf2poly.Zero(), Y: f.Sqrt(c.B)}, nil
+	}
+	if f.M()%2 == 0 {
+		return Point{}, fmt.Errorf("ecc: decompression requires odd m, have %d", f.M())
+	}
+	x := f.Reduce(cp.X)
+	x2inv, err := f.Inv(f.Square(x))
+	if err != nil {
+		return Point{}, err
+	}
+	rhs := f.Add(f.Add(x, c.A), f.Mul(c.B, x2inv))
+	z, ok := HalfTrace(f, rhs)
+	if !ok {
+		return Point{}, fmt.Errorf("ecc: %v is not the x-coordinate of a curve point", cp.X)
+	}
+	if z.Coeff(0) != cp.Bit {
+		z = f.Add(z, gf2poly.One()) // pick the other root of z²+z = rhs
+	}
+	p := Point{X: x, Y: f.Mul(x, z)}
+	if !c.IsOnCurve(p) {
+		return Point{}, fmt.Errorf("ecc: decompression produced an off-curve point (internal error)")
+	}
+	return p, nil
+}

@@ -1,0 +1,282 @@
+package ecc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gf2m"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// koblitz returns a K-163-style Koblitz curve (a=1, b=1) over GF(2^m) for
+// odd m. (For m=163 with the NIST polynomial this is exactly NIST K-163.)
+func koblitz(t testing.TB, m int) *Curve {
+	t.Helper()
+	p, err := polytab.Default(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gf2m.MustNew(p)
+	c, err := NewCurve(f, gf2poly.One(), gf2poly.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCurveRejectsSingular(t *testing.T) {
+	f := gf2m.MustNew(gf2poly.MustParse("x^7+x+1"))
+	if _, err := NewCurve(f, gf2poly.One(), gf2poly.Zero()); err == nil {
+		t.Error("b=0 should be rejected")
+	}
+}
+
+func TestHalfTraceSolvesQuadratic(t *testing.T) {
+	for _, m := range []int{7, 11, 17, 163} {
+		p, _ := polytab.Default(m)
+		f := gf2m.MustNew(p)
+		r := rand.New(rand.NewSource(int64(m)))
+		solved := 0
+		for i := 0; i < 30; i++ {
+			v := f.Rand(r)
+			z, ok := HalfTrace(f, v)
+			if !ok {
+				if f.Trace(v) == 0 {
+					t.Errorf("m=%d: Tr(v)=0 but HalfTrace failed", m)
+				}
+				continue
+			}
+			solved++
+			if got := f.Add(f.Square(z), z); !got.Equal(f.Reduce(v)) {
+				t.Errorf("m=%d: z²+z = %v, want %v", m, got, v)
+			}
+		}
+		if solved == 0 {
+			t.Errorf("m=%d: no quadratic solved in 30 draws", m)
+		}
+	}
+}
+
+func TestHalfTraceEvenDegreeUnsupported(t *testing.T) {
+	f := gf2m.MustNew(gf2poly.MustParse("x^4+x+1"))
+	if _, ok := HalfTrace(f, gf2poly.One()); ok {
+		t.Error("even m should report unsupported")
+	}
+}
+
+func TestRandomPointOnCurve(t *testing.T) {
+	c := koblitz(t, 17)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		p, err := c.RandomPoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsOnCurve(p) {
+			t.Fatalf("point %v not on curve", p)
+		}
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	c := koblitz(t, 17)
+	r := rand.New(rand.NewSource(7))
+	pt := func() Point {
+		p, err := c.RandomPoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for i := 0; i < 15; i++ {
+		p, q, s := pt(), pt(), pt()
+		// Identity.
+		if !c.Add(p, Infinity()).Equal(p) || !c.Add(Infinity(), p).Equal(p) {
+			t.Fatal("identity law broken")
+		}
+		// Inverse.
+		if !c.Add(p, c.Neg(p)).Equal(Infinity()) {
+			t.Fatal("p + (-p) != ∞")
+		}
+		// Commutativity.
+		if !c.Add(p, q).Equal(c.Add(q, p)) {
+			t.Fatal("addition not commutative")
+		}
+		// Associativity; all results must stay on the curve.
+		l := c.Add(c.Add(p, q), s)
+		rr := c.Add(p, c.Add(q, s))
+		if !l.Equal(rr) {
+			t.Fatalf("associativity broken: %v vs %v", l, rr)
+		}
+		if !c.IsOnCurve(l) {
+			t.Fatal("sum left the curve")
+		}
+		// Double consistency.
+		if !c.Double(p).Equal(c.Add(p, p)) {
+			t.Fatal("Double != Add(p,p)")
+		}
+	}
+}
+
+func TestScalarMul(t *testing.T) {
+	c := koblitz(t, 17)
+	r := rand.New(rand.NewSource(9))
+	p, err := c.RandomPoint(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k·p by repeated addition vs double-and-add.
+	acc := Infinity()
+	for k := 0; k <= 20; k++ {
+		got := c.ScalarMul(big.NewInt(int64(k)), p)
+		if !got.Equal(acc) {
+			t.Fatalf("%d·p mismatch", k)
+		}
+		if !c.IsOnCurve(got) {
+			t.Fatalf("%d·p off curve", k)
+		}
+		acc = c.Add(acc, p)
+	}
+	// (k1+k2)·p = k1·p + k2·p with big scalars.
+	k1 := new(big.Int).SetUint64(0xDEADBEEFCAFE)
+	k2 := new(big.Int).SetUint64(0x123456789ABC)
+	sum := new(big.Int).Add(k1, k2)
+	lhs := c.ScalarMul(sum, p)
+	rhs := c.Add(c.ScalarMul(k1, p), c.ScalarMul(k2, p))
+	if !lhs.Equal(rhs) {
+		t.Error("scalar distributivity broken")
+	}
+	// Negative scalar.
+	if !c.ScalarMul(big.NewInt(-3), p).Equal(c.Neg(c.ScalarMul(big.NewInt(3), p))) {
+		t.Error("negative scalar broken")
+	}
+}
+
+func TestECDHAgreement(t *testing.T) {
+	// The examples/ecc scenario: two parties agree on a shared secret over
+	// a curve whose field came from an extracted polynomial.
+	c := koblitz(t, 163)
+	r := rand.New(rand.NewSource(11))
+	g, err := c.RandomPoint(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := new(big.Int).SetString("123456789123456789123456789", 10)
+	db, _ := new(big.Int).SetString("987654321987654321987654321", 10)
+	qa := c.ScalarMul(da, g)
+	qb := c.ScalarMul(db, g)
+	s1 := c.ScalarMul(da, qb)
+	s2 := c.ScalarMul(db, qa)
+	if !s1.Equal(s2) || s1.Inf {
+		t.Errorf("ECDH secrets differ: %v vs %v", s1, s2)
+	}
+}
+
+func TestDoubleEdgeCases(t *testing.T) {
+	c := koblitz(t, 17)
+	// A point with x=0 satisfies y² = b; y = sqrt(b). Doubling it yields ∞.
+	y := c.F.Sqrt(c.B)
+	p := Point{X: gf2poly.Zero(), Y: y}
+	if !c.IsOnCurve(p) {
+		t.Fatal("constructed x=0 point not on curve")
+	}
+	if !c.Double(p).Equal(Infinity()) {
+		t.Error("doubling an x=0 point should give ∞")
+	}
+	if !c.Double(Infinity()).Equal(Infinity()) {
+		t.Error("2∞ should be ∞")
+	}
+	if !c.Neg(Infinity()).Equal(Infinity()) {
+		t.Error("-∞ should be ∞")
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	for _, m := range []int{17, 163} {
+		c := koblitz(t, m)
+		r := rand.New(rand.NewSource(int64(m) + 1))
+		for i := 0; i < 15; i++ {
+			p, err := c.RandomPoint(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := c.Compress(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decompress(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(p) {
+				t.Fatalf("m=%d: round trip %v -> %v", m, p, got)
+			}
+			// The negated point compresses with the opposite bit but the
+			// same x; both must decompress to their own point.
+			neg := c.Neg(p)
+			cpn, err := c.Compress(neg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cpn.Bit == cp.Bit {
+				t.Fatalf("m=%d: p and -p share the compression bit", m)
+			}
+			gotN, err := c.Decompress(cpn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gotN.Equal(neg) {
+				t.Fatalf("m=%d: -p round trip failed", m)
+			}
+		}
+	}
+}
+
+func TestCompressSpecialPoints(t *testing.T) {
+	c := koblitz(t, 17)
+	// Infinity.
+	cp, err := c.Compress(Infinity())
+	if err != nil || !cp.Inf {
+		t.Fatalf("compress ∞: %v %v", cp, err)
+	}
+	back, err := c.Decompress(cp)
+	if err != nil || !back.Inf {
+		t.Fatalf("decompress ∞: %v %v", back, err)
+	}
+	// x = 0 point.
+	p := Point{X: gf2poly.Zero(), Y: c.F.Sqrt(c.B)}
+	cp, err = c.Compress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = c.Decompress(cp)
+	if err != nil || !back.Equal(p) {
+		t.Fatalf("x=0 round trip: %v %v", back, err)
+	}
+	// Off-curve compression rejected.
+	if _, err := c.Compress(Point{X: gf2poly.One(), Y: gf2poly.Zero()}); err == nil {
+		t.Error("off-curve point should not compress")
+	}
+	// Invalid x rejected: find an x with no point (Tr != 0).
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := c.F.Rand(r)
+		if x.IsZero() {
+			continue
+		}
+		x2inv, err := c.F.Inv(c.F.Square(x))
+		if err != nil {
+			continue
+		}
+		rhs := c.F.Add(c.F.Add(x, c.A), c.F.Mul(c.B, x2inv))
+		if c.F.Trace(rhs) == 1 {
+			if _, err := c.Decompress(Compressed{X: x}); err == nil {
+				t.Error("invalid x should not decompress")
+			}
+			return
+		}
+	}
+	t.Skip("no invalid x found in 200 draws (unlikely)")
+}

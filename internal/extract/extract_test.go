@@ -1,0 +1,545 @@
+package extract
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/opt"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// buildFigure2 is the paper's Figure 2 circuit (see rewrite tests).
+func buildFigure2(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("fig2")
+	a0, _ := n.AddInput("a0")
+	a1, _ := n.AddInput("a1")
+	b0, _ := n.AddInput("b0")
+	b1, _ := n.AddInput("b1")
+	s2, _ := n.AddGate(netlist.And, a1, b1)
+	g5, _ := n.AddGate(netlist.Nand, a0, b0)
+	z0, _ := n.AddGate(netlist.Xnor, g5, s2)
+	p0, _ := n.AddGate(netlist.Nand, a0, b1)
+	p1, _ := n.AddGate(netlist.Nand, a1, b0)
+	g1, _ := n.AddGate(netlist.Xor, p0, p1)
+	z1, _ := n.AddGate(netlist.Xor, g1, s2)
+	n.MarkOutput("z0", z0)
+	n.MarkOutput("z1", z1)
+	return n
+}
+
+func TestPaperExample2(t *testing.T) {
+	// Example 2: the 2-bit multiplier of Figure 2 must yield
+	// P(x) = x²+x+1.
+	ext, err := IrreduciblePolynomial(buildFigure2(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ext.P.String(); got != "x^2+x+1" {
+		t.Errorf("P(x) = %s, want x^2+x+1", got)
+	}
+	if !ext.Verified {
+		t.Error("golden verification should have run")
+	}
+}
+
+func TestExtractMastrovitoAllDefaults(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5, 8, 11, 16, 24, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := gen.Mastrovito(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := IrreduciblePolynomial(n, Options{})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !ext.P.Equal(p) {
+			t.Errorf("m=%d: extracted %v, want %v", m, ext.P, p)
+		}
+	}
+}
+
+func TestExtractBothFigure1Polynomials(t *testing.T) {
+	// Two different fields of the same size: extraction must tell them
+	// apart — the motivating scenario of the paper.
+	for _, ps := range []string{"x^4+x+1", "x^4+x^3+1"} {
+		p := gf2poly.MustParse(ps)
+		n, err := gen.Mastrovito(4, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := IrreduciblePolynomial(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ext.P.Equal(p) {
+			t.Errorf("extracted %v, want %s", ext.P, ps)
+		}
+	}
+}
+
+func TestExtractAllIrreduciblePolynomialsGF256(t *testing.T) {
+	// Every irreducible octic: 30 distinct GF(2^8) constructions, all must
+	// round-trip through generation and extraction.
+	count := 0
+	for v := uint64(1 << 8); v < 1<<9; v++ {
+		p := gf2poly.FromUint64(v)
+		if !p.Irreducible() {
+			continue
+		}
+		count++
+		n, err := gen.Mastrovito(8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := IrreduciblePolynomial(n, Options{SkipVerify: true})
+		if err != nil {
+			t.Fatalf("P=%v: %v", p, err)
+		}
+		if !ext.P.Equal(p) {
+			t.Errorf("P=%v: extracted %v", p, ext.P)
+		}
+	}
+	if count != 30 {
+		t.Errorf("found %d irreducible octics, want 30", count)
+	}
+}
+
+func TestExtractMontgomery(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := gen.Montgomery(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := IrreduciblePolynomial(n, Options{})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !ext.P.Equal(p) {
+			t.Errorf("m=%d: extracted %v, want %v", m, ext.P, p)
+		}
+	}
+}
+
+func TestExtractSynthesizedAndMapped(t *testing.T) {
+	// Table III scenario: extraction is oblivious to synthesis and mapping.
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := gen.MastrovitoMatrix(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := opt.Synthesize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := opt.TechMap(raw, opt.MapNandHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*netlist.Netlist{raw, syn, mapped} {
+		ext, err := IrreduciblePolynomial(n, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if !ext.P.Equal(p) {
+			t.Errorf("%s: extracted %v, want %v", n.Name, ext.P, p)
+		}
+	}
+}
+
+// renameInputs copies n, renaming each primary input through rename.
+func renameInputs(t *testing.T, n *netlist.Netlist, rename func(string) string) *netlist.Netlist {
+	t.Helper()
+	out := netlist.New(n.Name + "_renamed")
+	mapping := make([]int, n.NumGates())
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		var nid int
+		var err error
+		switch g.Type {
+		case netlist.Input:
+			nid, err = out.AddInput(rename(n.NameOf(id)))
+		case netlist.Lut:
+			nid, err = out.AddLut(g.Table, mappedIDs(mapping, g.Fanin)...)
+		default:
+			nid, err = out.AddGate(g.Type, mappedIDs(mapping, g.Fanin)...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapping[id] = nid
+	}
+	names := n.OutputNames()
+	for i, id := range n.Outputs() {
+		if err := out.MarkOutput(names[i], mapping[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestExtractCustomPrefixes(t *testing.T) {
+	// Rename ports to opA*/opB* and extract with explicit prefixes.
+	p, _ := polytab.Default(4)
+	n, err := gen.Mastrovito(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := renameInputs(t, n, func(s string) string {
+		switch s[0] {
+		case 'a':
+			return "opA" + s[1:]
+		default:
+			return "opB" + s[1:]
+		}
+	})
+	ext, err := IrreduciblePolynomial(n2, Options{PrefixA: "opA", PrefixB: "opB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.P.Equal(p) {
+		t.Errorf("extracted %v, want %v", ext.P, p)
+	}
+	// Positional fallback: wrong prefixes still work because the generator
+	// emits operand A then operand B in port order.
+	ext2, err := IrreduciblePolynomial(n2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext2.P.Equal(p) {
+		t.Errorf("positional fallback extracted %v", ext2.P)
+	}
+}
+
+func TestExtractRejectsNonMultiplier(t *testing.T) {
+	// A 4-bit ripple-carry integer adder is not a GF multiplier.
+	n := netlist.New("adder4")
+	var a, b [4]int
+	for i := 0; i < 4; i++ {
+		a[i], _ = n.AddInput("a" + string(rune('0'+i)))
+	}
+	for i := 0; i < 4; i++ {
+		b[i], _ = n.AddInput("b" + string(rune('0'+i)))
+	}
+	carry := -1
+	for i := 0; i < 4; i++ {
+		s, _ := n.AddGate(netlist.Xor, a[i], b[i])
+		if carry == -1 {
+			n.MarkOutput("z"+string(rune('0'+i)), s)
+			carry, _ = n.AddGate(netlist.And, a[i], b[i])
+			continue
+		}
+		s2, _ := n.AddGate(netlist.Xor, s, carry)
+		n.MarkOutput("z"+string(rune('0'+i)), s2)
+		c1, _ := n.AddGate(netlist.And, a[i], b[i])
+		c2, _ := n.AddGate(netlist.And, s, carry)
+		carry, _ = n.AddGate(netlist.Or, c1, c2)
+	}
+	_, err := IrreduciblePolynomial(n, Options{})
+	if err == nil {
+		t.Fatal("adder should not extract")
+	}
+	if !errors.Is(err, ErrNotMultiplier) && !errors.Is(err, ErrNotIrreducible) {
+		t.Errorf("unexpected error class: %v", err)
+	}
+}
+
+func TestExtractRejectsWrongInputCount(t *testing.T) {
+	n := netlist.New("bad")
+	x, _ := n.AddInput("a0")
+	y, _ := n.AddInput("b0")
+	g, _ := n.AddGate(netlist.And, x, y)
+	h, _ := n.AddGate(netlist.Xor, x, y)
+	n.MarkOutput("z0", g)
+	n.MarkOutput("z1", h)
+	// 2 inputs for 2 outputs: want 4.
+	if _, err := IrreduciblePolynomial(n, Options{}); !errors.Is(err, ErrBadPorts) {
+		t.Errorf("want ErrBadPorts, got %v", err)
+	}
+}
+
+func TestExtractSingleOutputRejected(t *testing.T) {
+	n := netlist.New("one")
+	x, _ := n.AddInput("a0")
+	n.MarkOutput("z0", x)
+	if _, err := IrreduciblePolynomial(n, Options{}); !errors.Is(err, ErrNotMultiplier) {
+		t.Errorf("want ErrNotMultiplier, got %v", err)
+	}
+}
+
+// tamper returns a copy of n with one XOR gate's function changed to OR —
+// a minimal malicious edit that preserves structure.
+func tamper(t *testing.T, n *netlist.Netlist, victimIdx int) *netlist.Netlist {
+	t.Helper()
+	out := netlist.New(n.Name + "_trojan")
+	mapping := make([]int, n.NumGates())
+	seen := 0
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		var nid int
+		var err error
+		switch {
+		case g.Type == netlist.Input:
+			nid, err = out.AddInput(n.NameOf(id))
+		case g.Type == netlist.Xor:
+			ty := netlist.Xor
+			if seen == victimIdx {
+				ty = netlist.Or
+			}
+			seen++
+			nid, err = out.AddGate(ty, mapping[g.Fanin[0]], mapping[g.Fanin[1]])
+		case g.Type == netlist.Lut:
+			nid, err = out.AddLut(g.Table, mappedIDs(mapping, g.Fanin)...)
+		default:
+			nid, err = out.AddGate(g.Type, mappedIDs(mapping, g.Fanin)...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapping[id] = nid
+	}
+	names := n.OutputNames()
+	for i, id := range n.Outputs() {
+		if err := out.MarkOutput(names[i], mapping[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func mappedIDs(mapping []int, fanin []int) []int {
+	out := make([]int, len(fanin))
+	for i, f := range fanin {
+		out[i] = mapping[f]
+	}
+	return out
+}
+
+func TestTamperedMultiplierDetected(t *testing.T) {
+	p, _ := polytab.Default(8)
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the untampered design verifies.
+	if _, err := IrreduciblePolynomial(n, Options{}); err != nil {
+		t.Fatalf("clean design failed: %v", err)
+	}
+	detected := 0
+	for victim := 0; victim < 8; victim++ {
+		bad := tamper(t, n, victim*3)
+		_, err := IrreduciblePolynomial(bad, Options{})
+		if err != nil {
+			detected++
+			if !errors.Is(err, ErrMismatch) && !errors.Is(err, ErrNotIrreducible) && !errors.Is(err, ErrNotMultiplier) {
+				t.Errorf("victim %d: unexpected error class %v", victim, err)
+			}
+		}
+	}
+	if detected != 8 {
+		t.Errorf("only %d/8 tampered designs detected", detected)
+	}
+}
+
+func TestSimulationCrossCheck(t *testing.T) {
+	p, _ := polytab.Default(8)
+	n, err := gen.Montgomery(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := IrreduciblePolynomial(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SimulationCrossCheck(n, ext, 4, 1); err != nil {
+		t.Errorf("cross check failed on clean design: %v", err)
+	}
+	// Against a tampered netlist the cross-check must fail (reuse the
+	// extraction's P from the clean design).
+	bad := tamper(t, n, 5)
+	if err := SimulationCrossCheck(bad, ext, 8, 1); !errors.Is(err, ErrMismatch) {
+		t.Errorf("cross check on trojan: %v", err)
+	}
+}
+
+func TestFromExpressionsReuse(t *testing.T) {
+	// FromExpressions lets callers reuse one rewriting run for several
+	// analyses.
+	p, _ := polytab.Default(8)
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := rewrite.Outputs(n, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := n.Inputs()
+	got, err := FromExpressions(rw, ins[:8], ins[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Errorf("FromExpressions = %v, want %v", got, p)
+	}
+}
+
+func TestSpecificationANFSymmetry(t *testing.T) {
+	// Multiplication commutes: swapping operand roles must not change the
+	// specification.
+	p, _ := polytab.Default(5)
+	a := []int{0, 1, 2, 3, 4}
+	b := []int{5, 6, 7, 8, 9}
+	for c := 0; c < 5; c++ {
+		s1 := SpecificationANF(p, a, b, c)
+		s2 := SpecificationANF(p, b, a, c)
+		if !s1.Equal(s2) {
+			t.Errorf("bit %d: specification not symmetric", c)
+		}
+	}
+}
+
+func TestExtractKaratsubaAndDigitSerial(t *testing.T) {
+	// Extraction must be oblivious to these architectures too (the paper's
+	// "regardless of the GF(2^m) algorithm" claim, widened beyond its own
+	// benchmark set).
+	for _, m := range []int{8, 16, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kar, err := gen.Karatsuba(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := IrreduciblePolynomial(kar, Options{})
+		if err != nil {
+			t.Fatalf("karatsuba m=%d: %v", m, err)
+		}
+		if !ext.P.Equal(p) {
+			t.Errorf("karatsuba m=%d: extracted %v", m, ext.P)
+		}
+		for _, d := range []int{2, 4} {
+			ds, err := gen.DigitSerial(m, p, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ext, err := IrreduciblePolynomial(ds, Options{})
+			if err != nil {
+				t.Fatalf("digitserial m=%d d=%d: %v", m, d, err)
+			}
+			if !ext.P.Equal(p) {
+				t.Errorf("digitserial m=%d d=%d: extracted %v", m, d, ext.P)
+			}
+		}
+	}
+}
+
+func TestExtractKaratsubaScrambled(t *testing.T) {
+	// Port inference on the most share-heavy architecture.
+	p, _ := polytab.Default(16)
+	n, err := gen.Karatsuba(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scramble(t, n, 3)
+	ext, _, err := IrreduciblePolynomialInferred(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.P.Equal(p) {
+		t.Errorf("extracted %v, want %v", ext.P, p)
+	}
+}
+
+func TestVerifyAgainstKnownPolynomial(t *testing.T) {
+	p, _ := polytab.Default(8)
+	n, err := gen.Montgomery(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := VerifyAgainst(n, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Verified {
+		t.Error("should verify")
+	}
+	// Wrong polynomial of the right degree must be rejected as a mismatch
+	// (note Default(8) is the AES pentanomial, so pick a different octic).
+	wrong := gf2poly.MustParse("x^8+x^4+x^3+x^2+1")
+	if _, err := VerifyAgainst(n, wrong, Options{}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong P should mismatch, got %v", err)
+	}
+	// Degree mismatch and reducible P are rejected up front.
+	if _, err := VerifyAgainst(n, gf2poly.MustParse("x^4+x+1"), Options{}); err == nil {
+		t.Error("degree mismatch should fail")
+	}
+	if _, err := VerifyAgainst(n, gf2poly.MustParse("x^8+1"), Options{}); !errors.Is(err, ErrNotIrreducible) {
+		t.Errorf("reducible P: %v", err)
+	}
+	// Tampered netlist caught against the true P.
+	bad := tamper(t, n, 3)
+	if _, err := VerifyAgainst(bad, p, Options{}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("tampered netlist: %v", err)
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := polytab.NIST[64]
+	n, err := gen.Mastrovito(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := IrreduciblePolynomial(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(n, ext)
+	for _, want := range []string{
+		"GF(2^64)", "x^64+x^21+x^19+x^4+1", "pentanomial",
+		"NIST-recommended", "verified:    yes", "substitutions",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Non-primitive quartic reports the order.
+	p2 := gf2poly.MustParse("x^4+x^3+x^2+x+1")
+	n2, err := gen.Mastrovito(4, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2, err := IrreduciblePolynomial(n2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := Report(n2, ext2)
+	if !strings.Contains(rep2, "primitive:   no (ord(x) = 5 of 15)") {
+		t.Errorf("report should flag non-primitive P:\n%s", rep2)
+	}
+	// Skipped verification is reported.
+	ext3, err := IrreduciblePolynomial(n2, Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Report(n2, ext3), "verified:    no") {
+		t.Error("unverified extraction should say so")
+	}
+}

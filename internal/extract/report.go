@@ -1,0 +1,67 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/gf2m"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// Report renders a human-readable analysis of an extraction: the recovered
+// polynomial, its class (trinomial/pentanomial), whether it is a known
+// standard choice, primitivity (for fields small enough to factor the group
+// order), and aggregate rewriting cost. Intended for audit logs; the CLI's
+// default output is a shorter subset.
+func Report(n *netlist.Netlist, ext *Extraction) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design:      %s (%d equations, %d outputs)\n",
+		n.Name, n.NumEquations(), len(n.Outputs()))
+	fmt.Fprintf(&sb, "field:       GF(2^%d)\n", ext.M)
+	fmt.Fprintf(&sb, "polynomial:  P(x) = %v\n", ext.P)
+
+	class := fmt.Sprintf("weight-%d", ext.P.Weight())
+	switch ext.P.Weight() {
+	case 3:
+		class = "trinomial"
+	case 5:
+		class = "pentanomial"
+	}
+	fmt.Fprintf(&sb, "class:       %s", class)
+	if std, ok := polytab.NIST[ext.M]; ok && std.Equal(ext.P) {
+		fmt.Fprintf(&sb, ", NIST-recommended for GF(2^%d)", ext.M)
+	}
+	for _, ap := range polytab.Arch233 {
+		if ap.P.Equal(ext.P) && ap.Arch != "NIST-recommended" {
+			fmt.Fprintf(&sb, ", Scott-optimal for %s", ap.Arch)
+		}
+	}
+	sb.WriteByte('\n')
+
+	if ext.M <= 63 {
+		if f, err := gf2m.New(ext.P); err == nil {
+			if gen, err := f.IsGenerator(gf2poly.X()); err == nil {
+				if gen {
+					fmt.Fprintf(&sb, "primitive:   yes (x generates the multiplicative group)\n")
+				} else {
+					ord, _ := f.ElementOrder(gf2poly.X())
+					fmt.Fprintf(&sb, "primitive:   no (ord(x) = %d of %d)\n", ord, uint64(1)<<uint(ext.M)-1)
+				}
+			}
+		}
+	}
+
+	if ext.Verified {
+		fmt.Fprintf(&sb, "verified:    yes — netlist ≡ A·B mod P(x) for all inputs (canonical ANF)\n")
+	} else {
+		fmt.Fprintf(&sb, "verified:    no (verification skipped)\n")
+	}
+	if rw := ext.Rewrite; rw != nil {
+		fmt.Fprintf(&sb, "rewriting:   %d substitutions, peak %d terms, %v wall (%d threads)\n",
+			rw.TotalSubstitutions(), rw.PeakTerms(), rw.Runtime.Round(time.Millisecond), rw.Threads)
+	}
+	return sb.String()
+}

@@ -1,0 +1,407 @@
+// Package gen generates gate-level GF(2^m) multiplier netlists — the
+// benchmark circuits of the paper's evaluation (Tables I–IV). The paper
+// takes its generators from Lv/Kalla/Enescu; those are not public, so this
+// package implements the two standard constructions from scratch:
+//
+//   - Mastrovito: an AND partial-product matrix followed by per-column XOR
+//     reduction trees whose structure is dictated by x^k mod P(x) — exactly
+//     the tabular construction of Figure 1;
+//   - Montgomery: flattened composition of two bit-serial MonPro blocks
+//     (Koç–Acar), MonPro(MonPro(A,B), x^{2m} mod P) = A·B mod P. As in the
+//     paper, block boundaries are erased — the produced netlist is a flat
+//     gate list with the same end-to-end function as the Mastrovito design,
+//     but with the long serial XOR chains that make backward rewriting much
+//     more expensive (the Table II effect).
+//
+// Port conventions: inputs "a0".."a<m-1>", "b0".."b<m-1>" (LSB first),
+// outputs "z0".."z<m-1>".
+package gen
+
+import (
+	"fmt"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// operands adds the 2m primary inputs and returns their IDs.
+func operands(n *netlist.Netlist, m int) (a, b []int, err error) {
+	a = make([]int, m)
+	b = make([]int, m)
+	for i := 0; i < m; i++ {
+		if a[i], err = n.AddInput(fmt.Sprintf("a%d", i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < m; i++ {
+		if b[i], err = n.AddInput(fmt.Sprintf("b%d", i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return a, b, nil
+}
+
+// xorTree reduces the signals with a balanced tree of 2-input XOR gates and
+// returns the root. It returns -1 for an empty list (logical zero).
+func xorTree(n *netlist.Netlist, sigs []int) (int, error) {
+	switch len(sigs) {
+	case 0:
+		return -1, nil
+	case 1:
+		return sigs[0], nil
+	}
+	cur := append([]int(nil), sigs...)
+	for len(cur) > 1 {
+		tmp := make([]int, 0, (len(cur)+1)/2)
+		for i := 0; i+1 < len(cur); i += 2 {
+			id, err := n.AddGate(netlist.Xor, cur[i], cur[i+1])
+			if err != nil {
+				return 0, err
+			}
+			tmp = append(tmp, id)
+		}
+		if len(cur)%2 == 1 {
+			tmp = append(tmp, cur[len(cur)-1])
+		}
+		cur = tmp
+	}
+	return cur[0], nil
+}
+
+func validate(m int, p gf2poly.Poly) error {
+	if m < 2 {
+		return fmt.Errorf("gen: field size m=%d; need m >= 2", m)
+	}
+	if p.Deg() != m {
+		return fmt.Errorf("gen: polynomial %v has degree %d, want %d", p, p.Deg(), m)
+	}
+	if !p.Irreducible() {
+		return fmt.Errorf("gen: %v is not irreducible", p)
+	}
+	return nil
+}
+
+// Mastrovito generates a combinational Mastrovito multiplier for GF(2^m)
+// with irreducible polynomial p (deg p = m).
+func Mastrovito(m int, p gf2poly.Poly) (*netlist.Netlist, error) {
+	if err := validate(m, p); err != nil {
+		return nil, err
+	}
+	n := netlist.New(fmt.Sprintf("mastrovito_gf2_%d", m))
+	a, b, err := operands(n, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Partial-product sums s_k = XOR_{i+j=k} a_i·b_j for k = 0..2m-2
+	// (the rows above the double line in Figure 1).
+	s := make([]int, 2*m-1)
+	for k := range s {
+		var prods []int
+		for i := 0; i < m; i++ {
+			j := k - i
+			if j < 0 || j >= m {
+				continue
+			}
+			id, err := n.AddGate(netlist.And, a[i], b[j])
+			if err != nil {
+				return nil, err
+			}
+			prods = append(prods, id)
+		}
+		if s[k], err = xorTree(n, prods); err != nil {
+			return nil, err
+		}
+		if err := n.SetSignalName(s[k], fmt.Sprintf("s%d", k)); err != nil {
+			// Single-product columns reuse the AND gate; naming may collide
+			// only if the same gate got a name already, which cannot happen
+			// here, so any error is real.
+			return nil, err
+		}
+	}
+
+	// Field reduction: s_{m+t} folds into the columns given by
+	// x^{m+t} mod P(x) (the reduction table of Figure 1).
+	rows := polytab.ReductionRows(p)
+	for c := 0; c < m; c++ {
+		col := []int{s[c]}
+		for t, row := range rows {
+			if row.Coeff(c) == 1 {
+				col = append(col, s[m+t])
+			}
+		}
+		z, err := xorTree(n, col)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.MarkOutput(fmt.Sprintf("z%d", c), z); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// monProVar appends a bit-serial MonPro block computing X·Y·x^(-m) mod p for
+// variable operand signal vectors x and y (length m each). The returned
+// slice holds the m result signals; -1 entries denote constant zero.
+func monProVar(n *netlist.Netlist, p gf2poly.Poly, x, y []int) ([]int, error) {
+	m := p.Deg()
+	// c has m+1 positions: adding c0·P can set bit m before the shift.
+	c := make([]int, m+1)
+	for i := range c {
+		c[i] = -1
+	}
+	xorSig := func(s, t int) (int, error) {
+		switch {
+		case s == -1:
+			return t, nil
+		case t == -1:
+			return s, nil
+		}
+		return n.AddGate(netlist.Xor, s, t)
+	}
+	var err error
+	for i := 0; i < m; i++ {
+		// C += x_i · Y
+		for j := 0; j < m; j++ {
+			if y[j] == -1 {
+				continue
+			}
+			t, err := n.AddGate(netlist.And, x[i], y[j])
+			if err != nil {
+				return nil, err
+			}
+			if c[j], err = xorSig(c[j], t); err != nil {
+				return nil, err
+			}
+		}
+		// C += c0 · P; the constant term of P cancels C[0] exactly.
+		if c0 := c[0]; c0 != -1 {
+			for _, e := range p.Terms() {
+				if e == 0 {
+					continue
+				}
+				if c[e], err = xorSig(c[e], c0); err != nil {
+					return nil, err
+				}
+			}
+			c[0] = -1
+		}
+		// C /= x.
+		copy(c, c[1:])
+		c[m] = -1
+	}
+	return c[:m], nil
+}
+
+// monProConst appends a MonPro block whose second operand is the constant k
+// (degree < m): AND gates with constant bits fold into wires or vanish.
+func monProConst(n *netlist.Netlist, p gf2poly.Poly, x []int, k gf2poly.Poly) ([]int, error) {
+	m := p.Deg()
+	c := make([]int, m+1)
+	for i := range c {
+		c[i] = -1
+	}
+	xorSig := func(s, t int) (int, error) {
+		switch {
+		case s == -1:
+			return t, nil
+		case t == -1:
+			return s, nil
+		}
+		return n.AddGate(netlist.Xor, s, t)
+	}
+	var err error
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if k.Coeff(j) == 0 {
+				continue
+			}
+			// x_i · 1 is just the wire x_i.
+			if c[j], err = xorSig(c[j], x[i]); err != nil {
+				return nil, err
+			}
+		}
+		if c0 := c[0]; c0 != -1 {
+			for _, e := range p.Terms() {
+				if e == 0 {
+					continue
+				}
+				if c[e], err = xorSig(c[e], c0); err != nil {
+					return nil, err
+				}
+			}
+			c[0] = -1
+		}
+		copy(c, c[1:])
+		c[m] = -1
+	}
+	return c[:m], nil
+}
+
+// Montgomery generates a flattened Montgomery multiplier for GF(2^m) with
+// irreducible polynomial p: Z = MonPro(MonPro(A,B), x^{2m} mod P) = A·B mod
+// P. The two MonPro blocks are emitted into one flat netlist with no
+// hierarchy, matching the paper's "flattened version Montgomery multipliers,
+// i.e. we have no knowledge of the block boundaries".
+func Montgomery(m int, p gf2poly.Poly) (*netlist.Netlist, error) {
+	if err := validate(m, p); err != nil {
+		return nil, err
+	}
+	n := netlist.New(fmt.Sprintf("montgomery_gf2_%d", m))
+	a, b, err := operands(n, m)
+	if err != nil {
+		return nil, err
+	}
+	u, err := monProVar(n, p, a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range u {
+		if id != -1 {
+			if err := n.SetSignalName(id, fmt.Sprintf("u%d", i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A zero intermediate bit can only occur for degenerate p; materialize
+	// constants so the second block sees real signals.
+	for i, id := range u {
+		if id == -1 {
+			if u[i], err = n.AddGate(netlist.Const0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r2 := gf2poly.Monomial(2 * m).Mod(p)
+	z, err := monProConst(n, p, u, r2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		zi := z[i]
+		if zi == -1 {
+			if zi, err = n.AddGate(netlist.Const0); err != nil {
+				return nil, err
+			}
+		}
+		if err := n.MarkOutput(fmt.Sprintf("z%d", i), zi); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// MonPro generates a standalone bit-serial MonPro block computing
+// A·B·x^(-m) mod p, exposed for unit testing and for building custom
+// Montgomery-domain datapaths.
+func MonPro(m int, p gf2poly.Poly) (*netlist.Netlist, error) {
+	if err := validate(m, p); err != nil {
+		return nil, err
+	}
+	n := netlist.New(fmt.Sprintf("monpro_gf2_%d", m))
+	a, b, err := operands(n, m)
+	if err != nil {
+		return nil, err
+	}
+	u, err := monProVar(n, p, a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		ui := u[i]
+		if ui == -1 {
+			if ui, err = n.AddGate(netlist.Const0); err != nil {
+				return nil, err
+			}
+		}
+		if err := n.MarkOutput(fmt.Sprintf("z%d", i), ui); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// MastrovitoMatrix generates the classic matrix-form Mastrovito multiplier:
+// z_i = XOR_j b_j · M_ij(a), where M is the Mastrovito product matrix and
+// every entry M_ij — an XOR combination of a-bits determined by
+// x^j·A mod P(x) — is materialized as its own XOR tree. Unlike Mastrovito
+// (the tabular Figure 1 construction, which shares the partial-product sums
+// s_k across output columns), the matrix form duplicates logic between
+// outputs, so each output bit has a fully independent cone. This is the
+// redundant style of generated benchmark the paper evaluates: its equation
+// counts are close to Table I's (~5m² for pentanomials) and it is what gives
+// the synthesis flow of Table III real sharing to recover.
+func MastrovitoMatrix(m int, p gf2poly.Poly) (*netlist.Netlist, error) {
+	if err := validate(m, p); err != nil {
+		return nil, err
+	}
+	n := netlist.New(fmt.Sprintf("mastrovito_matrix_gf2_%d", m))
+	a, b, err := operands(n, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// masks[j] is the bit-matrix column for x^j·A mod P: masks[j][i] tells
+	// which a-bits XOR into M_ij. Computed symbolically: start with the
+	// identity (x^0·A = A), then shift and fold the wrapped top bit through
+	// P'(x) each step.
+	masks := make([][]gf2poly.Poly, m) // masks[j][i]: set of a-indices as a bit vector
+	cur := make([]gf2poly.Poly, m)
+	for i := range cur {
+		cur[i] = gf2poly.Monomial(i) // M_i0 = a_i
+	}
+	pp := p.Add(gf2poly.Monomial(m)) // P'(x)
+	for j := 0; j < m; j++ {
+		masks[j] = append([]gf2poly.Poly(nil), cur...)
+		top := cur[m-1]
+		next := make([]gf2poly.Poly, m)
+		for i := m - 1; i >= 1; i-- {
+			next[i] = cur[i-1]
+		}
+		next[0] = gf2poly.Zero()
+		for i := 0; i < m; i++ {
+			if pp.Coeff(i) == 1 {
+				next[i] = next[i].Add(top)
+			}
+		}
+		cur = next
+	}
+
+	for i := 0; i < m; i++ {
+		var terms []int
+		for j := 0; j < m; j++ {
+			mask := masks[j][i]
+			if mask.IsZero() {
+				continue
+			}
+			var abits []int
+			for _, e := range mask.Terms() {
+				abits = append(abits, a[e])
+			}
+			mij, err := xorTree(n, abits)
+			if err != nil {
+				return nil, err
+			}
+			prod, err := n.AddGate(netlist.And, mij, b[j])
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, prod)
+		}
+		z, err := xorTree(n, terms)
+		if err != nil {
+			return nil, err
+		}
+		if z == -1 {
+			if z, err = n.AddGate(netlist.Const0); err != nil {
+				return nil, err
+			}
+		}
+		if err := n.MarkOutput(fmt.Sprintf("z%d", i), z); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,388 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gf2m"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// packVectors converts 64 field elements per operand into the bit-sliced
+// input words the simulator expects: word i of operand a carries, in lane l,
+// coefficient i of element l.
+func packVectors(m int, as, bs []gf2poly.Poly) []uint64 {
+	words := make([]uint64, 2*m)
+	for lane := 0; lane < len(as); lane++ {
+		for i := 0; i < m; i++ {
+			if as[lane].Coeff(i) == 1 {
+				words[i] |= 1 << uint(lane)
+			}
+			if bs[lane].Coeff(i) == 1 {
+				words[m+i] |= 1 << uint(lane)
+			}
+		}
+	}
+	return words
+}
+
+// unpackOutputs reads lane l of the output words as a field element.
+func unpackOutputs(m int, outs []uint64, lane int) gf2poly.Poly {
+	var terms []int
+	for i := 0; i < m; i++ {
+		if outs[i]>>uint(lane)&1 == 1 {
+			terms = append(terms, i)
+		}
+	}
+	return gf2poly.FromTerms(terms...)
+}
+
+// checkMultiplier simulates 64 random operand pairs and compares every lane
+// against the gf2m golden model applied through ref.
+func checkMultiplier(t *testing.T, n *netlist.Netlist, p gf2poly.Poly,
+	ref func(f *gf2m.Field, a, b gf2poly.Poly) gf2poly.Poly) {
+	t.Helper()
+	m := p.Deg()
+	f := gf2m.MustNew(p)
+	r := rand.New(rand.NewSource(int64(m)*31 + 7))
+	as := make([]gf2poly.Poly, 64)
+	bs := make([]gf2poly.Poly, 64)
+	for i := range as {
+		as[i], bs[i] = f.Rand(r), f.Rand(r)
+	}
+	vals, err := n.Simulate(packVectors(m, as, bs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := n.OutputWords(vals)
+	if len(outs) != m {
+		t.Fatalf("multiplier has %d outputs, want %d", len(outs), m)
+	}
+	for lane := 0; lane < 64; lane++ {
+		got := unpackOutputs(m, outs, lane)
+		want := ref(f, as[lane], bs[lane])
+		if !got.Equal(want) {
+			t.Fatalf("lane %d: (%v)*(%v) = %v, want %v", lane, as[lane], bs[lane], got, want)
+		}
+	}
+}
+
+func mulRef(f *gf2m.Field, a, b gf2poly.Poly) gf2poly.Poly { return f.Mul(a, b) }
+
+func TestMastrovitoMatchesField(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5, 8, 11, 16, 23, 32, 64} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Mastrovito(m, p)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		checkMultiplier(t, n, p, mulRef)
+	}
+}
+
+func TestMastrovitoBothFigure1Polynomials(t *testing.T) {
+	// Same field size, different P(x) — Figure 1's two constructions must
+	// both be correct multipliers for their own field.
+	for _, ps := range []string{"x^4+x+1", "x^4+x^3+1"} {
+		p := gf2poly.MustParse(ps)
+		n, err := Mastrovito(4, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMultiplier(t, n, p, mulRef)
+	}
+}
+
+func TestMastrovitoXORCountMatchesCostModel(t *testing.T) {
+	// Section II-D: the two GF(2^4) constructions differ only in reduction
+	// XORs: 9 for P1 vs 6 for P2. Partial-product XORs are identical, so
+	// the difference in total XOR gates must be exactly 3.
+	n1, err := Mastrovito(4, gf2poly.MustParse("x^4+x^3+1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Mastrovito(4, gf2poly.MustParse("x^4+x+1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := n1.Stats().ByType[netlist.Xor]
+	x2 := n2.Stats().ByType[netlist.Xor]
+	if x1-x2 != 3 {
+		t.Errorf("XOR gates: P1=%d P2=%d, difference %d, want 3", x1, x2, x1-x2)
+	}
+	// AND gates (partial products) are m² in both.
+	if n1.Stats().ByType[netlist.And] != 16 || n2.Stats().ByType[netlist.And] != 16 {
+		t.Error("partial-product AND count should be m²")
+	}
+}
+
+func TestMonProMatchesField(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := MonPro(m, p)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		checkMultiplier(t, n, p, func(f *gf2m.Field, a, b gf2poly.Poly) gf2poly.Poly {
+			return f.MonPro(a, b)
+		})
+	}
+}
+
+func TestMontgomeryMatchesField(t *testing.T) {
+	// The flattened two-block Montgomery multiplier computes the plain
+	// field product — same function as Mastrovito.
+	for _, m := range []int{2, 3, 4, 8, 16, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Montgomery(m, p)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		checkMultiplier(t, n, p, mulRef)
+	}
+}
+
+func TestMontgomeryNIST64(t *testing.T) {
+	p := polytab.NIST[64]
+	n, err := Montgomery(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMultiplier(t, n, p, mulRef)
+}
+
+func TestGeneratorsValidateArguments(t *testing.T) {
+	good := gf2poly.MustParse("x^4+x+1")
+	if _, err := Mastrovito(1, gf2poly.MustParse("x+1")); err == nil {
+		t.Error("m=1 should be rejected")
+	}
+	if _, err := Mastrovito(5, good); err == nil {
+		t.Error("degree mismatch should be rejected")
+	}
+	if _, err := Mastrovito(4, gf2poly.MustParse("x^4+x^2+1")); err == nil {
+		t.Error("reducible polynomial should be rejected")
+	}
+	if _, err := Montgomery(5, good); err == nil {
+		t.Error("Montgomery degree mismatch should be rejected")
+	}
+	if _, err := MonPro(5, good); err == nil {
+		t.Error("MonPro degree mismatch should be rejected")
+	}
+}
+
+func TestGateMixIsAndXorOnly(t *testing.T) {
+	// Raw generated multipliers consist solely of AND partial products and
+	// XOR reductions (plus inputs), as the paper describes.
+	p := polytab.NIST[64]
+	for _, build := range []func(int, gf2poly.Poly) (*netlist.Netlist, error){Mastrovito, Montgomery} {
+		n, err := build(64, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ty, cnt := range n.Stats().ByType {
+			switch ty {
+			case netlist.Input, netlist.And, netlist.Xor:
+			default:
+				t.Errorf("%s: unexpected %d gates of type %v", n.Name, cnt, ty)
+			}
+		}
+	}
+}
+
+func TestEquationCountsGrowQuadratically(t *testing.T) {
+	// #eqns ~ c·m²: doubling m should roughly quadruple equations for both
+	// architectures (the scale column of Tables I and II).
+	for _, build := range []struct {
+		name string
+		f    func(int, gf2poly.Poly) (*netlist.Netlist, error)
+	}{{"mastrovito", Mastrovito}, {"montgomery", Montgomery}} {
+		var prev int
+		for _, m := range []int{16, 32, 64} {
+			p, err := polytab.Default(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := build.f(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eqns := n.NumEquations()
+			if prev > 0 {
+				ratio := float64(eqns) / float64(prev)
+				if ratio < 3 || ratio > 5.5 {
+					t.Errorf("%s: eqns ratio m*2 = %.2f, want ~4", build.name, ratio)
+				}
+			}
+			prev = eqns
+		}
+	}
+}
+
+func TestMastrovitoNamedPartialSums(t *testing.T) {
+	p := gf2poly.MustParse("x^4+x+1")
+	n, err := Mastrovito(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 6; k++ {
+		if _, ok := n.Lookup("s" + string(rune('0'+k))); !ok {
+			t.Errorf("partial sum s%d not named", k)
+		}
+	}
+}
+
+func BenchmarkMastrovito64(b *testing.B) {
+	p := polytab.NIST[64]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mastrovito(64, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMontgomery64(b *testing.B) {
+	p := polytab.NIST[64]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Montgomery(64, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMastrovitoMatrixMatchesField(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 8, 16, 32, 64} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := MastrovitoMatrix(m, p)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		checkMultiplier(t, n, p, mulRef)
+	}
+}
+
+func TestMastrovitoMatrixConesAreIndependent(t *testing.T) {
+	// In the matrix form, no internal logic is shared between output bits:
+	// the cones of distinct outputs intersect only in primary inputs.
+	p := polytab.NIST[64]
+	n, err := MastrovitoMatrix(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := n.Outputs()
+	owner := make(map[int]int)
+	for oi, root := range outs {
+		for _, id := range n.Cone(root) {
+			if n.Gate(id).Type == netlist.Input {
+				continue
+			}
+			if prev, ok := owner[id]; ok && prev != oi {
+				t.Fatalf("gate %d shared between outputs %d and %d", id, prev, oi)
+			}
+			owner[id] = oi
+		}
+	}
+}
+
+func TestMastrovitoMatrixEquationScale(t *testing.T) {
+	// The matrix form should be substantially more redundant than the
+	// tabular form — the headroom Table III's synthesis removes.
+	p := polytab.NIST[64]
+	tab, err := Mastrovito(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := MastrovitoMatrix(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(mat.NumEquations()) < 1.5*float64(tab.NumEquations()) {
+		t.Errorf("matrix form %d eqns vs tabular %d: expected >= 1.5x redundancy",
+			mat.NumEquations(), tab.NumEquations())
+	}
+}
+
+func TestKaratsubaMatchesField(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5, 8, 11, 16, 32, 64} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Karatsuba(m, p)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		checkMultiplier(t, n, p, mulRef)
+	}
+}
+
+func TestKaratsubaSharesLogicAcrossOutputs(t *testing.T) {
+	// Unlike the matrix form, Karatsuba sub-products feed many outputs.
+	p := polytab.NIST[64]
+	kar, err := Karatsuba(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := MastrovitoMatrix(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kar.NumEquations() >= mat.NumEquations() {
+		t.Errorf("karatsuba (%d eqns) should be smaller than matrix form (%d)",
+			kar.NumEquations(), mat.NumEquations())
+	}
+}
+
+func TestDigitSerialMatchesField(t *testing.T) {
+	for _, m := range []int{4, 8, 16, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []int{1, 2, 3, 4, 8, m} {
+			if d > m {
+				continue
+			}
+			n, err := DigitSerial(m, p, d)
+			if err != nil {
+				t.Fatalf("m=%d d=%d: %v", m, d, err)
+			}
+			checkMultiplier(t, n, p, mulRef)
+		}
+	}
+}
+
+func TestDigitSerialValidatesDigit(t *testing.T) {
+	p, _ := polytab.Default(8)
+	if _, err := DigitSerial(8, p, 0); err == nil {
+		t.Error("d=0 should fail")
+	}
+	if _, err := DigitSerial(8, p, 9); err == nil {
+		t.Error("d>m should fail")
+	}
+}
+
+func TestDigitSerialFullDigitEqualsBitParallel(t *testing.T) {
+	// d=m is a single step: functionally a bit-parallel multiplier.
+	p, _ := polytab.Default(8)
+	n, err := DigitSerial(8, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMultiplier(t, n, p, mulRef)
+}

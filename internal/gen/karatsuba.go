@@ -1,0 +1,285 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// karatsubaThreshold is the operand width below which the recursion falls
+// back to schoolbook partial products (the usual practice in hardware
+// Karatsuba generators; tiny sub-multipliers are cheaper flat).
+const karatsubaThreshold = 4
+
+// sigVec is a vector of signal IDs; -1 entries are logical zero.
+type sigVec []int
+
+func (b *sigBuilder) xorSig(s, t int) (int, error) {
+	switch {
+	case s == -1:
+		return t, nil
+	case t == -1:
+		return s, nil
+	}
+	return b.n.AddGate(netlist.Xor, s, t)
+}
+
+type sigBuilder struct{ n *netlist.Netlist }
+
+// schoolbook returns the 2n-1 product-coefficient signals of x·y by direct
+// partial products.
+func (b *sigBuilder) schoolbook(x, y sigVec) (sigVec, error) {
+	n := len(x)
+	out := make(sigVec, 2*n-1)
+	for i := range out {
+		out[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if x[i] == -1 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if y[j] == -1 {
+				continue
+			}
+			t, err := b.n.AddGate(netlist.And, x[i], y[j])
+			if err != nil {
+				return nil, err
+			}
+			if out[i+j], err = b.xorSig(out[i+j], t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// karatsuba returns the 2n-1 product coefficients of x·y using the
+// recursive three-multiplication split.
+func (b *sigBuilder) karatsuba(x, y sigVec) (sigVec, error) {
+	n := len(x)
+	if n <= karatsubaThreshold {
+		return b.schoolbook(x, y)
+	}
+	n0 := n / 2
+	xl, xh := x[:n0], x[n0:]
+	yl, yh := y[:n0], y[n0:]
+
+	low, err := b.karatsuba(xl, yl) // deg < 2n0-1
+	if err != nil {
+		return nil, err
+	}
+	high, err := b.karatsuba(xh, yh)
+	if err != nil {
+		return nil, err
+	}
+	// Middle operands: (xl+xh) and (yl+yh), padded to the high half width.
+	n1 := n - n0
+	xs := make(sigVec, n1)
+	ys := make(sigVec, n1)
+	for i := 0; i < n1; i++ {
+		xs[i], ys[i] = xh[i], yh[i]
+		if i < n0 {
+			if xs[i], err = b.xorSig(xs[i], xl[i]); err != nil {
+				return nil, err
+			}
+			if ys[i], err = b.xorSig(ys[i], yl[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	mid, err := b.karatsuba(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+
+	// out = low + x^n0·(mid + low + high) + x^(2n0)·high (all XOR over GF(2)).
+	out := make(sigVec, 2*n-1)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, s := range low {
+		if out[i], err = b.xorSig(out[i], s); err != nil {
+			return nil, err
+		}
+	}
+	for i, s := range high {
+		if out[2*n0+i], err = b.xorSig(out[2*n0+i], s); err != nil {
+			return nil, err
+		}
+	}
+	for i := range mid {
+		t := mid[i]
+		if i < len(low) {
+			if t, err = b.xorSig(t, low[i]); err != nil {
+				return nil, err
+			}
+		}
+		if i < len(high) {
+			if t, err = b.xorSig(t, high[i]); err != nil {
+				return nil, err
+			}
+		}
+		if out[n0+i], err = b.xorSig(out[n0+i], t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Karatsuba generates a GF(2^m) multiplier whose polynomial product is
+// computed by recursive Karatsuba decomposition (three half-width
+// sub-products instead of four) followed by the same x^k mod P(x) column
+// reduction as Mastrovito. A third architecture family for exercising the
+// paper's claim that extraction is oblivious to the multiplier algorithm;
+// its deeply shared XOR structure sits between Mastrovito's flat tree and
+// Montgomery's serial chains.
+func Karatsuba(m int, p gf2poly.Poly) (*netlist.Netlist, error) {
+	if err := validate(m, p); err != nil {
+		return nil, err
+	}
+	n := netlist.New(fmt.Sprintf("karatsuba_gf2_%d", m))
+	a, b, err := operands(n, m)
+	if err != nil {
+		return nil, err
+	}
+	sb := &sigBuilder{n: n}
+	s, err := sb.karatsuba(sigVec(a), sigVec(b))
+	if err != nil {
+		return nil, err
+	}
+
+	rows := polytab.ReductionRows(p)
+	for c := 0; c < m; c++ {
+		col := []int{}
+		if s[c] != -1 {
+			col = append(col, s[c])
+		}
+		for t, row := range rows {
+			if row.Coeff(c) == 1 && s[m+t] != -1 {
+				col = append(col, s[m+t])
+			}
+		}
+		z, err := xorTree(n, col)
+		if err != nil {
+			return nil, err
+		}
+		if z == -1 {
+			if z, err = n.AddGate(netlist.Const0); err != nil {
+				return nil, err
+			}
+		}
+		if err := n.MarkOutput(fmt.Sprintf("z%d", c), z); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// DigitSerial generates a least-significant-digit-first digit-serial
+// GF(2^m) multiplier with digit width d: the area/throughput compromise
+// used when a full bit-parallel multiplier is too large. Per digit step the
+// datapath computes C += A_digit·Bcur and Bcur = Bcur·x^d mod P (a pure XOR
+// shift-reduce network); the accumulator's d-1 out-field positions are
+// folded back at the end through the usual reduction rows.
+func DigitSerial(m int, p gf2poly.Poly, d int) (*netlist.Netlist, error) {
+	if err := validate(m, p); err != nil {
+		return nil, err
+	}
+	if d < 1 || d > m {
+		return nil, fmt.Errorf("gen: digit width %d out of range [1, %d]", d, m)
+	}
+	n := netlist.New(fmt.Sprintf("digitserial%d_gf2_%d", d, m))
+	a, b, err := operands(n, m)
+	if err != nil {
+		return nil, err
+	}
+	sb := &sigBuilder{n: n}
+
+	// xTimes returns v·x mod P for a signal vector v of width m: a wiring
+	// shift plus XORs of the wrapped top bit into P'(x) positions.
+	xTimes := func(v sigVec) (sigVec, error) {
+		out := make(sigVec, m)
+		top := v[m-1]
+		out[0] = top
+		for i := 1; i < m; i++ {
+			out[i] = v[i-1]
+		}
+		if top != -1 {
+			for _, e := range p.Terms() {
+				if e == 0 || e == m {
+					continue
+				}
+				if out[e], err = sb.xorSig(out[e], top); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	acc := make(sigVec, m+d-1)
+	for i := range acc {
+		acc[i] = -1
+	}
+	bcur := make(sigVec, m)
+	copy(bcur, b)
+	steps := (m + d - 1) / d
+	for step := 0; step < steps; step++ {
+		for k := 0; k < d; k++ {
+			bit := step*d + k
+			if bit >= m {
+				break
+			}
+			for j := 0; j < m; j++ {
+				if bcur[j] == -1 {
+					continue
+				}
+				t, err := n.AddGate(netlist.And, a[bit], bcur[j])
+				if err != nil {
+					return nil, err
+				}
+				if acc[k+j], err = sb.xorSig(acc[k+j], t); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if step != steps-1 {
+			for k := 0; k < d; k++ {
+				if bcur, err = xTimes(bcur); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Fold the d-1 out-field accumulator positions back through
+	// x^(m+t) mod P.
+	rows := polytab.ReductionRows(p)
+	for c := 0; c < m; c++ {
+		col := []int{}
+		if acc[c] != -1 {
+			col = append(col, acc[c])
+		}
+		for t := 0; t < d-1; t++ {
+			if rows[t].Coeff(c) == 1 && acc[m+t] != -1 {
+				col = append(col, acc[m+t])
+			}
+		}
+		z, err := xorTree(n, col)
+		if err != nil {
+			return nil, err
+		}
+		if z == -1 {
+			if z, err = n.AddGate(netlist.Const0); err != nil {
+				return nil, err
+			}
+		}
+		if err := n.MarkOutput(fmt.Sprintf("z%d", c), z); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

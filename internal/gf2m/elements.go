@@ -1,0 +1,225 @@
+package gf2m
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+)
+
+// Element-level analysis: conjugates, minimal polynomials, multiplicative
+// orders and generator tests. These are the standard tools for studying a
+// recovered field — e.g. checking whether the polynomial a netlist was
+// built on is primitive (x generates the multiplicative group), which
+// affects the usable exponentiation tricks in the surrounding datapath.
+
+// Conjugates returns the Frobenius orbit of a: {a, a², a⁴, …} up to the
+// first repeat. Its size d divides m and is the degree of a's minimal
+// polynomial.
+func (f *Field) Conjugates(a gf2poly.Poly) []gf2poly.Poly {
+	a = f.Reduce(a)
+	out := []gf2poly.Poly{a}
+	c := f.Square(a)
+	for !c.Equal(a) {
+		out = append(out, c)
+		c = f.Square(c)
+	}
+	return out
+}
+
+// MinimalPolynomial returns the minimal polynomial of a over GF(2): the
+// monic polynomial Π (x + c) over a's conjugates c. The product has all
+// coefficients in GF(2); it is irreducible of degree dividing m, and for
+// a = x it equals the field's defining polynomial.
+func (f *Field) MinimalPolynomial(a gf2poly.Poly) (gf2poly.Poly, error) {
+	conj := f.Conjugates(a)
+	// coeffs[i] is the GF(2^m) coefficient of x^i; start with the
+	// constant polynomial 1.
+	coeffs := []gf2poly.Poly{gf2poly.One()}
+	for _, c := range conj {
+		next := make([]gf2poly.Poly, len(coeffs)+1)
+		for i := range next {
+			next[i] = gf2poly.Zero()
+		}
+		for i, co := range coeffs {
+			// (x + c)·co·x^i contributes co to x^(i+1) and c·co to x^i.
+			next[i+1] = next[i+1].Add(co)
+			next[i] = next[i].Add(f.Mul(c, co))
+		}
+		coeffs = next
+	}
+	p := gf2poly.Zero()
+	for i, co := range coeffs {
+		switch {
+		case co.IsZero():
+		case co.IsOne():
+			p = p.Add(gf2poly.Monomial(i))
+		default:
+			return gf2poly.Poly{}, fmt.Errorf("gf2m: minimal polynomial has non-GF(2) coefficient %v (internal error)", co)
+		}
+	}
+	return p, nil
+}
+
+// factorUint64 returns the distinct prime factors of n (n >= 2) using trial
+// division followed by Pollard's rho for the large cofactors.
+func factorUint64(n uint64) []uint64 {
+	var primes []uint64
+	add := func(p uint64) {
+		for _, q := range primes {
+			if q == p {
+				return
+			}
+		}
+		primes = append(primes, p)
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		for n%p == 0 {
+			add(p)
+			n /= p
+		}
+	}
+	var rec func(n uint64)
+	rec = func(n uint64) {
+		if n == 1 {
+			return
+		}
+		if isPrimeU64(n) {
+			add(n)
+			return
+		}
+		d := pollardRho(n)
+		rec(d)
+		rec(n / d)
+	}
+	rec(n)
+	return primes
+}
+
+// mulmod computes a·b mod m without overflow. Operands are reduced mod m
+// first, so the 128-bit product's high word is < m and bits.Div64 is safe.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a%m, b%m)
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+func powmod(a, e, m uint64) uint64 {
+	r := uint64(1 % m)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulmod(r, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return r
+}
+
+// isPrimeU64 is deterministic Miller–Rabin for 64-bit integers.
+func isPrimeU64(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	s := 0
+	for d%2 == 0 {
+		d /= 2
+		s++
+	}
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powmod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		ok := false
+		for i := 0; i < s-1; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// pollardRho finds a nontrivial factor of a composite odd n.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	r := rand.New(rand.NewSource(int64(n)))
+	for {
+		x := r.Uint64()%(n-2) + 2
+		y := x
+		c := r.Uint64()%(n-1) + 1
+		d := uint64(1)
+		for d == 1 {
+			x = (mulmod(x, x, n) + c) % n
+			y = (mulmod(y, y, n) + c) % n
+			y = (mulmod(y, y, n) + c) % n
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				break
+			}
+			d = gcdU64(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+func gcdU64(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ElementOrder returns the multiplicative order of a nonzero element. Supported
+// for m <= 63 (the order divides 2^m − 1, which must fit and be factorable).
+func (f *Field) ElementOrder(a gf2poly.Poly) (uint64, error) {
+	if f.m > 63 {
+		return 0, fmt.Errorf("gf2m: Order supported for m <= 63, have m=%d", f.m)
+	}
+	a = f.Reduce(a)
+	if a.IsZero() {
+		return 0, fmt.Errorf("gf2m: zero has no multiplicative order")
+	}
+	group := uint64(1)<<uint(f.m) - 1
+	ord := group
+	for _, p := range factorUint64(group) {
+		for ord%p == 0 && f.Exp(a, ord/p).IsOne() {
+			ord /= p
+		}
+	}
+	if !f.Exp(a, ord).IsOne() {
+		return 0, fmt.Errorf("gf2m: order computation failed (internal error)")
+	}
+	return ord, nil
+}
+
+// IsGenerator reports whether a generates the multiplicative group — for
+// a = x this says whether the field's defining polynomial is primitive.
+func (f *Field) IsGenerator(a gf2poly.Poly) (bool, error) {
+	ord, err := f.ElementOrder(a)
+	if err != nil {
+		return false, err
+	}
+	return ord == uint64(1)<<uint(f.m)-1, nil
+}

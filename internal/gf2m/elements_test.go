@@ -1,0 +1,205 @@
+package gf2m
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+func TestConjugatesOrbitSize(t *testing.T) {
+	f := MustNew(gf2poly.MustParse("x^8+x^4+x^3+x+1"))
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		a := f.Rand(r)
+		conj := f.Conjugates(a)
+		// Orbit size divides m.
+		if 8%len(conj) != 0 {
+			t.Errorf("orbit size %d does not divide 8", len(conj))
+		}
+		// Orbit closes: squaring the last conjugate returns to a.
+		if !f.Square(conj[len(conj)-1]).Equal(f.Reduce(a)) {
+			t.Errorf("orbit of %v does not close", a)
+		}
+	}
+	// GF(2) elements have orbit size 1.
+	if len(f.Conjugates(gf2poly.One())) != 1 || len(f.Conjugates(gf2poly.Zero())) != 1 {
+		t.Error("subfield elements should be Frobenius-fixed")
+	}
+}
+
+func TestMinimalPolynomialOfX(t *testing.T) {
+	// The minimal polynomial of x is the defining polynomial itself.
+	for _, m := range []int{4, 8, 16, 23} {
+		p, _ := polytab.Default(m)
+		f := MustNew(p)
+		mp, err := f.MinimalPolynomial(gf2poly.X())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mp.Equal(p) {
+			t.Errorf("m=%d: minpoly(x) = %v, want %v", m, mp, p)
+		}
+	}
+}
+
+func TestMinimalPolynomialProperties(t *testing.T) {
+	p, _ := polytab.Default(12)
+	f := MustNew(p)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 15; i++ {
+		a := f.Rand(r)
+		mp, err := f.MinimalPolynomial(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mp.Irreducible() {
+			t.Errorf("minpoly(%v) = %v is reducible", a, mp)
+		}
+		if 12%mp.Deg() != 0 {
+			t.Errorf("minpoly degree %d does not divide 12", mp.Deg())
+		}
+		// The element is a root: evaluate mp at a via Horner in the field.
+		acc := gf2poly.Zero()
+		for d := mp.Deg(); d >= 0; d-- {
+			acc = f.Mul(acc, a)
+			if mp.Coeff(d) == 1 {
+				acc = f.Add(acc, gf2poly.One())
+			}
+		}
+		if !acc.IsZero() {
+			t.Errorf("mp(%v) != 0 for mp=%v", a, mp)
+		}
+	}
+	// Constants: minpoly(0) = x, minpoly(1) = x+1.
+	if mp, _ := f.MinimalPolynomial(gf2poly.Zero()); mp.String() != "x" {
+		t.Errorf("minpoly(0) = %v", mp)
+	}
+	if mp, _ := f.MinimalPolynomial(gf2poly.One()); mp.String() != "x+1" {
+		t.Errorf("minpoly(1) = %v", mp)
+	}
+}
+
+func TestOrderAndGenerators(t *testing.T) {
+	// GF(2^4) with x^4+x+1 is primitive: ord(x) = 15.
+	f := MustNew(gf2poly.MustParse("x^4+x+1"))
+	ord, err := f.ElementOrder(gf2poly.X())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord != 15 {
+		t.Errorf("ord(x) = %d, want 15", ord)
+	}
+	gen, err := f.IsGenerator(gf2poly.X())
+	if err != nil || !gen {
+		t.Errorf("x should generate GF(16)*: %v %v", gen, err)
+	}
+	// 1 has order 1.
+	if ord, _ := f.ElementOrder(gf2poly.One()); ord != 1 {
+		t.Errorf("ord(1) = %d", ord)
+	}
+	if _, err := f.ElementOrder(gf2poly.Zero()); err == nil {
+		t.Error("ord(0) should fail")
+	}
+	// Element orders divide the group order and a^ord = 1 (checked
+	// internally); spot-check exhaustively in GF(16): the number of
+	// generators is φ(15) = 8.
+	gens := 0
+	for v := uint64(1); v < 16; v++ {
+		g, err := f.IsGenerator(gf2poly.FromUint64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g {
+			gens++
+		}
+	}
+	if gens != 8 {
+		t.Errorf("GF(16)* has %d generators, want 8", gens)
+	}
+}
+
+func TestOrderNonPrimitivePolynomial(t *testing.T) {
+	// x^4+x^3+x^2+x+1 is irreducible but NOT primitive: ord(x) = 5.
+	f := MustNew(gf2poly.MustParse("x^4+x^3+x^2+x+1"))
+	ord, err := f.ElementOrder(gf2poly.X())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord != 5 {
+		t.Errorf("ord(x) = %d, want 5", ord)
+	}
+	gen, _ := f.IsGenerator(gf2poly.X())
+	if gen {
+		t.Error("x should not generate for the non-primitive quartic")
+	}
+}
+
+func TestOrderLargeField(t *testing.T) {
+	// NIST GF(2^63)? 63 is not NIST; use m=61 (2^61-1 is a Mersenne prime,
+	// so EVERY non-identity element generates).
+	p, err := polytab.Default(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustNew(p)
+	gen, err := f.IsGenerator(gf2poly.X())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gen {
+		t.Error("x must generate GF(2^61)* (Mersenne prime group order)")
+	}
+	// m > 63 unsupported.
+	f2 := MustNew(polytab.NIST[64])
+	if _, err := f2.ElementOrder(gf2poly.X()); err == nil {
+		t.Error("m=64 should be unsupported")
+	}
+}
+
+func TestFactorUint64(t *testing.T) {
+	cases := map[uint64][]uint64{
+		2:                   {2},
+		15:                  {3, 5},
+		1 << 20:             {2},
+		255:                 {3, 5, 17},
+		1<<32 - 1:           {3, 5, 17, 257, 65537},
+		(1 << 61) - 1:       {2305843009213693951}, // Mersenne prime
+		3 * 5 * 7 * 11 * 13: {3, 5, 7, 11, 13},
+	}
+	for n, want := range cases {
+		got := factorUint64(n)
+		if len(got) != len(want) {
+			t.Errorf("factor(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		seen := map[uint64]bool{}
+		for _, p := range got {
+			seen[p] = true
+			if n%p != 0 || !isPrimeU64(p) {
+				t.Errorf("factor(%d): bad prime %d", n, p)
+			}
+		}
+		for _, p := range want {
+			if !seen[p] {
+				t.Errorf("factor(%d) missing %d", n, p)
+			}
+		}
+	}
+}
+
+func TestIsPrimeU64(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 61, 2305843009213693951, 18446744073709551557}
+	composites := []uint64{0, 1, 4, 9, 561, 1 << 40, 2305843009213693951 * 3 % (1 << 62)}
+	for _, p := range primes {
+		if !isPrimeU64(p) {
+			t.Errorf("%d should be prime", p)
+		}
+	}
+	for _, c := range composites {
+		if isPrimeU64(c) {
+			t.Errorf("%d should be composite", c)
+		}
+	}
+}

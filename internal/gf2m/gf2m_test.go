@@ -1,0 +1,263 @@
+package gf2m
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+func field(t testing.TB, m int) *Field {
+	t.Helper()
+	p, err := polytab.Default(m)
+	if err != nil {
+		t.Fatalf("no polynomial for m=%d: %v", m, err)
+	}
+	return MustNew(p)
+}
+
+func TestNewRejectsBadModulus(t *testing.T) {
+	if _, err := New(gf2poly.Zero()); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := New(gf2poly.One()); err == nil {
+		t.Error("New(1) should fail")
+	}
+	if _, err := New(gf2poly.MustParse("x^4+x^2+1")); err == nil {
+		t.Error("reducible modulus should fail")
+	}
+	if _, err := New(gf2poly.MustParse("x^4+x+1")); err != nil {
+		t.Errorf("x^4+x+1 should construct a field: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on reducible modulus")
+		}
+	}()
+	MustNew(gf2poly.MustParse("x^2+1"))
+}
+
+func TestGF16MulTable(t *testing.T) {
+	// GF(2^4) with x^4+x+1: x^4 = x+1, so x^3 * x = x+1 and
+	// (x^3+1)(x+1) = x^4+x^3+x+1 = x^3 (since x^4 = x+1 cancels x+1).
+	f := MustNew(gf2poly.MustParse("x^4+x+1"))
+	if got := f.Mul(gf2poly.Monomial(3), gf2poly.X()); got.String() != "x+1" {
+		t.Errorf("x^3 * x = %v", got)
+	}
+	if got := f.Mul(gf2poly.MustParse("x^3+1"), gf2poly.MustParse("x+1")); got.String() != "x^3" {
+		t.Errorf("(x^3+1)(x+1) = %v", got)
+	}
+}
+
+func TestOrder(t *testing.T) {
+	if got := field(t, 4).Order(); got != 16 {
+		t.Errorf("|GF(2^4)| = %d", got)
+	}
+	f := MustNew(polytab.NIST[163])
+	if got := f.Order(); got != 0 {
+		t.Errorf("Order for m=163 should be 0 (too big), got %d", got)
+	}
+}
+
+func TestMultiplicativeGroupOrder(t *testing.T) {
+	// Every nonzero element satisfies a^(2^m - 1) = 1.
+	for _, m := range []int{3, 4, 8, 11} {
+		f := field(t, m)
+		r := rand.New(rand.NewSource(int64(m)))
+		for i := 0; i < 20; i++ {
+			a := f.Rand(r)
+			if a.IsZero() {
+				continue
+			}
+			if got := f.Exp(a, 1<<uint(m)-1); !got.IsOne() {
+				t.Errorf("m=%d: %v^(2^m-1) = %v", m, a, got)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16, 64, 163} {
+		f := field(t, m)
+		r := rand.New(rand.NewSource(int64(m) * 7))
+		for i := 0; i < 25; i++ {
+			a := f.Rand(r)
+			if a.IsZero() {
+				continue
+			}
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("m=%d Inv(%v): %v", m, a, err)
+			}
+			if got := f.Mul(a, inv); !got.IsOne() {
+				t.Errorf("m=%d: a * a^-1 = %v", m, got)
+			}
+		}
+		if _, err := f.Inv(gf2poly.Zero()); err == nil {
+			t.Errorf("m=%d: Inv(0) should fail", m)
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := field(t, 8)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 25; i++ {
+		a, b := f.Rand(r), f.Rand(r)
+		if b.IsZero() {
+			continue
+		}
+		q, err := f.Div(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Mul(q, b); !got.Equal(f.Reduce(a)) {
+			t.Errorf("(a/b)*b = %v, want %v", got, a)
+		}
+	}
+	if _, err := f.Div(gf2poly.One(), gf2poly.Zero()); err == nil {
+		t.Error("Div by zero should fail")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, m := range []int{4, 8, 17} {
+		f := field(t, m)
+		r := rand.New(rand.NewSource(int64(m)))
+		for i := 0; i < 20; i++ {
+			a := f.Rand(r)
+			s := f.Sqrt(a)
+			if got := f.Square(s); !got.Equal(a) {
+				t.Errorf("m=%d: Sqrt(%v)² = %v", m, a, got)
+			}
+		}
+	}
+}
+
+func TestTraceIsAdditive(t *testing.T) {
+	f := field(t, 8)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		a, b := f.Rand(r), f.Rand(r)
+		if f.Trace(f.Add(a, b)) != f.Trace(a)^f.Trace(b) {
+			t.Errorf("Tr(a+b) != Tr(a)+Tr(b) for a=%v b=%v", a, b)
+		}
+	}
+	// Tr is GF(2)-valued and not identically zero (it's onto).
+	seen := map[uint]bool{}
+	for i := 0; i < 64; i++ {
+		seen[f.Trace(f.Rand(r))] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("trace not onto GF(2): %v", seen)
+	}
+}
+
+func TestMontgomeryConstants(t *testing.T) {
+	f := MustNew(polytab.NIST[64])
+	r2 := f.MontgomeryR2()
+	rr := f.Mul(f.MontgomeryR(), f.MontgomeryR())
+	if !r2.Equal(rr) {
+		t.Errorf("R2 = %v, want R*R = %v", r2, rr)
+	}
+}
+
+func TestMonProMatchesDefinition(t *testing.T) {
+	// MonPro(a,b) * x^m = a*b in the field.
+	for _, m := range []int{4, 8, 64} {
+		f := field(t, m)
+		r := rand.New(rand.NewSource(int64(m) + 99))
+		xm := f.Reduce(gf2poly.Monomial(m))
+		for i := 0; i < 15; i++ {
+			a, b := f.Rand(r), f.Rand(r)
+			got := f.Mul(f.MonPro(a, b), xm)
+			want := f.Mul(a, b)
+			if !got.Equal(want) {
+				t.Errorf("m=%d: MonPro(a,b)*x^m = %v, want %v", m, got, want)
+			}
+		}
+	}
+}
+
+func TestMonProComposition(t *testing.T) {
+	// MonPro(MonPro(a,b), R2) = a*b — the identity the flattened Montgomery
+	// multiplier netlists rely on.
+	f := MustNew(polytab.NIST[64])
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 15; i++ {
+		a, b := f.Rand(r), f.Rand(r)
+		got := f.MonPro(f.MonPro(a, b), f.MontgomeryR2())
+		if want := f.Mul(a, b); !got.Equal(want) {
+			t.Errorf("MonPro composition = %v, want %v", got, want)
+		}
+	}
+}
+
+// --- field axioms as properties --------------------------------------------
+
+func TestPropFieldAxioms(t *testing.T) {
+	f := MustNew(polytab.NIST[64])
+	// testing/quick generates raw coefficient words; FromWords + Reduce maps
+	// them into the field.
+	elem := func(w [2]uint64) gf2poly.Poly { return f.Reduce(gf2poly.FromWords(w[:])) }
+
+	assoc := func(aw, bw, cw [2]uint64) bool {
+		a, b, c := elem(aw), elem(bw), elem(cw)
+		return f.Mul(f.Mul(a, b), c).Equal(f.Mul(a, f.Mul(b, c)))
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error("mul associativity:", err)
+	}
+
+	distrib := func(aw, bw, cw [2]uint64) bool {
+		a, b, c := elem(aw), elem(bw), elem(cw)
+		return f.Mul(a, f.Add(b, c)).Equal(f.Add(f.Mul(a, b), f.Mul(a, c)))
+	}
+	if err := quick.Check(distrib, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error("distributivity:", err)
+	}
+
+	sqr := func(aw [2]uint64) bool {
+		a := elem(aw)
+		return f.Square(a).Equal(f.Mul(a, a))
+	}
+	if err := quick.Check(sqr, nil); err != nil {
+		t.Error("square:", err)
+	}
+
+	// Freshman's dream: (a+b)² = a² + b².
+	frosh := func(aw, bw [2]uint64) bool {
+		a, b := elem(aw), elem(bw)
+		return f.Square(f.Add(a, b)).Equal(f.Add(f.Square(a), f.Square(b)))
+	}
+	if err := quick.Check(frosh, nil); err != nil {
+		t.Error("(a+b)^2 = a^2+b^2:", err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f := MustNew(polytab.NIST[233])
+	r := rand.New(rand.NewSource(5))
+	x, y := f.Rand(r), f.Rand(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(x, y)
+	}
+}
+
+func BenchmarkInv(b *testing.B) {
+	f := MustNew(polytab.NIST[233])
+	r := rand.New(rand.NewSource(5))
+	x := f.Rand(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Inv(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package gf2poly
+
+// Berlekamp-matrix analysis: an independent algorithm for counting
+// irreducible factors, used to cross-validate Rabin's test and the
+// factorization routines. The Berlekamp subalgebra of GF(2)[x]/(f) — the
+// kernel of (Q − I) where Q is the matrix of the Frobenius map h ↦ h² —
+// has dimension equal to the number of distinct irreducible factors of a
+// square-free f.
+
+// bitRow is one row of a GF(2) matrix packed into words.
+type bitRow []uint64
+
+func newBitRow(n int) bitRow { return make(bitRow, (n+63)/64) }
+
+func (r bitRow) get(i int) uint64 { return r[i/64] >> (uint(i) % 64) & 1 }
+
+func (r bitRow) flip(i int) { r[i/64] ^= 1 << (uint(i) % 64) }
+
+func (r bitRow) xorWith(o bitRow) {
+	for i := range r {
+		r[i] ^= o[i]
+	}
+}
+
+// berlekampNullity returns dim ker(Q − I) for f (deg n >= 1): the number of
+// distinct irreducible factors when f is square-free.
+func berlekampNullity(f Poly) int {
+	n := f.Deg()
+	if n == 1 {
+		return 1
+	}
+	// Row i of (Q − I): coefficients of x^(2i) mod f, with bit i flipped.
+	rows := make([]bitRow, n)
+	h := One()
+	xx := X().Mul(X()).Mod(f)
+	for i := 0; i < n; i++ {
+		row := newBitRow(n)
+		for j := 0; j < n; j++ {
+			if h.Coeff(j) == 1 {
+				row.flip(j)
+			}
+		}
+		row.flip(i) // subtract the identity
+		rows[i] = row
+		h = h.MulMod(xx, f)
+	}
+	// Gaussian elimination over GF(2); nullity = n − rank.
+	rank := 0
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := rank; r < n; r++ {
+			if rows[r].get(col) == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < n; r++ {
+			if r != rank && rows[r].get(col) == 1 {
+				rows[r].xorWith(rows[rank])
+			}
+		}
+		rank++
+	}
+	return n - rank
+}
+
+// NumDistinctFactors returns the number of distinct irreducible factors of
+// p (0 for constants), computed via Berlekamp subalgebra dimensions — a
+// fully independent cross-check of Factorize.
+func (p Poly) NumDistinctFactors() int {
+	if p.Deg() < 1 {
+		return 0
+	}
+	hasX := false
+	var squareFreeParts []Poly
+	var walk func(f Poly)
+	walk = func(f Poly) {
+		for f.Deg() >= 1 && f.Coeff(0) == 0 {
+			hasX = true
+			f = f.Shr(1)
+		}
+		if f.Deg() < 1 {
+			return
+		}
+		fp := f.Derivative()
+		if fp.IsZero() {
+			walk(f.SqrtPoly())
+			return
+		}
+		g := GCD(f, fp)
+		w, _ := f.DivMod(g)
+		squareFreeParts = append(squareFreeParts, w)
+		if !g.IsOne() {
+			walk(g)
+		}
+	}
+	walk(p)
+	// lcm of the square-free parts is square-free and carries exactly the
+	// distinct non-x factors of p.
+	acc := One()
+	for _, w := range squareFreeParts {
+		g := GCD(acc, w)
+		q, _ := w.DivMod(g)
+		acc = acc.Mul(q)
+	}
+	n := 0
+	if acc.Deg() >= 1 {
+		n = berlekampNullity(acc)
+	}
+	if hasX {
+		n++
+	}
+	return n
+}
+
+// IrreducibleBerlekamp reports irreducibility using the Berlekamp criterion
+// (square-free with one-dimensional Frobenius-fixed subalgebra) — an
+// independent algorithm against which Rabin's test is validated.
+func (p Poly) IrreducibleBerlekamp() bool {
+	n := p.Deg()
+	switch {
+	case n <= 0:
+		return false
+	case n == 1:
+		return true
+	}
+	if p.Coeff(0) == 0 {
+		return false
+	}
+	if !GCD(p, p.Derivative()).IsOne() {
+		return false // repeated factors (or zero derivative: a square)
+	}
+	return berlekampNullity(p) == 1
+}

@@ -1,0 +1,103 @@
+package gf2poly
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIrreducibleBerlekampAgreesWithRabinExhaustive(t *testing.T) {
+	// Two independent algorithms must agree on every polynomial of degree
+	// 1..11.
+	for v := uint64(2); v < 1<<12; v++ {
+		p := FromUint64(v)
+		rabin := p.Irreducible()
+		berle := p.IrreducibleBerlekamp()
+		if rabin != berle {
+			t.Fatalf("%v: Rabin=%v Berlekamp=%v", p, rabin, berle)
+		}
+	}
+}
+
+func TestIrreducibleBerlekampNIST(t *testing.T) {
+	for _, s := range []string{
+		"x^64+x^21+x^19+x^4+1",
+		"x^163+x^80+x^47+x^9+1",
+		"x^233+x^74+1",
+	} {
+		if !MustParse(s).IrreducibleBerlekamp() {
+			t.Errorf("%s should be irreducible (Berlekamp)", s)
+		}
+	}
+	for _, s := range []string{"x^64+1", "x^233+x^73+1", "x^4+x^2+1", "0", "1"} {
+		if MustParse(s).IrreducibleBerlekamp() {
+			t.Errorf("%s should be reducible (Berlekamp)", s)
+		}
+	}
+}
+
+func TestNumDistinctFactorsAgainstFactorize(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	// Exhaustive small.
+	for v := uint64(2); v < 1<<10; v++ {
+		p := FromUint64(v)
+		want := len(p.Factorize(r))
+		if got := p.NumDistinctFactors(); got != want {
+			t.Fatalf("%v: NumDistinctFactors=%d, Factorize finds %d", p, got, want)
+		}
+	}
+	// Structured cases with x factors and repeats.
+	cases := map[string]int{
+		"x":               1,
+		"x^3":             1,
+		"x^2+x":           2, // x(x+1)
+		"x^5+x^4+x^3+x^2": 2, // x²(x+1)³
+		"x^64+1":          1, // (x+1)^64
+		"x^4+x+1":         1,
+	}
+	for s, want := range cases {
+		if got := MustParse(s).NumDistinctFactors(); got != want {
+			t.Errorf("%s: %d distinct factors, want %d", s, got, want)
+		}
+	}
+	if got := One().NumDistinctFactors(); got != 0 {
+		t.Errorf("constant: %d", got)
+	}
+}
+
+func TestNumDistinctFactorsRandomProducts(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	irr := []Poly{
+		MustParse("x"), MustParse("x+1"), MustParse("x^2+x+1"),
+		MustParse("x^3+x+1"), MustParse("x^3+x^2+1"), MustParse("x^5+x^2+1"),
+	}
+	for trial := 0; trial < 30; trial++ {
+		p := One()
+		distinct := 0
+		for _, f := range irr {
+			k := r.Intn(3)
+			if k == 0 {
+				continue
+			}
+			distinct++
+			for i := 0; i < k; i++ {
+				p = p.Mul(f)
+			}
+		}
+		if p.IsOne() {
+			continue
+		}
+		if got := p.NumDistinctFactors(); got != distinct {
+			t.Errorf("trial %d (%v): %d distinct, want %d", trial, p, got, distinct)
+		}
+	}
+}
+
+func BenchmarkIrreducibleBerlekamp233(b *testing.B) {
+	p := MustParse("x^233+x^74+1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.IrreducibleBerlekamp() {
+			b.Fatal("should be irreducible")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package gf2poly
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Factorization support. The extractor uses this for diagnostics: when a
+// recovered polynomial fails Rabin's test, reporting its factors pinpoints
+// what the netlist actually computes (e.g. a tampered reduction often turns
+// P(x) into a product with a small factor). The algorithms are the standard
+// characteristic-2 chain: square-free decomposition, distinct-degree
+// factorization, and Cantor–Zassenhaus equal-degree splitting with the
+// GF(2^d) trace map.
+
+// Derivative returns the formal derivative of p: d/dx Σ x^k = Σ k·x^(k-1),
+// so over GF(2) only odd exponents survive.
+func (p Poly) Derivative() Poly {
+	d := Poly{}
+	for _, e := range p.Terms() {
+		if e%2 == 1 {
+			d = d.Add(Monomial(e - 1))
+		}
+	}
+	return d
+}
+
+// SqrtPoly returns g with g² = p, valid when p has only even exponents
+// (which over GF(2) is exactly the condition p = g² for some g).
+// It panics if p has an odd exponent.
+func (p Poly) SqrtPoly() Poly {
+	g := Poly{}
+	for _, e := range p.Terms() {
+		if e%2 == 1 {
+			panic(fmt.Sprintf("gf2poly: SqrtPoly of non-square %v", p))
+		}
+		g = g.Add(Monomial(e / 2))
+	}
+	return g
+}
+
+// Factor is one irreducible factor with its multiplicity.
+type Factor struct {
+	P    Poly
+	Mult int
+}
+
+// Factorize returns the irreducible factorization of p, sorted by degree
+// then lexicographically. The zero polynomial and constants have no
+// factors. The rand source drives the equal-degree splitting; any seed
+// works (re-draws happen automatically on unlucky splits).
+func (p Poly) Factorize(r *rand.Rand) []Factor {
+	if p.Deg() < 1 {
+		return nil
+	}
+	counts := map[string]Poly{}
+	mult := map[string]int{}
+	add := func(f Poly, k int) {
+		key := f.String()
+		counts[key] = f
+		mult[key] += k
+	}
+	var factorRec func(f Poly, k int)
+	factorRec = func(f Poly, k int) {
+		if f.IsOne() {
+			return
+		}
+		// Pull out the content factors x and (x+1) early; cheap and common.
+		for f.Coeff(0) == 0 {
+			add(X(), k)
+			f = f.Shr(1)
+		}
+		if f.IsOne() {
+			return
+		}
+		fp := f.Derivative()
+		if fp.IsZero() {
+			// f = g² exactly.
+			factorRec(f.SqrtPoly(), 2*k)
+			return
+		}
+		g := GCD(f, fp)
+		w, _ := f.DivMod(g)
+		// w is square-free; split it by distinct degree, then equal degree.
+		for _, irr := range squareFreeFactors(w, r) {
+			add(irr, k)
+		}
+		if !g.IsOne() {
+			factorRec(g, k)
+		}
+	}
+	factorRec(p, 1)
+
+	out := make([]Factor, 0, len(counts))
+	for key, f := range counts {
+		out = append(out, Factor{P: f, Mult: mult[key]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P.Deg() != out[j].P.Deg() {
+			return out[i].P.Deg() < out[j].P.Deg()
+		}
+		return out[i].P.String() < out[j].P.String()
+	})
+	return out
+}
+
+// squareFreeFactors factors a square-free polynomial: distinct-degree pass
+// followed by equal-degree splitting per degree class.
+func squareFreeFactors(w Poly, r *rand.Rand) []Poly {
+	var out []Poly
+	if w.IsOne() {
+		return nil
+	}
+	h := X().Mod(w)
+	for d := 1; w.Deg() >= 2*d; d++ {
+		h = h.SquareMod(w) // h = x^(2^d) mod (current) w
+		g := GCD(h.Add(X()), w)
+		if g.IsOne() {
+			continue
+		}
+		out = append(out, equalDegreeSplit(g, d, r)...)
+		w, _ = w.DivMod(g)
+		h = h.Mod(w)
+	}
+	if w.Deg() > 0 {
+		out = append(out, w) // the remaining factor is irreducible
+	}
+	return out
+}
+
+// equalDegreeSplit splits g — a square-free product of irreducibles all of
+// degree d — into those irreducibles using the characteristic-2 trace map
+// T(u) = u + u² + u⁴ + … + u^(2^(d-1)) mod g.
+func equalDegreeSplit(g Poly, d int, r *rand.Rand) []Poly {
+	if g.Deg() == d {
+		return []Poly{g}
+	}
+	for {
+		// Random u of degree < deg g.
+		words := make([]uint64, g.Deg()/64+1)
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		u := FromWords(words).Mod(g)
+		if u.Deg() < 1 {
+			continue
+		}
+		t := Zero()
+		v := u
+		for i := 0; i < d; i++ {
+			t = t.Add(v)
+			v = v.SquareMod(g)
+		}
+		h := GCD(t, g)
+		if h.IsOne() || h.Equal(g) {
+			continue // unlucky draw; retry
+		}
+		rest, _ := g.DivMod(h)
+		return append(equalDegreeSplit(h, d, r), equalDegreeSplit(rest, d, r)...)
+	}
+}

@@ -1,0 +1,171 @@
+package gf2poly
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDerivative(t *testing.T) {
+	cases := map[string]string{
+		"0":         "0",
+		"1":         "0",
+		"x":         "1",
+		"x^2":       "0", // 2x = 0 mod 2
+		"x^3+x+1":   "x^2+1",
+		"x^4+x^3+1": "x^2",
+	}
+	for in, want := range cases {
+		if got := MustParse(in).Derivative().String(); got != want {
+			t.Errorf("(%s)' = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestSqrtPoly(t *testing.T) {
+	for _, s := range []string{"x^2+1", "x^4+x^2+1", "x^6"} {
+		p := MustParse(s)
+		g := p.SqrtPoly()
+		if !g.Square().Equal(p) {
+			t.Errorf("SqrtPoly(%s)² = %v", s, g.Square())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SqrtPoly of non-square should panic")
+		}
+	}()
+	MustParse("x^3+1").SqrtPoly()
+}
+
+// checkFactorization verifies the product reconstructs p and every factor
+// is irreducible.
+func checkFactorization(t *testing.T, p Poly, fs []Factor) {
+	t.Helper()
+	prod := One()
+	for _, f := range fs {
+		if !f.P.Irreducible() {
+			t.Errorf("factor %v of %v is not irreducible", f.P, p)
+		}
+		if f.Mult < 1 {
+			t.Errorf("factor %v has multiplicity %d", f.P, f.Mult)
+		}
+		for i := 0; i < f.Mult; i++ {
+			prod = prod.Mul(f.P)
+		}
+	}
+	if !prod.Equal(p) {
+		t.Errorf("factor product = %v, want %v (factors %v)", prod, p, fs)
+	}
+}
+
+func TestFactorizeKnown(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cases := []struct {
+		in      string
+		factors int // number of distinct irreducible factors
+	}{
+		{"x^2+1", 1},           // (x+1)²
+		{"x^3+1", 2},           // (x+1)(x²+x+1)
+		{"x^4+x^2+1", 1},       // (x²+x+1)²
+		{"x^4+x+1", 1},         // irreducible
+		{"x^5+x^4+x^3+x^2", 2}, // x²·(x+1)³
+		{"x^64+1", 1},          // (x+1)^64
+		{"x^233+x^73+1", 0},    // unknown split; just verify reconstruction
+	}
+	for _, tc := range cases {
+		p := MustParse(tc.in)
+		fs := p.Factorize(r)
+		checkFactorization(t, p, fs)
+		if tc.factors > 0 && len(fs) != tc.factors {
+			t.Errorf("%s: %d distinct factors, want %d (%v)", tc.in, len(fs), tc.factors, fs)
+		}
+	}
+}
+
+func TestFactorizeIrreducibleIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, s := range []string{"x^4+x+1", "x^64+x^21+x^19+x^4+1", "x^233+x^74+1"} {
+		p := MustParse(s)
+		fs := p.Factorize(r)
+		if len(fs) != 1 || fs[0].Mult != 1 || !fs[0].P.Equal(p) {
+			t.Errorf("Factorize(%s) = %v", s, fs)
+		}
+	}
+}
+
+func TestFactorizeDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if fs := Zero().Factorize(r); fs != nil {
+		t.Errorf("Factorize(0) = %v", fs)
+	}
+	if fs := One().Factorize(r); fs != nil {
+		t.Errorf("Factorize(1) = %v", fs)
+	}
+	fs := X().Factorize(r)
+	if len(fs) != 1 || !fs[0].P.Equal(X()) {
+		t.Errorf("Factorize(x) = %v", fs)
+	}
+}
+
+func TestFactorizeExhaustiveSmall(t *testing.T) {
+	// Every polynomial of degree 1..9: reconstruction + irreducibility of
+	// every factor, cross-checked against the brute-force irreducibility
+	// oracle.
+	r := rand.New(rand.NewSource(4))
+	for v := uint64(2); v < 1<<10; v++ {
+		p := FromUint64(v)
+		fs := p.Factorize(r)
+		checkFactorization(t, p, fs)
+		if bruteForceIrreducible(p) != (len(fs) == 1 && fs[0].Mult == 1) {
+			t.Errorf("%v: factorization disagrees with irreducibility oracle: %v", p, fs)
+		}
+	}
+}
+
+func TestFactorizeRandomProducts(t *testing.T) {
+	// Build products of known irreducibles with multiplicities and verify
+	// exact recovery.
+	r := rand.New(rand.NewSource(5))
+	irr := []Poly{
+		MustParse("x"), MustParse("x+1"), MustParse("x^2+x+1"),
+		MustParse("x^3+x+1"), MustParse("x^4+x+1"), MustParse("x^7+x+1"),
+	}
+	for trial := 0; trial < 40; trial++ {
+		want := map[string]int{}
+		p := One()
+		for _, f := range irr {
+			k := r.Intn(4)
+			if k == 0 {
+				continue
+			}
+			want[f.String()] = k
+			for i := 0; i < k; i++ {
+				p = p.Mul(f)
+			}
+		}
+		if p.IsOne() {
+			continue
+		}
+		fs := p.Factorize(r)
+		checkFactorization(t, p, fs)
+		if len(fs) != len(want) {
+			t.Fatalf("trial %d: got %d factors, want %d (%v)", trial, len(fs), len(want), fs)
+		}
+		for _, f := range fs {
+			if want[f.P.String()] != f.Mult {
+				t.Errorf("trial %d: factor %v mult %d, want %d", trial, f.P, f.Mult, want[f.P.String()])
+			}
+		}
+	}
+}
+
+func TestFactorizeLargeSquareFree(t *testing.T) {
+	// A 128-degree product of two NIST-size halves.
+	r := rand.New(rand.NewSource(6))
+	p := MustParse("x^64+x^21+x^19+x^4+1").Mul(MustParse("x^64+x^4+x^3+x+1"))
+	fs := p.Factorize(r)
+	checkFactorization(t, p, fs)
+	if len(fs) != 2 {
+		t.Errorf("expected 2 factors, got %v", fs)
+	}
+}

@@ -1,0 +1,440 @@
+// Package gf2poly implements univariate polynomial arithmetic over GF(2).
+//
+// A polynomial is stored as a little-endian bit vector: bit i of the word
+// slice is the coefficient of x^i. All ring operations (addition,
+// carry-less multiplication, division with remainder, GCD, modular
+// squaring/exponentiation) are word-parallel, which keeps the sizes used in
+// the paper (m up to 571) cheap. The package also provides Rabin's
+// irreducibility test, the foundation for validating extracted polynomials
+// and for searching trinomials/pentanomials in package polytab.
+//
+// Poly values are immutable: every operation returns a fresh, normalized
+// polynomial (no trailing zero words), so values can be shared freely across
+// goroutines.
+package gf2poly
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Poly is a polynomial over GF(2). The zero value is the zero polynomial.
+type Poly struct {
+	w []uint64 // little-endian; normalized: len(w)==0 or w[len(w)-1] != 0
+}
+
+// Zero returns the zero polynomial.
+func Zero() Poly { return Poly{} }
+
+// One returns the constant polynomial 1.
+func One() Poly { return Poly{w: []uint64{1}} }
+
+// X returns the polynomial x.
+func X() Poly { return Poly{w: []uint64{2}} }
+
+// Monomial returns x^deg.
+func Monomial(deg int) Poly {
+	if deg < 0 {
+		panic("gf2poly: negative degree monomial")
+	}
+	w := make([]uint64, deg/wordBits+1)
+	w[deg/wordBits] = 1 << (uint(deg) % wordBits)
+	return Poly{w: w}
+}
+
+// FromTerms builds a polynomial from a list of exponents. Repeated exponents
+// cancel in pairs, consistent with coefficient arithmetic mod 2.
+func FromTerms(exps ...int) Poly {
+	p := Poly{}
+	for _, e := range exps {
+		p = p.Add(Monomial(e))
+	}
+	return p
+}
+
+// FromUint64 interprets v as the coefficient bit vector of a polynomial of
+// degree at most 63.
+func FromUint64(v uint64) Poly {
+	if v == 0 {
+		return Poly{}
+	}
+	return Poly{w: []uint64{v}}
+}
+
+// FromWords builds a polynomial from a little-endian uint64 coefficient
+// vector. The input slice is copied.
+func FromWords(words []uint64) Poly {
+	w := make([]uint64, len(words))
+	copy(w, words)
+	return normalize(w)
+}
+
+// Words returns a copy of the little-endian coefficient words. The zero
+// polynomial yields an empty slice.
+func (p Poly) Words() []uint64 {
+	out := make([]uint64, len(p.w))
+	copy(out, p.w)
+	return out
+}
+
+func normalize(w []uint64) Poly {
+	n := len(w)
+	for n > 0 && w[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return Poly{}
+	}
+	return Poly{w: w[:n]}
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.w) == 0 }
+
+// IsOne reports whether p is the constant polynomial 1.
+func (p Poly) IsOne() bool { return len(p.w) == 1 && p.w[0] == 1 }
+
+// Deg returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Deg() int {
+	if len(p.w) == 0 {
+		return -1
+	}
+	top := p.w[len(p.w)-1]
+	return (len(p.w)-1)*wordBits + bits.Len64(top) - 1
+}
+
+// Coeff returns the coefficient (0 or 1) of x^i.
+func (p Poly) Coeff(i int) uint {
+	if i < 0 || i/wordBits >= len(p.w) {
+		return 0
+	}
+	return uint(p.w[i/wordBits]>>(uint(i)%wordBits)) & 1
+}
+
+// Weight returns the number of nonzero coefficients of p.
+func (p Poly) Weight() int {
+	n := 0
+	for _, w := range p.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Terms returns the exponents with nonzero coefficients in descending order.
+func (p Poly) Terms() []int {
+	terms := make([]int, 0, p.Weight())
+	for i := p.Deg(); i >= 0; i-- {
+		if p.Coeff(i) == 1 {
+			terms = append(terms, i)
+		}
+	}
+	return terms
+}
+
+// Equal reports whether p and q are the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.w) != len(q.w) {
+		return false
+	}
+	for i := range p.w {
+		if p.w[i] != q.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p + q (which over GF(2) is also p - q).
+func (p Poly) Add(q Poly) Poly {
+	a, b := p.w, q.w
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] ^= b[i]
+	}
+	return normalize(out)
+}
+
+// Shl returns p * x^n.
+func (p Poly) Shl(n int) Poly {
+	if n < 0 {
+		panic("gf2poly: negative shift")
+	}
+	if p.IsZero() || n == 0 {
+		return p
+	}
+	wordShift, bitShift := n/wordBits, uint(n)%wordBits
+	out := make([]uint64, len(p.w)+wordShift+1)
+	for i, w := range p.w {
+		out[i+wordShift] |= w << bitShift
+		if bitShift != 0 {
+			out[i+wordShift+1] |= w >> (wordBits - bitShift)
+		}
+	}
+	return normalize(out)
+}
+
+// Shr returns p / x^n, discarding coefficients below x^n.
+func (p Poly) Shr(n int) Poly {
+	if n < 0 {
+		panic("gf2poly: negative shift")
+	}
+	if p.IsZero() || n == 0 {
+		return p
+	}
+	wordShift, bitShift := n/wordBits, uint(n)%wordBits
+	if wordShift >= len(p.w) {
+		return Poly{}
+	}
+	out := make([]uint64, len(p.w)-wordShift)
+	for i := range out {
+		out[i] = p.w[i+wordShift] >> bitShift
+		if bitShift != 0 && i+wordShift+1 < len(p.w) {
+			out[i] |= p.w[i+wordShift+1] << (wordBits - bitShift)
+		}
+	}
+	return normalize(out)
+}
+
+// Mul returns the carry-less product p * q.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	// Iterate over the set bits of the smaller operand.
+	a, b := p.w, q.w
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a)+len(b))
+	for wi, w := range a {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bit)
+			shift := uint(bit)
+			base := wi
+			// out ^= b << (wi*64 + bit)
+			for j, bw := range b {
+				out[base+j] ^= bw << shift
+				if shift != 0 {
+					out[base+j+1] ^= bw >> (wordBits - shift)
+				}
+			}
+		}
+	}
+	return normalize(out)
+}
+
+// spread16 maps a 16-bit value to a 32-bit value with a zero bit interleaved
+// after every input bit; precomputed for Square.
+var spread16 [1 << 16]uint32
+
+func init() {
+	for v := 0; v < 1<<16; v++ {
+		var s uint32
+		for i := 0; i < 16; i++ {
+			s |= uint32(v>>uint(i)&1) << uint(2*i)
+		}
+		spread16[v] = s
+	}
+}
+
+// Square returns p*p. Over GF(2) squaring is linear: it spreads the
+// coefficient bits apart (the coefficient of x^(2i) is the coefficient of
+// x^i), so it runs in O(len) table lookups.
+func (p Poly) Square() Poly {
+	if p.IsZero() {
+		return Poly{}
+	}
+	out := make([]uint64, 2*len(p.w))
+	for i, w := range p.w {
+		lo := uint64(spread16[w&0xffff]) | uint64(spread16[w>>16&0xffff])<<32
+		hi := uint64(spread16[w>>32&0xffff]) | uint64(spread16[w>>48])<<32
+		out[2*i] = lo
+		out[2*i+1] = hi
+	}
+	return normalize(out)
+}
+
+// DivMod returns the quotient and remainder of p divided by q.
+// It panics if q is zero.
+func (p Poly) DivMod(q Poly) (quo, rem Poly) {
+	if q.IsZero() {
+		panic("gf2poly: division by zero polynomial")
+	}
+	dq := q.Deg()
+	rem = p
+	if p.Deg() < dq {
+		return Poly{}, p
+	}
+	quoWords := make([]uint64, p.Deg()/wordBits+1)
+	r := make([]uint64, len(p.w))
+	copy(r, p.w)
+	rp := normalize(r)
+	for rp.Deg() >= dq {
+		shift := rp.Deg() - dq
+		quoWords[shift/wordBits] ^= 1 << (uint(shift) % wordBits)
+		rp = rp.Add(q.Shl(shift))
+	}
+	return normalize(quoWords), rp
+}
+
+// Mod returns p mod q.
+func (p Poly) Mod(q Poly) Poly {
+	_, r := p.DivMod(q)
+	return r
+}
+
+// MulMod returns p*q mod f.
+func (p Poly) MulMod(q, f Poly) Poly { return p.Mul(q).Mod(f) }
+
+// SquareMod returns p² mod f.
+func (p Poly) SquareMod(f Poly) Poly { return p.Square().Mod(f) }
+
+// ExpMod returns p^e mod f using square-and-multiply. e must be >= 0.
+func (p Poly) ExpMod(e uint64, f Poly) Poly {
+	result := One().Mod(f)
+	base := p.Mod(f)
+	for e > 0 {
+		if e&1 == 1 {
+			result = result.MulMod(base, f)
+		}
+		base = base.SquareMod(f)
+		e >>= 1
+	}
+	return result
+}
+
+// GCD returns the greatest common divisor of p and q (monic by construction
+// over GF(2); the GCD of two zero polynomials is zero).
+func GCD(p, q Poly) Poly {
+	for !q.IsZero() {
+		p, q = q, p.Mod(q)
+	}
+	return p
+}
+
+// primeFactors returns the distinct prime factors of n in ascending order.
+func primeFactors(n int) []int {
+	var fs []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			fs = append(fs, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// frobenius returns x^(2^k) mod f, computed by k modular squarings of x.
+func frobenius(k int, f Poly) Poly {
+	h := X().Mod(f)
+	for i := 0; i < k; i++ {
+		h = h.SquareMod(f)
+	}
+	return h
+}
+
+// Irreducible reports whether p is irreducible over GF(2) using Rabin's
+// test: p of degree n is irreducible iff x^(2^n) ≡ x (mod p) and, for every
+// prime divisor d of n, gcd(x^(2^(n/d)) − x mod p, p) = 1.
+func (p Poly) Irreducible() bool {
+	n := p.Deg()
+	switch {
+	case n <= 0:
+		return false
+	case n == 1:
+		return true
+	}
+	// Any polynomial with zero constant term is divisible by x, and any
+	// polynomial with an even number of terms is divisible by x+1.
+	if p.Coeff(0) == 0 || p.Weight()%2 == 0 {
+		return false
+	}
+	x := X()
+	for _, d := range primeFactors(n) {
+		h := frobenius(n/d, p).Add(x)
+		if !GCD(h, p).IsOne() {
+			return false
+		}
+	}
+	return frobenius(n, p).Equal(x.Mod(p))
+}
+
+// String renders p in the paper's notation, e.g. "x^4+x+1".
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var sb strings.Builder
+	for i, e := range p.Terms() {
+		if i > 0 {
+			sb.WriteByte('+')
+		}
+		switch e {
+		case 0:
+			sb.WriteByte('1')
+		case 1:
+			sb.WriteByte('x')
+		default:
+			fmt.Fprintf(&sb, "x^%d", e)
+		}
+	}
+	return sb.String()
+}
+
+// Parse reads a polynomial in the notation produced by String. Whitespace is
+// ignored; terms may repeat (they cancel mod 2). Accepted term forms: "0",
+// "1", "x", "x^K".
+func Parse(s string) (Poly, error) {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return -1
+		}
+		return r
+	}, s)
+	if clean == "" {
+		return Poly{}, fmt.Errorf("gf2poly: empty polynomial string")
+	}
+	if clean == "0" {
+		return Poly{}, nil
+	}
+	p := Poly{}
+	for _, term := range strings.Split(clean, "+") {
+		switch {
+		case term == "1":
+			p = p.Add(One())
+		case term == "x":
+			p = p.Add(X())
+		case strings.HasPrefix(term, "x^"):
+			var e int
+			if _, err := fmt.Sscanf(term[2:], "%d", &e); err != nil || e < 0 {
+				return Poly{}, fmt.Errorf("gf2poly: bad term %q in %q", term, s)
+			}
+			p = p.Add(Monomial(e))
+		default:
+			return Poly{}, fmt.Errorf("gf2poly: bad term %q in %q", term, s)
+		}
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error; intended for static tables.
+func MustParse(s string) Poly {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

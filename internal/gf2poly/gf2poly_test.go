@@ -1,0 +1,448 @@
+package gf2poly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randPoly returns a random polynomial of degree < maxDeg (possibly zero).
+func randPoly(r *rand.Rand, maxDeg int) Poly {
+	w := make([]uint64, maxDeg/wordBits+1)
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	topBits := uint(maxDeg) % wordBits
+	w[len(w)-1] &= (1 << topBits) - 1
+	return normalize(w)
+}
+
+// Generate lets testing/quick produce random Poly values of degree < 192.
+func (Poly) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randPoly(r, 192))
+}
+
+func TestZeroOneX(t *testing.T) {
+	if !Zero().IsZero() || Zero().Deg() != -1 {
+		t.Errorf("Zero() = %v, Deg %d", Zero(), Zero().Deg())
+	}
+	if !One().IsOne() || One().Deg() != 0 {
+		t.Errorf("One() = %v, Deg %d", One(), One().Deg())
+	}
+	if X().Deg() != 1 || X().Coeff(1) != 1 || X().Coeff(0) != 0 {
+		t.Errorf("X() = %v", X())
+	}
+}
+
+func TestMonomial(t *testing.T) {
+	for _, d := range []int{0, 1, 5, 63, 64, 65, 127, 128, 233, 571} {
+		m := Monomial(d)
+		if m.Deg() != d {
+			t.Errorf("Monomial(%d).Deg() = %d", d, m.Deg())
+		}
+		if m.Weight() != 1 {
+			t.Errorf("Monomial(%d).Weight() = %d", d, m.Weight())
+		}
+		if m.Coeff(d) != 1 {
+			t.Errorf("Monomial(%d).Coeff(%d) = 0", d, d)
+		}
+	}
+}
+
+func TestMonomialPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Monomial(-1) did not panic")
+		}
+	}()
+	Monomial(-1)
+}
+
+func TestFromTermsCancels(t *testing.T) {
+	if !FromTerms(3, 3).IsZero() {
+		t.Error("x^3+x^3 should cancel to zero")
+	}
+	p := FromTerms(4, 1, 0)
+	if p.String() != "x^4+x+1" {
+		t.Errorf("FromTerms(4,1,0) = %q", p)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []string{"0", "1", "x", "x+1", "x^4+x+1", "x^233+x^74+1",
+		"x^571+x^10+x^5+x^2+1", "x^64+x^21+x^19+x^4+1"}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseWhitespaceAndErrors(t *testing.T) {
+	p, err := Parse(" x^4 + x + 1 ")
+	if err != nil || p.String() != "x^4+x+1" {
+		t.Errorf("Parse with spaces: %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "y", "x^", "x^-2", "x**4", "2x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a poly")
+}
+
+func TestAddBasic(t *testing.T) {
+	a := MustParse("x^4+x+1")
+	b := MustParse("x^4+x^3+1")
+	if got := a.Add(b).String(); got != "x^3+x" {
+		t.Errorf("(x^4+x+1)+(x^4+x^3+1) = %q", got)
+	}
+}
+
+func TestMulBasic(t *testing.T) {
+	// (x+1)(x+1) = x^2+1 over GF(2).
+	a := MustParse("x+1")
+	if got := a.Mul(a).String(); got != "x^2+1" {
+		t.Errorf("(x+1)^2 = %q", got)
+	}
+	// (x^2+x+1)(x+1) = x^3+1.
+	b := MustParse("x^2+x+1")
+	if got := b.Mul(MustParse("x+1")).String(); got != "x^3+1" {
+		t.Errorf("(x^2+x+1)(x+1) = %q", got)
+	}
+}
+
+func TestMulAcrossWordBoundary(t *testing.T) {
+	a := Monomial(63)
+	b := Monomial(63)
+	if got := a.Mul(b); !got.Equal(Monomial(126)) {
+		t.Errorf("x^63 * x^63 = %v", got)
+	}
+	c := MustParse("x^63+1")
+	want := MustParse("x^126+1") // (x^63+1)^2
+	if got := c.Mul(c); !got.Equal(want) {
+		t.Errorf("(x^63+1)^2 = %v, want %v", got, want)
+	}
+}
+
+func TestShlShr(t *testing.T) {
+	p := MustParse("x^4+x+1")
+	if got := p.Shl(70).Shr(70); !got.Equal(p) {
+		t.Errorf("Shl/Shr round trip = %v", got)
+	}
+	if got := p.Shr(2).String(); got != "x^2" {
+		t.Errorf("(x^4+x+1)>>2 = %q", got)
+	}
+	if !Zero().Shl(5).IsZero() || !Zero().Shr(5).IsZero() {
+		t.Error("shifting zero should stay zero")
+	}
+	if got := p.Shr(100); !got.IsZero() {
+		t.Errorf("over-shift right = %v", got)
+	}
+}
+
+func TestDivModBasic(t *testing.T) {
+	// x^4+x+1 divided by x^2+1: x^4+x+1 = (x^2+1)(x^2+1) + x.
+	p := MustParse("x^4+x+1")
+	q := MustParse("x^2+1")
+	quo, rem := p.DivMod(q)
+	if quo.String() != "x^2+1" || rem.String() != "x" {
+		t.Errorf("DivMod = %v, %v", quo, rem)
+	}
+}
+
+func TestDivModPanicsOnZeroDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DivMod by zero did not panic")
+		}
+	}()
+	One().DivMod(Zero())
+}
+
+func TestModReduction(t *testing.T) {
+	// x^4 mod x^4+x+1 = x+1.
+	if got := Monomial(4).Mod(MustParse("x^4+x+1")).String(); got != "x+1" {
+		t.Errorf("x^4 mod (x^4+x+1) = %q", got)
+	}
+	// x^4 mod x^4+x^3+1 = x^3+1 (the P1 of Figure 1).
+	if got := Monomial(4).Mod(MustParse("x^4+x^3+1")).String(); got != "x^3+1" {
+		t.Errorf("x^4 mod (x^4+x^3+1) = %q", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	a := MustParse("x^3+1") // (x+1)(x^2+x+1)
+	b := MustParse("x^2+1") // (x+1)^2
+	if got := GCD(a, b).String(); got != "x+1" {
+		t.Errorf("gcd = %q", got)
+	}
+	if got := GCD(a, Zero()); !got.Equal(a) {
+		t.Errorf("gcd(a,0) = %v", got)
+	}
+	if !GCD(Zero(), Zero()).IsZero() {
+		t.Error("gcd(0,0) should be zero")
+	}
+}
+
+func TestExpMod(t *testing.T) {
+	f := MustParse("x^4+x+1")
+	// The field GF(2^4) has multiplicative order 15: x^15 = 1 mod f.
+	if got := X().ExpMod(15, f); !got.IsOne() {
+		t.Errorf("x^15 mod f = %v", got)
+	}
+	if got := X().ExpMod(0, f); !got.IsOne() {
+		t.Errorf("x^0 mod f = %v", got)
+	}
+	if got := X().ExpMod(4, f).String(); got != "x+1" {
+		t.Errorf("x^4 mod f = %q", got)
+	}
+}
+
+// bruteForceIrreducible checks irreducibility by trial division with every
+// polynomial of degree 1..n/2 (n = deg p), feasible for small degrees.
+func bruteForceIrreducible(p Poly) bool {
+	n := p.Deg()
+	if n <= 0 {
+		return false
+	}
+	for d := 1; d <= n/2; d++ {
+		for bitsVal := uint64(1 << d); bitsVal < 1<<(d+1); bitsVal++ {
+			if p.Mod(FromUint64(bitsVal)).IsZero() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestIrreducibleSmallExhaustive(t *testing.T) {
+	// Compare Rabin's test against trial division for every polynomial of
+	// degree 1..10.
+	for v := uint64(2); v < 1<<11; v++ {
+		p := FromUint64(v)
+		got, want := p.Irreducible(), bruteForceIrreducible(p)
+		if got != want {
+			t.Fatalf("Irreducible(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestIrreducibleKnownPolynomials(t *testing.T) {
+	irreducible := []string{
+		"x+1", "x^2+x+1", "x^4+x+1", "x^4+x^3+1",
+		"x^64+x^21+x^19+x^4+1",
+		"x^96+x^44+x^7+x^2+1",
+		"x^163+x^80+x^47+x^9+1",
+		"x^233+x^74+1",
+		"x^283+x^12+x^7+x^5+1",
+		"x^409+x^87+1",
+		"x^571+x^10+x^5+x^2+1",
+		// Table IV architecture-optimal polynomials.
+		"x^233+x^201+x^105+x^9+1",
+		"x^233+x^159+1",
+		"x^233+x^185+x^121+x^105+1",
+	}
+	for _, s := range irreducible {
+		if !MustParse(s).Irreducible() {
+			t.Errorf("%s should be irreducible", s)
+		}
+	}
+	reducible := []string{
+		"0", "1", "x^2+1", "x^4+x^2+1", "x^233+x^73+1", "x^8+x^4+x^2+x",
+		"x^64+1",
+	}
+	for _, s := range reducible {
+		if MustParse(s).Irreducible() {
+			t.Errorf("%s should be reducible", s)
+		}
+	}
+}
+
+func TestSquareMatchesMul(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := randPoly(r, 300)
+		if got, want := p.Square(), p.Mul(p); !got.Equal(want) {
+			t.Fatalf("Square(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	p := MustParse("x^233+x^74+1")
+	q := FromWords(p.Words())
+	if !p.Equal(q) {
+		t.Errorf("FromWords(Words()) = %v", q)
+	}
+	// Mutating the returned slice must not affect the polynomial.
+	w := p.Words()
+	w[0] = 0
+	if p.Coeff(0) != 1 {
+		t.Error("Words() aliases internal storage")
+	}
+	// Trailing zero words must normalize away.
+	if got := FromWords([]uint64{1, 0, 0}); got.Deg() != 0 {
+		t.Errorf("FromWords with trailing zeros: deg %d", got.Deg())
+	}
+}
+
+func TestTerms(t *testing.T) {
+	p := MustParse("x^64+x^21+x^19+x^4+1")
+	want := []int{64, 21, 19, 4, 0}
+	got := p.Terms()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a, b Poly) bool { return a.Add(b).Equal(b.Add(a)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddAssociative(t *testing.T) {
+	f := func(a, b, c Poly) bool {
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddSelfInverse(t *testing.T) {
+	f := func(a Poly) bool { return a.Add(a).IsZero() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulCommutative(t *testing.T) {
+	f := func(a, b Poly) bool { return a.Mul(b).Equal(b.Mul(a)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulAssociative(t *testing.T) {
+	f := func(a, b, c Poly) bool {
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistributive(t *testing.T) {
+	f := func(a, b, c Poly) bool {
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulDegree(t *testing.T) {
+	f := func(a, b Poly) bool {
+		p := a.Mul(b)
+		if a.IsZero() || b.IsZero() {
+			return p.IsZero()
+		}
+		return p.Deg() == a.Deg()+b.Deg()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDivModIdentity(t *testing.T) {
+	f := func(a, b Poly) bool {
+		if b.IsZero() {
+			return true
+		}
+		quo, rem := a.DivMod(b)
+		if !rem.IsZero() && rem.Deg() >= b.Deg() {
+			return false
+		}
+		return quo.Mul(b).Add(rem).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGCDDivides(t *testing.T) {
+	f := func(a, b Poly) bool {
+		g := GCD(a, b)
+		if g.IsZero() {
+			return a.IsZero() && b.IsZero()
+		}
+		return a.Mod(g).IsZero() && b.Mod(g).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropShiftIsMonomialMul(t *testing.T) {
+	f := func(a Poly, nRaw uint8) bool {
+		n := int(nRaw) % 130
+		return a.Shl(n).Equal(a.Mul(Monomial(n)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFrobeniusFixedField(t *testing.T) {
+	// For irreducible f of degree n, every element h satisfies
+	// h^(2^n) ≡ h (mod f).
+	f := MustParse("x^64+x^21+x^19+x^4+1")
+	prop := func(a Poly) bool {
+		h := a.Mod(f)
+		v := h
+		for i := 0; i < 64; i++ {
+			v = v.SquareMod(f)
+		}
+		return v.Equal(h)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul233(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	p, q := randPoly(r, 233), randPoly(r, 233)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Mul(q)
+	}
+}
+
+func BenchmarkIrreducible571(b *testing.B) {
+	p := MustParse("x^571+x^10+x^5+x^2+1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Irreducible() {
+			b.Fatal("should be irreducible")
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadBLIF parses a combinational subset of Berkeley BLIF:
+// .model/.inputs/.outputs/.names/.end, with single-output covers of up to
+// 16 inputs. Latches, subcircuits and multiple models are not supported —
+// the paper's benchmarks are flattened combinational multipliers.
+//
+// Unlike the equation format, BLIF allows .names blocks in any order;
+// ReadBLIF resolves forward references by topologically ordering the blocks
+// before building gates.
+func ReadBLIF(r io.Reader) (*Netlist, error) {
+	type namesBlock struct {
+		inputs []string
+		output string
+		cover  []string // cover rows "<in-bits> <out-bit>"
+		line   int
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var (
+		model   string
+		inputs  []string
+		outputs []string
+		blocks  []*namesBlock
+		cur     *namesBlock
+		lineNo  int
+		pending string
+	)
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(line)
+			if pending != "" {
+				line = pending + " " + line
+				pending = ""
+			}
+			if strings.HasSuffix(line, "\\") {
+				pending = strings.TrimSuffix(line, "\\")
+				continue
+			}
+			if line == "" {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	for {
+		line, ok := readLine()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				model = fields[1]
+			}
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
+			}
+			cur = &namesBlock{
+				inputs: fields[1 : len(fields)-1],
+				output: fields[len(fields)-1],
+				line:   lineNo,
+			}
+			blocks = append(blocks, cur)
+		case ".end":
+			cur = nil
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: line %d: %s not supported (combinational netlists only)", lineNo, fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				continue // tolerate unknown dot-directives
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: line %d: cover row outside .names", lineNo)
+			}
+			cur.cover = append(cur.cover, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+
+	n := New(model)
+	for _, name := range inputs {
+		if _, err := n.AddInput(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Topologically order blocks by signal dependencies.
+	byOutput := make(map[string]*namesBlock, len(blocks))
+	for _, b := range blocks {
+		if _, dup := byOutput[b.output]; dup {
+			return nil, fmt.Errorf("blif: line %d: signal %q defined twice", b.line, b.output)
+		}
+		byOutput[b.output] = b
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var build func(name string) (int, error)
+	build = func(name string) (int, error) {
+		if id, ok := n.Lookup(name); ok {
+			return id, nil
+		}
+		b, ok := byOutput[name]
+		if !ok {
+			return 0, fmt.Errorf("blif: signal %q has no driver", name)
+		}
+		switch state[name] {
+		case visiting:
+			return 0, fmt.Errorf("blif: combinational cycle through %q", name)
+		case done:
+			id, _ := n.Lookup(name)
+			return id, nil
+		}
+		state[name] = visiting
+		fanin := make([]int, len(b.inputs))
+		for i, in := range b.inputs {
+			id, err := build(in)
+			if err != nil {
+				return 0, err
+			}
+			fanin[i] = id
+		}
+		table, err := coverToTable(b.inputs, b.cover, b.line)
+		if err != nil {
+			return 0, err
+		}
+		var id int
+		if len(fanin) == 0 {
+			t := Const0
+			if table[0] {
+				t = Const1
+			}
+			id, err = n.AddGate(t)
+		} else {
+			id, err = n.AddLut(table, fanin...)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := n.SetSignalName(id, name); err != nil {
+			return 0, err
+		}
+		state[name] = done
+		return id, nil
+	}
+	// Build every block (not only output cones) so the netlist round-trips.
+	for _, b := range blocks {
+		if _, err := build(b.output); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range outputs {
+		id, ok := n.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q has no driver", name)
+		}
+		if err := n.MarkOutput(name, id); err != nil {
+			return nil, err
+		}
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("blif: no .outputs declared")
+	}
+	return n, nil
+}
+
+// coverToTable converts a BLIF single-output cover into a truth table.
+func coverToTable(inputs []string, cover []string, line int) ([]bool, error) {
+	k := len(inputs)
+	if k > 16 {
+		return nil, fmt.Errorf("blif: line %d: %d-input .names too wide (max 16)", line, k)
+	}
+	table := make([]bool, 1<<uint(k))
+	if len(cover) == 0 {
+		return table, nil // constant 0
+	}
+	outVal := byte(0)
+	for rowIdx, row := range cover {
+		fields := strings.Fields(row)
+		var inPat, outPat string
+		switch {
+		case k == 0 && len(fields) == 1:
+			inPat, outPat = "", fields[0]
+		case len(fields) == 2:
+			inPat, outPat = fields[0], fields[1]
+		default:
+			return nil, fmt.Errorf("blif: line %d: malformed cover row %q", line, row)
+		}
+		if len(inPat) != k {
+			return nil, fmt.Errorf("blif: line %d: cover row %q has %d literals for %d inputs", line, row, len(inPat), k)
+		}
+		if outPat != "0" && outPat != "1" {
+			return nil, fmt.Errorf("blif: line %d: cover output %q", line, outPat)
+		}
+		if rowIdx == 0 {
+			outVal = outPat[0]
+		} else if outPat[0] != outVal {
+			return nil, fmt.Errorf("blif: line %d: mixed on-set and off-set rows", line)
+		}
+		// Expand the cube across don't-cares.
+		expand := func(apply func(idx int)) error {
+			idx := 0
+			var dcBits []int
+			for i := 0; i < k; i++ {
+				switch inPat[i] {
+				case '1':
+					idx |= 1 << uint(i)
+				case '0':
+				case '-':
+					dcBits = append(dcBits, i)
+				default:
+					return fmt.Errorf("blif: line %d: bad literal %q", line, inPat[i])
+				}
+			}
+			for dc := 0; dc < 1<<uint(len(dcBits)); dc++ {
+				v := idx
+				for j, bitPos := range dcBits {
+					if dc&(1<<uint(j)) != 0 {
+						v |= 1 << uint(bitPos)
+					}
+				}
+				apply(v)
+			}
+			return nil
+		}
+		if err := expand(func(idx int) { table[idx] = true }); err != nil {
+			return nil, err
+		}
+	}
+	if outVal == '0' {
+		for i := range table {
+			table[i] = !table[i]
+		}
+	}
+	return table, nil
+}
+
+// WriteBLIF renders the netlist as BLIF, one .names block per non-input
+// gate, covers enumerated from each gate's truth table.
+func (n *Netlist) WriteBLIF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "netlist"
+	}
+	fmt.Fprintf(bw, ".model %s\n", name)
+	fmt.Fprint(bw, ".inputs")
+	for _, id := range n.inputs {
+		fmt.Fprintf(bw, " %s", n.NameOf(id))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	for _, nm := range n.outputNames {
+		fmt.Fprintf(bw, " %s", nm)
+	}
+	fmt.Fprintln(bw)
+
+	for id, g := range n.gates {
+		if g.Type == Input {
+			continue
+		}
+		fmt.Fprint(bw, ".names")
+		for _, f := range g.Fanin {
+			fmt.Fprintf(bw, " %s", n.NameOf(f))
+		}
+		fmt.Fprintf(bw, " %s\n", n.NameOf(id))
+		writeCover(bw, g)
+	}
+	// Alias buffers for outputs whose driving gate has a different name.
+	for i, id := range n.outputs {
+		if n.NameOf(id) != n.outputNames[i] {
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", n.NameOf(id), n.outputNames[i])
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeCover(w io.Writer, g Gate) {
+	k := len(g.Fanin)
+	table := g.Table
+	if g.Type != Lut {
+		table = make([]bool, 1<<uint(k))
+		in := make([]bool, k)
+		for row := range table {
+			for i := 0; i < k; i++ {
+				in[i] = row&(1<<uint(i)) != 0
+			}
+			table[row] = g.Type.eval(in)
+		}
+	}
+	if k == 0 {
+		if table[0] {
+			fmt.Fprintln(w, "1")
+		}
+		return
+	}
+	for row, bit := range table {
+		if !bit {
+			continue
+		}
+		lits := make([]byte, k)
+		for i := 0; i < k; i++ {
+			if row&(1<<uint(i)) != 0 {
+				lits[i] = '1'
+			} else {
+				lits[i] = '0'
+			}
+		}
+		fmt.Fprintf(w, "%s 1\n", lits)
+	}
+}

@@ -1,0 +1,116 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randDAG builds a random netlist inline (package netlist cannot import
+// randnet, which would be a cycle).
+func randDAG(t *testing.T, r *rand.Rand, inputs, gates, outputs int, luts bool) *Netlist {
+	t.Helper()
+	n := New(fmt.Sprintf("fuzz_%d", gates))
+	for i := 0; i < inputs; i++ {
+		if _, err := n.AddInput(fmt.Sprintf("x%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	types := []GateType{Not, Buf, And, Or, Xor, Xnor, Nand, Nor, Aoi21, Oai21, Aoi22, Oai22, Mux, Const0, Const1}
+	for g := 0; g < gates; g++ {
+		limit := n.NumGates()
+		if luts && r.Intn(8) == 0 {
+			k := 2 + r.Intn(3)
+			table := make([]bool, 1<<uint(k))
+			for i := range table {
+				table[i] = r.Intn(2) == 1
+			}
+			fanin := make([]int, k)
+			for i := range fanin {
+				fanin[i] = r.Intn(limit)
+			}
+			if _, err := n.AddLut(table, fanin...); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		ty := types[r.Intn(len(types))]
+		fanin := make([]int, ty.Arity())
+		for i := range fanin {
+			fanin[i] = r.Intn(limit)
+		}
+		if _, err := n.AddGate(ty, fanin...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for o := 0; o < outputs; o++ {
+		id := n.NumGates() - 1 - r.Intn((n.NumGates()+1)/2)
+		if id < 0 {
+			id = 0
+		}
+		if err := n.MarkOutput(fmt.Sprintf("y%d", o), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// TestPropAllFormatsRoundTripRandomNetlists: EQN, BLIF and Verilog must each
+// reproduce the function of arbitrary netlists through a write/read cycle.
+func TestPropAllFormatsRoundTripRandomNetlists(t *testing.T) {
+	r := rand.New(rand.NewSource(31337))
+	formats := []struct {
+		name  string
+		write func(*Netlist, *bytes.Buffer) error
+		read  func(*bytes.Buffer) (*Netlist, error)
+	}{
+		{"eqn",
+			func(n *Netlist, b *bytes.Buffer) error { return n.WriteEQN(b) },
+			func(b *bytes.Buffer) (*Netlist, error) { return ReadEQN(b, "rt") }},
+		{"blif",
+			func(n *Netlist, b *bytes.Buffer) error { return n.WriteBLIF(b) },
+			func(b *bytes.Buffer) (*Netlist, error) { return ReadBLIF(b) }},
+		{"verilog",
+			func(n *Netlist, b *bytes.Buffer) error { return n.WriteVerilog(b) },
+			func(b *bytes.Buffer) (*Netlist, error) { return ReadVerilog(b) }},
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := randDAG(t, r, 1+r.Intn(8), 1+r.Intn(80), 1+r.Intn(4), trial%2 == 0)
+		for _, f := range formats {
+			var buf bytes.Buffer
+			if err := f.write(n, &buf); err != nil {
+				t.Fatalf("trial %d %s write: %v", trial, f.name, err)
+			}
+			text := buf.String()
+			back, err := f.read(&buf)
+			if err != nil {
+				t.Fatalf("trial %d %s read: %v\n%s", trial, f.name, err, text)
+			}
+			if len(back.Inputs()) != len(n.Inputs()) || len(back.Outputs()) != len(n.Outputs()) {
+				t.Fatalf("trial %d %s: port count changed", trial, f.name)
+			}
+			for round := 0; round < 3; round++ {
+				words := make([]uint64, len(n.Inputs()))
+				for i := range words {
+					words[i] = r.Uint64()
+				}
+				v1, err := n.Simulate(words)
+				if err != nil {
+					t.Fatal(err)
+				}
+				v2, err := back.Simulate(words)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o1, o2 := n.OutputWords(v1), back.OutputWords(v2)
+				for i := range o1 {
+					if o1[i] != o2[i] {
+						t.Fatalf("trial %d %s: output %d differs after round trip\n%s",
+							trial, f.name, i, text)
+					}
+				}
+			}
+		}
+	}
+}

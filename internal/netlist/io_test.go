@@ -1,0 +1,360 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleEQN = `
+# GF(2^2) multiplier, P(x) = x^2+x+1
+INORDER = a0 a1 b0 b1;
+OUTORDER = z0 z1;
+s0 = a0 * b0;
+s2 = a1 * b1;
+z0 = s0 ^ s2;
+z1 = (a0 * b1) ^ (a1 * b0) ^ s2;
+`
+
+func TestReadEQN(t *testing.T) {
+	n, err := ReadEQN(strings.NewReader(sampleEQN), "gf4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Inputs()); got != 4 {
+		t.Fatalf("inputs = %d", got)
+	}
+	if got := n.OutputNames(); len(got) != 2 || got[0] != "z0" || got[1] != "z1" {
+		t.Fatalf("outputs = %v", got)
+	}
+	// Behaves as a GF(4) multiplier.
+	for a := uint(0); a < 4; a++ {
+		for b := uint(0); b < 4; b++ {
+			vals, err := n.Simulate([]uint64{uint64(a & 1), uint64(a >> 1), uint64(b & 1), uint64(b >> 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs := n.OutputWords(vals)
+			got := uint(outs[0]&1) | uint(outs[1]&1)<<1
+			if want := gf4Mul(a, b); got != want {
+				t.Errorf("%d*%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestReadEQNOperatorsAndConstants(t *testing.T) {
+	src := `
+INORDER = a b;
+OUTORDER = z;
+t1 = !a;
+t2 = a + 0;
+t3 = b * 1;
+z = !(t1 ^ t2) + t3;
+`
+	n, err := ReadEQN(strings.NewReader(src), "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 = !a, t2 = a, t3 = b, z = !(t1^t2) + t3 = !(!a^a)+b = !(1)+b = b.
+	for mask := 0; mask < 4; mask++ {
+		a, b := uint64(mask&1), uint64(mask>>1)
+		vals, err := n.Simulate([]uint64{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.OutputWords(vals)[0] & 1; got != b {
+			t.Errorf("mask %d: z = %d, want %d", mask, got, b)
+		}
+	}
+}
+
+func TestReadEQNPrecedence(t *testing.T) {
+	// z = a + b * c ^ d must parse as a + ((b*c) ^ d).
+	src := "INORDER = a b c d;\nOUTORDER = z;\nz = a + b * c ^ d;\n"
+	n, err := ReadEQN(strings.NewReader(src), "prec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 16; mask++ {
+		bitsIn := []uint64{uint64(mask & 1), uint64(mask >> 1 & 1), uint64(mask >> 2 & 1), uint64(mask >> 3 & 1)}
+		vals, err := n.Simulate(bitsIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b, c, d := bitsIn[0] == 1, bitsIn[1] == 1, bitsIn[2] == 1, bitsIn[3] == 1
+		want := a || ((b && c) != d)
+		if got := n.OutputWords(vals)[0]&1 == 1; got != want {
+			t.Errorf("mask %d: got %v want %v", mask, got, want)
+		}
+	}
+}
+
+func TestReadEQNErrors(t *testing.T) {
+	cases := []string{
+		"INORDER = a;\nOUTORDER = z;\nz = q;\n",     // undefined signal
+		"INORDER = a;\nOUTORDER = z;\nz = a ^;\n",   // dangling operator
+		"INORDER = a;\nOUTORDER = z;\nz = (a;\n",    // unbalanced paren
+		"INORDER = a;\nz = a;\n",                    // missing OUTORDER
+		"INORDER = a;\nOUTORDER = z;\nz = a @ a;\n", // bad character
+		"INORDER = a;\nOUTORDER = w;\nz = a;\n",     // undefined output
+	}
+	for i, src := range cases {
+		if _, err := ReadEQN(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, src)
+		}
+	}
+}
+
+func TestEQNRoundTrip(t *testing.T) {
+	n := buildFigure2(t)
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadEQN(bytes.NewReader(buf.Bytes()), "fig2")
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	assertSameFunction(t, n, n2)
+}
+
+func TestEQNRoundTripComplexCells(t *testing.T) {
+	n := New("cells")
+	var ins []int
+	for _, s := range []string{"a", "b", "c", "d"} {
+		id, _ := n.AddInput(s)
+		ins = append(ins, id)
+	}
+	g1, _ := n.AddGate(Aoi22, ins[0], ins[1], ins[2], ins[3])
+	g2, _ := n.AddGate(Oai21, ins[0], ins[2], g1)
+	g3, _ := n.AddGate(Mux, g1, g2, ins[3])
+	maj := make([]bool, 8)
+	for row := range maj {
+		maj[row] = row&1+row>>1&1+row>>2&1 >= 2
+	}
+	g4, _ := n.AddLut(maj, ins[0], g2, g3)
+	n.MarkOutput("z0", g3)
+	n.MarkOutput("z1", g4)
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadEQN(bytes.NewReader(buf.Bytes()), "cells")
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	assertSameFunction(t, n, n2)
+}
+
+func TestEQNOutputAliases(t *testing.T) {
+	// Output directly tied to an input and to a differently named gate.
+	n := New("alias")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	g, _ := n.AddGate(And, a, b)
+	n.SetSignalName(g, "inner")
+	n.MarkOutput("z_and", g)
+	n.MarkOutput("z_pass", a)
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadEQN(bytes.NewReader(buf.Bytes()), "alias")
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	assertSameFunction(t, n, n2)
+}
+
+const sampleBLIF = `
+.model gf4mult
+.inputs a0 a1 b0 b1
+.outputs z0 z1
+# z0 = a0 b0 XOR a1 b1
+.names a0 b0 s0
+11 1
+.names a1 b1 s2
+11 1
+.names s0 s2 z0
+10 1
+01 1
+.names a0 b1 a1 b0 s1
+11-- 1
+--11 1
+.names s1 s2 z1
+10 1
+01 1
+.end
+`
+
+func TestReadBLIF(t *testing.T) {
+	n, err := ReadBLIF(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "gf4mult" {
+		t.Errorf("model name = %q", n.Name)
+	}
+	// Note: s1 uses don't-cares meaning OR of the two ANDs, not XOR; for
+	// GF(4) inputs where both products are 1 the OR differs from XOR, so
+	// check only the pure-XOR bit z0 against the field and z1 against its
+	// cover semantics.
+	for a := uint(0); a < 4; a++ {
+		for b := uint(0); b < 4; b++ {
+			vals, err := n.Simulate([]uint64{uint64(a & 1), uint64(a >> 1), uint64(b & 1), uint64(b >> 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs := n.OutputWords(vals)
+			wantZ0 := (a & b & 1) ^ ((a >> 1) & (b >> 1))
+			if uint(outs[0]&1) != wantZ0 {
+				t.Errorf("z0(%d,%d) = %d, want %d", a, b, outs[0]&1, wantZ0)
+			}
+			s1 := (a & 1 & (b >> 1)) | ((a >> 1) & (b & 1)) // OR cover
+			s2 := (a >> 1) & (b >> 1)
+			if uint(outs[1]&1) != s1^s2 {
+				t.Errorf("z1(%d,%d) = %d, want %d", a, b, outs[1]&1, s1^s2)
+			}
+		}
+	}
+}
+
+func TestReadBLIFForwardReferences(t *testing.T) {
+	// Blocks in reverse dependency order must still parse.
+	src := `
+.model fwd
+.inputs a b
+.outputs z
+.names t1 t2 z
+11 1
+.names a b t1
+11 1
+.names a b t2
+00 1
+.end
+`
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := n.Simulate([]uint64{0, 0})
+	if n.OutputWords(vals)[0]&1 != 0 {
+		t.Error("z(0,0) should be 0 (t1=0)")
+	}
+}
+
+func TestReadBLIFConstantsAndOffset(t *testing.T) {
+	src := `
+.model c
+.inputs a
+.outputs z0 z1 zinv
+.names z0
+.names z1
+1
+.names a zinv
+1 0
+.end
+`
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := n.Simulate([]uint64{^uint64(0)})
+	outs := n.OutputWords(vals)
+	if outs[0] != 0 {
+		t.Error("z0 should be constant 0")
+	}
+	if outs[1] != ^uint64(0) {
+		t.Error("z1 should be constant 1")
+	}
+	if outs[2] != 0 {
+		t.Error("zinv with off-set cover should invert a=1 to 0")
+	}
+}
+
+func TestReadBLIFContinuationAndErrors(t *testing.T) {
+	src := ".model x\n.inputs a \\\nb\n.outputs z\n.names a b \\\nz\n11 1\n.end\n"
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Inputs()) != 2 {
+		t.Errorf("continuation line: %d inputs", len(n.Inputs()))
+	}
+
+	bad := []string{
+		".model x\n.inputs a\n.outputs z\n.latch a z\n.end\n",
+		".model x\n.inputs a\n.outputs z\n.names a z\n2 1\n.end\n",
+		".model x\n.inputs a\n.outputs z\n.end\n",                                     // z undriven
+		".model x\n.inputs a\n.outputs z\n.names z z2\n1 1\n.names z2 z\n1 1\n.end\n", // cycle
+		".model x\n.inputs a\n.outputs z\n.names a z\n1 1\n0 0\n.end\n",               // mixed on/off rows
+		".model x\n.inputs a\n.outputs z\n.names a z\n11 1\n.end\n",                   // wrong width
+	}
+	for i, s := range bad {
+		if _, err := ReadBLIF(strings.NewReader(s)); err == nil {
+			t.Errorf("bad BLIF %d should fail", i)
+		}
+	}
+}
+
+func TestBLIFRoundTrip(t *testing.T) {
+	n := buildFigure2(t)
+	var buf bytes.Buffer
+	if err := n.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	assertSameFunction(t, n, n2)
+}
+
+func TestBLIFtoEQNCrossFormat(t *testing.T) {
+	n, err := ReadBLIF(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadEQN(bytes.NewReader(buf.Bytes()), "cross")
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+	assertSameFunction(t, n, n2)
+}
+
+// assertSameFunction checks I/O-count equality and randomized functional
+// equivalence of two netlists with identical port order.
+func assertSameFunction(t *testing.T, n1, n2 *Netlist) {
+	t.Helper()
+	if len(n1.Inputs()) != len(n2.Inputs()) || len(n1.Outputs()) != len(n2.Outputs()) {
+		t.Fatalf("port mismatch: %d/%d inputs, %d/%d outputs",
+			len(n1.Inputs()), len(n2.Inputs()), len(n1.Outputs()), len(n2.Outputs()))
+	}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		words := make([]uint64, len(n1.Inputs()))
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		v1, err := n1.Simulate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := n2.Simulate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o1, o2 := n1.OutputWords(v1), n2.OutputWords(v2)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("output %d differs: %x vs %x", i, o1[i], o2[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package opt
+
+import "github.com/galoisfield/gfre/internal/netlist"
+
+// MapAOI fuses inverted AND-OR / OR-AND trees into the complex standard
+// cells AOI21/AOI22/OAI21/OAI22:
+//
+//	NOT(OR(AND(a,b), c))            -> AOI21(a,b,c)
+//	NOT(OR(AND(a,b), AND(c,d)))     -> AOI22(a,b,c,d)
+//	NOT(AND(OR(a,b), c))            -> OAI21(a,b,c)
+//	NOT(AND(OR(a,b), OR(c,d)))      -> OAI22(a,b,c,d)
+//
+// Inner gates fuse only when their single fanout is inside the pattern, so
+// shared logic is never duplicated or functionally disturbed. Run after
+// TechMap(MapFuseInverters) on OR/AND-rich netlists to complete the
+// standard-cell look; raw GF multipliers (AND/XOR only) pass through
+// unchanged.
+func MapAOI(n *netlist.Netlist) (*netlist.Netlist, error) {
+	fanout := make([]int, n.NumGates())
+	for id := 0; id < n.NumGates(); id++ {
+		for _, f := range n.Gate(id).Fanin {
+			fanout[f]++
+		}
+	}
+	for _, id := range n.Outputs() {
+		fanout[id]++
+	}
+
+	// Pattern match rooted at every NOT gate; record the gates each match
+	// absorbs. A gate may only be absorbed once and only with fanout 1.
+	type match struct {
+		cell  netlist.GateType
+		fanin []int // original gate IDs
+	}
+	matches := map[int]match{} // NOT gate id -> match
+	absorbed := make([]bool, n.NumGates())
+	free := func(id int, t netlist.GateType) bool {
+		return n.Gate(id).Type == t && fanout[id] == 1 && !absorbed[id]
+	}
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		if g.Type != netlist.Not {
+			continue
+		}
+		d := g.Fanin[0]
+		dg := n.Gate(d)
+		switch {
+		case free(d, netlist.Or):
+			l, r := dg.Fanin[0], dg.Fanin[1]
+			switch {
+			case free(l, netlist.And) && free(r, netlist.And) && l != r:
+				lf, rf := n.Gate(l).Fanin, n.Gate(r).Fanin
+				matches[id] = match{netlist.Aoi22, []int{lf[0], lf[1], rf[0], rf[1]}}
+				absorbed[d], absorbed[l], absorbed[r] = true, true, true
+			case free(l, netlist.And):
+				lf := n.Gate(l).Fanin
+				matches[id] = match{netlist.Aoi21, []int{lf[0], lf[1], r}}
+				absorbed[d], absorbed[l] = true, true
+			case free(r, netlist.And):
+				rf := n.Gate(r).Fanin
+				matches[id] = match{netlist.Aoi21, []int{rf[0], rf[1], l}}
+				absorbed[d], absorbed[r] = true, true
+			}
+		case free(d, netlist.And):
+			l, r := dg.Fanin[0], dg.Fanin[1]
+			switch {
+			case free(l, netlist.Or) && free(r, netlist.Or) && l != r:
+				lf, rf := n.Gate(l).Fanin, n.Gate(r).Fanin
+				matches[id] = match{netlist.Oai22, []int{lf[0], lf[1], rf[0], rf[1]}}
+				absorbed[d], absorbed[l], absorbed[r] = true, true, true
+			case free(l, netlist.Or):
+				lf := n.Gate(l).Fanin
+				matches[id] = match{netlist.Oai21, []int{lf[0], lf[1], r}}
+				absorbed[d], absorbed[l] = true, true
+			case free(r, netlist.Or):
+				rf := n.Gate(r).Fanin
+				matches[id] = match{netlist.Oai21, []int{rf[0], rf[1], l}}
+				absorbed[d], absorbed[r] = true, true
+			}
+		}
+	}
+
+	b := newBuilder(n.Name + "_aoi")
+	mapping := make([]int, n.NumGates())
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	for _, id := range n.Inputs() {
+		nid, err := b.out.AddInput(n.NameOf(id))
+		if err != nil {
+			return nil, err
+		}
+		mapping[id] = nid
+	}
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		if g.Type == netlist.Input || absorbed[id] {
+			continue
+		}
+		var nid int
+		var err error
+		if m, ok := matches[id]; ok {
+			nid, err = b.gate(m.cell, mapped(mapping, m.fanin)...)
+		} else if g.Type == netlist.Lut {
+			nid, err = b.lut(g.Table, mapped(mapping, g.Fanin))
+		} else {
+			nid, err = b.gate(g.Type, mapped(mapping, g.Fanin)...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		mapping[id] = nid
+	}
+	outs := n.Outputs()
+	names := n.OutputNames()
+	for i, id := range outs {
+		if err := b.out.MarkOutput(names[i], mapping[id]); err != nil {
+			return nil, err
+		}
+	}
+	return sweepDead(b.out)
+}

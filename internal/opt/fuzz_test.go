@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/randnet"
+)
+
+// TestPropPassesPreserveRandomNetlists is the central soundness property of
+// the synthesis flow: on arbitrary DAGs (reconvergence, dead logic,
+// constants, LUTs, complex cells), every pass and the full pipeline must
+// preserve the Boolean function bit-exactly.
+func TestPropPassesPreserveRandomNetlists(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	passes := []struct {
+		name string
+		f    func(*netlist.Netlist) (*netlist.Netlist, error)
+	}{
+		{"Simplify", Simplify},
+		{"BalanceXor", BalanceXor},
+		{"TechMapFuse", func(n *netlist.Netlist) (*netlist.Netlist, error) {
+			return TechMap(n, MapFuseInverters)
+		}},
+		{"TechMapNand", func(n *netlist.Netlist) (*netlist.Netlist, error) {
+			return TechMap(n, MapNandHeavy)
+		}},
+		{"Synthesize", Synthesize},
+	}
+	for trial := 0; trial < 60; trial++ {
+		cfg := randnet.Config{
+			Inputs:    1 + r.Intn(10),
+			Gates:     1 + r.Intn(120),
+			Outputs:   1 + r.Intn(5),
+			Luts:      trial%2 == 0,
+			Constants: trial%3 == 0,
+		}
+		n, err := randnet.New(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range passes {
+			got, err := p.f(n)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p.name, err)
+			}
+			if !functionsEqual(t, n, got, r) {
+				t.Fatalf("trial %d: %s changed the function (cfg %+v)", trial, p.name, cfg)
+			}
+			if got.NumGates() > 4*n.NumGates()+8 {
+				t.Fatalf("trial %d: %s exploded the netlist %d -> %d",
+					trial, p.name, n.NumGates(), got.NumGates())
+			}
+		}
+	}
+}
+
+func TestPropPassesIdempotent(t *testing.T) {
+	// Running Simplify twice must not change gate counts the second time
+	// (fixpoint property).
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 25; trial++ {
+		n, err := randnet.New(r, randnet.Config{
+			Inputs: 1 + r.Intn(8), Gates: 1 + r.Intn(80), Outputs: 1 + r.Intn(4),
+			Luts: true, Constants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := Simplify(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Simplify(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.NumGates() != s1.NumGates() {
+			t.Errorf("trial %d: Simplify not idempotent: %d -> %d gates",
+				trial, s1.NumGates(), s2.NumGates())
+		}
+	}
+}
+
+func functionsEqual(t *testing.T, n1, n2 *netlist.Netlist, r *rand.Rand) bool {
+	t.Helper()
+	for round := 0; round < 4; round++ {
+		words := make([]uint64, len(n1.Inputs()))
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		v1, err := n1.Simulate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := n2.Simulate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o1, o2 := n1.OutputWords(v1), n2.OutputWords(v2)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

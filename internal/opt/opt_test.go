@@ -1,0 +1,463 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/randnet"
+)
+
+// assertEquivalent checks that two netlists with identical ports compute the
+// same function on random 64-lane vectors.
+func assertEquivalent(t *testing.T, n1, n2 *netlist.Netlist, trials int) {
+	t.Helper()
+	if len(n1.Inputs()) != len(n2.Inputs()) || len(n1.Outputs()) != len(n2.Outputs()) {
+		t.Fatalf("port mismatch: in %d/%d out %d/%d",
+			len(n1.Inputs()), len(n2.Inputs()), len(n1.Outputs()), len(n2.Outputs()))
+	}
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < trials; trial++ {
+		words := make([]uint64, len(n1.Inputs()))
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		v1, err := n1.Simulate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := n2.Simulate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o1, o2 := n1.OutputWords(v1), n2.OutputWords(v2)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("trial %d: output %d differs (%x vs %x)", trial, i, o1[i], o2[i])
+			}
+		}
+	}
+}
+
+func TestSimplifyPreservesFunction(t *testing.T) {
+	for _, m := range []int{4, 8, 16, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := gen.MastrovitoMatrix(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simp, err := Simplify(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, raw, simp, 6)
+	}
+}
+
+func TestSimplifyRemovesMatrixRedundancy(t *testing.T) {
+	// Structural hashing must shrink the redundant matrix-form Mastrovito
+	// significantly — the Table III effect.
+	p := polytab.NIST[64]
+	raw, err := gen.MastrovitoMatrix(64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp, err := Simplify(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simp.NumEquations() >= raw.NumEquations() {
+		t.Errorf("simplify did not shrink: %d -> %d", raw.NumEquations(), simp.NumEquations())
+	}
+	ratio := float64(simp.NumEquations()) / float64(raw.NumEquations())
+	if ratio > 0.9 {
+		t.Errorf("only %.1f%% reduction on redundant netlist", (1-ratio)*100)
+	}
+	assertEquivalent(t, raw, simp, 6)
+}
+
+func TestSimplifyFoldsConstantsAndBuffers(t *testing.T) {
+	n := netlist.New("junk")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c1, _ := n.AddGate(netlist.Const1)
+	c0, _ := n.AddGate(netlist.Const0)
+	buf, _ := n.AddGate(netlist.Buf, a)
+	and1, _ := n.AddGate(netlist.And, buf, c1) // = a
+	or0, _ := n.AddGate(netlist.Or, and1, c0)  // = a
+	nn, _ := n.AddGate(netlist.Not, or0)
+	nnn, _ := n.AddGate(netlist.Not, nn) // = a
+	xorSame, _ := n.AddGate(netlist.Xor, b, b)
+	// = 0
+	final, _ := n.AddGate(netlist.Or, nnn, xorSame) // = a
+	n.MarkOutput("z", final)
+	s, err := Simplify(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEquations() != 0 {
+		t.Errorf("expected output collapsed to input wire, got %d equations", s.NumEquations())
+	}
+	assertEquivalent(t, n, s, 4)
+}
+
+func TestSimplifySharesStructuralDuplicates(t *testing.T) {
+	n := netlist.New("dup")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	g1, _ := n.AddGate(netlist.And, a, b)
+	g2, _ := n.AddGate(netlist.And, b, a) // same after canonical order
+	x, _ := n.AddGate(netlist.Xor, g1, g2)
+	n.MarkOutput("z", x)
+	s, err := Simplify(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AND(a,b) == AND(b,a) -> XOR(g,g) = 0: whole circuit is constant 0.
+	vals, err := s.Simulate([]uint64{^uint64(0), ^uint64(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OutputWords(vals)[0] != 0 {
+		t.Error("duplicate ANDs should cancel through XOR")
+	}
+}
+
+func TestSimplifyShrinksLuts(t *testing.T) {
+	n := netlist.New("lut")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c1, _ := n.AddGate(netlist.Const1)
+	// 3-input LUT of (a AND b AND const1) -> must shrink to AND(a,b).
+	table := make([]bool, 8)
+	table[7] = true
+	l, err := n.AddLut(table, a, b, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.MarkOutput("z", l)
+	s, err := Simplify(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().ByType[netlist.Lut] != 0 {
+		t.Error("LUT should have been recognized as AND")
+	}
+	if s.Stats().ByType[netlist.And] != 1 {
+		t.Errorf("want one AND, got %v", s.Stats().ByType)
+	}
+	assertEquivalent(t, n, s, 4)
+
+	// LUT with a duplicated input: maj(a,a,b) = a... (ab+ab+ab? majority of
+	// a,a,b is a OR (a AND b)= a) — verify just functional preservation.
+	n2 := netlist.New("lut2")
+	a2, _ := n2.AddInput("a")
+	b2, _ := n2.AddInput("b")
+	maj := make([]bool, 8)
+	for row := range maj {
+		if (row&1)+(row>>1&1)+(row>>2&1) >= 2 {
+			maj[row] = true
+		}
+	}
+	l2, _ := n2.AddLut(maj, a2, a2, b2)
+	n2.MarkOutput("z", l2)
+	s2, err := Simplify(n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Stats().ByType[netlist.Lut] != 0 {
+		t.Errorf("duplicated-input LUT should simplify away: %v", s2.Stats().ByType)
+	}
+	assertEquivalent(t, n2, s2, 4)
+}
+
+func TestBalanceXorReducesDepth(t *testing.T) {
+	// A long XOR chain must become logarithmic depth.
+	n := netlist.New("chain")
+	var ins []int
+	for i := 0; i < 64; i++ {
+		id, _ := n.AddInput(string(rune('a')) + itoa(i))
+		ins = append(ins, id)
+	}
+	cur := ins[0]
+	for i := 1; i < 64; i++ {
+		cur, _ = n.AddGate(netlist.Xor, cur, ins[i])
+	}
+	n.MarkOutput("z", cur)
+	bal, err := BalanceXor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, depth := bal.Levels()
+	if depth != 6 {
+		t.Errorf("balanced depth = %d, want 6", depth)
+	}
+	assertEquivalent(t, n, bal, 6)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + itoa(i%10)
+}
+
+func TestBalanceXorCancelsDuplicateLeaves(t *testing.T) {
+	// z = a ^ b ^ a must reduce to b.
+	n := netlist.New("cancel")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	x1, _ := n.AddGate(netlist.Xor, a, b)
+	x2, _ := n.AddGate(netlist.Xor, x1, a)
+	n.MarkOutput("z", x2)
+	bal, err := BalanceXor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.NumEquations() != 0 {
+		t.Errorf("a^b^a should collapse to wire b, got %d equations", bal.NumEquations())
+	}
+	assertEquivalent(t, n, bal, 4)
+}
+
+func TestBalanceXorHandlesXnor(t *testing.T) {
+	// XNOR chain: xnor(xnor(a,b),c) = a^b^c^0 (two inversions cancel... one
+	// inversion each: !( !(a^b) ^ c ) = a^b^c). Verify function only.
+	n := netlist.New("xnorchain")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c, _ := n.AddInput("c")
+	x1, _ := n.AddGate(netlist.Xnor, a, b)
+	x2, _ := n.AddGate(netlist.Xnor, x1, c)
+	n.MarkOutput("z", x2)
+	bal, err := BalanceXor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, n, bal, 4)
+	// Odd number of XNORs keeps one inversion.
+	n2 := netlist.New("xnor1")
+	a2, _ := n2.AddInput("a")
+	b2, _ := n2.AddInput("b")
+	y, _ := n2.AddGate(netlist.Xnor, a2, b2)
+	n2.MarkOutput("z", y)
+	bal2, err := BalanceXor(n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, n2, bal2, 4)
+}
+
+func TestBalanceXorRespectsSharedNodes(t *testing.T) {
+	// An XOR node with two readers must not be absorbed (it stays a leaf in
+	// both trees).
+	n := netlist.New("shared")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c, _ := n.AddInput("c")
+	sh, _ := n.AddGate(netlist.Xor, a, b)
+	z0, _ := n.AddGate(netlist.Xor, sh, c)
+	z1, _ := n.AddGate(netlist.And, sh, c)
+	n.MarkOutput("z0", z0)
+	n.MarkOutput("z1", z1)
+	bal, err := BalanceXor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, n, bal, 6)
+}
+
+func TestTechMapUsesStandardCells(t *testing.T) {
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := gen.Mastrovito(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := TechMap(raw, MapNandHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mapped.Stats()
+	if st.ByType[netlist.And] != 0 || st.ByType[netlist.Or] != 0 {
+		t.Errorf("AND/OR should be mapped away: %v", st.ByType)
+	}
+	if st.ByType[netlist.Nand] == 0 {
+		t.Errorf("expected NAND cells after mapping: %v", st.ByType)
+	}
+	assertEquivalent(t, raw, mapped, 6)
+
+	// The fuse-only style keeps AND cells and never grows the netlist.
+	fused, err := TechMap(raw, MapFuseInverters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.NumEquations() > raw.NumEquations() {
+		t.Errorf("fuse-only mapping grew netlist %d -> %d", raw.NumEquations(), fused.NumEquations())
+	}
+	assertEquivalent(t, raw, fused, 6)
+}
+
+func TestTechMapFusesInverters(t *testing.T) {
+	n := netlist.New("fuse")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	g1, _ := n.AddGate(netlist.And, a, b)
+	n1, _ := n.AddGate(netlist.Not, g1)
+	g2, _ := n.AddGate(netlist.Or, a, b)
+	n2, _ := n.AddGate(netlist.Not, g2)
+	g3, _ := n.AddGate(netlist.Xor, n1, n2)
+	n3, _ := n.AddGate(netlist.Not, g3)
+	n.MarkOutput("z", n3)
+	mapped, err := TechMap(n, MapFuseInverters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mapped.Stats()
+	if st.ByType[netlist.Nand] != 1 || st.ByType[netlist.Nor] != 1 || st.ByType[netlist.Xnor] != 1 {
+		t.Errorf("expected NAND+NOR+XNOR from fusion: %v", st.ByType)
+	}
+	if st.ByType[netlist.Not] != 0 {
+		t.Errorf("all inverters should fuse: %v", st.ByType)
+	}
+	assertEquivalent(t, n, mapped, 4)
+}
+
+func TestSynthesizePipeline(t *testing.T) {
+	for _, m := range []int{8, 16, 32} {
+		p, err := polytab.Default(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := gen.MastrovitoMatrix(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := Synthesize(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, raw, syn, 6)
+		if syn.NumEquations() >= raw.NumEquations() {
+			t.Errorf("m=%d: synthesis grew the netlist %d -> %d", m, raw.NumEquations(), syn.NumEquations())
+		}
+
+		mont, err := gen.Montgomery(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msyn, err := Synthesize(mont)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, mont, msyn, 6)
+	}
+}
+
+func BenchmarkSynthesizeMastrovitoMatrix32(b *testing.B) {
+	p, err := polytab.Default(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := gen.MastrovitoMatrix(32, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMapAOIPatterns(t *testing.T) {
+	n := netlist.New("aoi")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c, _ := n.AddInput("c")
+	d, _ := n.AddInput("d")
+	// AOI21: !(ab + c)
+	and1, _ := n.AddGate(netlist.And, a, b)
+	or1, _ := n.AddGate(netlist.Or, and1, c)
+	z0, _ := n.AddGate(netlist.Not, or1)
+	// AOI22: !(ab' + cd) with fresh AND gates
+	and2, _ := n.AddGate(netlist.And, a, c)
+	and3, _ := n.AddGate(netlist.And, b, d)
+	or2, _ := n.AddGate(netlist.Or, and2, and3)
+	z1, _ := n.AddGate(netlist.Not, or2)
+	// OAI21: !((a+b)c)
+	or3, _ := n.AddGate(netlist.Or, a, b)
+	and4, _ := n.AddGate(netlist.And, or3, c)
+	z2, _ := n.AddGate(netlist.Not, and4)
+	// OAI22: !((a+b)(c+d))
+	or4, _ := n.AddGate(netlist.Or, a, b)
+	or5, _ := n.AddGate(netlist.Or, c, d)
+	and5, _ := n.AddGate(netlist.And, or4, or5)
+	z3, _ := n.AddGate(netlist.Not, and5)
+	n.MarkOutput("z0", z0)
+	n.MarkOutput("z1", z1)
+	n.MarkOutput("z2", z2)
+	n.MarkOutput("z3", z3)
+
+	mapped, err := MapAOI(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, n, mapped, 6)
+	st := mapped.Stats()
+	if st.ByType[netlist.Aoi21] != 1 || st.ByType[netlist.Aoi22] != 1 ||
+		st.ByType[netlist.Oai21] != 1 || st.ByType[netlist.Oai22] != 1 {
+		t.Errorf("cells not fused: %v", st.ByType)
+	}
+	if st.ByType[netlist.Not] != 0 || st.ByType[netlist.And] != 0 || st.ByType[netlist.Or] != 0 {
+		t.Errorf("pattern leftovers remain: %v", st.ByType)
+	}
+}
+
+func TestMapAOIRespectsSharing(t *testing.T) {
+	// The inner AND also feeds another output: it must NOT be absorbed.
+	n := netlist.New("shared_aoi")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c, _ := n.AddInput("c")
+	and1, _ := n.AddGate(netlist.And, a, b)
+	or1, _ := n.AddGate(netlist.Or, and1, c)
+	z0, _ := n.AddGate(netlist.Not, or1)
+	n.MarkOutput("z0", z0)
+	n.MarkOutput("zshare", and1)
+	mapped, err := MapAOI(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, n, mapped, 6)
+	if mapped.Stats().ByType[netlist.Aoi21] != 0 {
+		t.Error("shared AND must not fuse into AOI21")
+	}
+}
+
+func TestMapAOIPropertyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(4040))
+	for trial := 0; trial < 40; trial++ {
+		n, err := randnet.New(r, randnet.Config{
+			Inputs: 1 + r.Intn(8), Gates: 1 + r.Intn(100), Outputs: 1 + r.Intn(4),
+			Luts: trial%2 == 0, Constants: trial%3 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := MapAOI(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEquivalent(t, n, mapped, 4)
+	}
+}

@@ -1,0 +1,63 @@
+package randnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewProducesValidNetlists(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		cfg := Config{
+			Inputs:    1 + r.Intn(8),
+			Gates:     1 + r.Intn(60),
+			Outputs:   1 + r.Intn(4),
+			Luts:      trial%2 == 0,
+			Constants: trial%3 == 0,
+		}
+		n, err := New(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(n.Inputs()) != cfg.Inputs || len(n.Outputs()) != cfg.Outputs {
+			t.Fatalf("trial %d: ports wrong", trial)
+		}
+		// Must simulate without error.
+		words := make([]uint64, cfg.Inputs)
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		if _, err := n.Simulate(words); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestNewRejectsDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, cfg := range []Config{{0, 1, 1, false, false}, {1, 0, 1, false, false}, {1, 1, 0, false, false}} {
+		if _, err := New(r, cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestNewIsDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Inputs: 4, Gates: 30, Outputs: 2, Luts: true}
+	a, err := New(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGates() != b.NumGates() {
+		t.Error("same seed produced different netlists")
+	}
+	for id := 0; id < a.NumGates(); id++ {
+		if a.Gate(id).Type != b.Gate(id).Type {
+			t.Fatalf("gate %d type differs", id)
+		}
+	}
+}
