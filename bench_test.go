@@ -147,6 +147,44 @@ func BenchmarkFigure4(b *testing.B) {
 	}
 }
 
+// BenchmarkExtract measures the telemetry layer's cost on the extraction
+// pipeline: "norecorder" is the nil-recorder path (every instrumentation
+// site reduced to one predictable branch — expected within 2% of the
+// pre-telemetry pipeline), "recorder" attaches a full recorder with an
+// in-memory sink, i.e. the -json / gfbench configuration.
+func BenchmarkExtract(b *testing.B) {
+	p, _ := gfre.NISTPolynomial(64)
+	n, err := gfre.NewMastrovitoMatrix(64, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("norecorder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ext, err := gfre.Extract(n, gfre.Options{Threads: eval.Threads, SkipVerify: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ext.P.Equal(p) {
+				b.Fatal("wrong P")
+			}
+		}
+	})
+	b.Run("recorder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := gfre.NewRecorder(gfre.NewMemorySink())
+			ext, err := gfre.Extract(n, gfre.Options{Threads: eval.Threads, SkipVerify: true, Recorder: rec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ext.P.Equal(p) {
+				b.Fatal("wrong P")
+			}
+		}
+	})
+}
+
 // BenchmarkSectionIID: the XOR-cost model used throughout Section II-D.
 func BenchmarkSectionIID(b *testing.B) {
 	p, _ := gfre.NISTPolynomial(571)

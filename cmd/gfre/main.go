@@ -20,9 +20,13 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: profile endpoints on the default mux
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		format   = fs.String("format", "auto", "netlist format: eqn, blif, verilog or auto (by file extension)")
-		threads  = fs.Int("threads", 16, "rewriting worker threads (the paper uses 16)")
+		threads  = fs.Int("threads", 0, "rewriting worker threads; 0 = auto (GOMAXPROCS). The paper's experiments use 16")
 		prefixA  = fs.String("a", "a", "input-name prefix of operand A")
 		prefixB  = fs.String("b", "b", "input-name prefix of operand B")
 		infer    = fs.Bool("infer", false, "infer operand partition, bit order and output order from the expressions (for scrambled/anonymized netlists)")
@@ -52,8 +56,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		stats    = fs.Bool("stats", false, "print per-output-bit rewriting statistics")
 		trace    = fs.String("trace", "", "print the Figure-3-style rewriting trace for this output (small designs)")
 		quiet    = fs.Bool("quiet", false, "print only the recovered polynomial")
-		jsonOut  = fs.Bool("json", false, "emit the result as JSON")
+		jsonOut  = fs.Bool("json", false, "emit the result as JSON (includes the phase-timing breakdown)")
 		report   = fs.Bool("report", false, "print the full audit report instead of the short summary")
+		progress = fs.Bool("progress", false, "live per-bit progress ticker on stderr")
+		metrics  = fs.String("metrics", "", "stream telemetry events (phase spans, per-bit stats, heap samples) to this NDJSON file")
+		pprofSrv = fs.String("pprof", "", "serve net/http/pprof and expvar (incl. live gfre metrics) on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +70,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("expected exactly one netlist file argument")
 	}
 	path := fs.Arg(0)
+
+	// Telemetry: any observability flag (or -json, whose output embeds the
+	// phase breakdown) attaches a recorder; the nil recorder otherwise keeps
+	// the pipeline uninstrumented.
+	var rec *gfre.Recorder
+	stopHeap := func() {}
+	if *progress || *metrics != "" || *pprofSrv != "" || *jsonOut {
+		var sinks []gfre.TelemetrySink
+		if *progress {
+			sinks = append(sinks, gfre.NewProgressSink(stderr))
+		}
+		if *metrics != "" {
+			mf, err := os.Create(*metrics)
+			if err != nil {
+				return err
+			}
+			defer mf.Close()
+			sinks = append(sinks, gfre.NewNDJSONSink(mf))
+		}
+		rec = gfre.NewRecorder(sinks...)
+		stopHeap = rec.StartHeapSampler(0)
+		defer stopHeap() // idempotent; normally stopped before rec.Close below
+	}
+	if *pprofSrv != "" {
+		if err := servePprof(*pprofSrv, rec, stderr); err != nil {
+			return err
+		}
+	}
 
 	f, err := os.Open(path)
 	if err != nil {
@@ -81,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			kind = "eqn"
 		}
 	}
+	parseSpan := rec.StartSpan("parse", nil)
 	var n *gfre.Netlist
 	switch kind {
 	case "eqn":
@@ -92,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		err = fmt.Errorf("unknown format %q", kind)
 	}
+	parseSpan.End()
 	if err != nil {
 		return err
 	}
@@ -118,6 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ext, ports, err = gfre.ExtractInferred(n, gfre.Options{
 			Threads:    *threads,
 			SkipVerify: *noVerify,
+			Recorder:   rec,
 		})
 	} else {
 		ext, err = gfre.Extract(n, gfre.Options{
@@ -125,9 +163,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			PrefixA:    *prefixA,
 			PrefixB:    *prefixB,
 			SkipVerify: *noVerify,
+			Recorder:   rec,
 		})
 	}
 	elapsed := time.Since(start)
+	stopHeap() // final heap sample, then flush the event stream
+	if cerr := rec.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -143,29 +186,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ConeGates      int     `json:"cone_gates"`
 			Substitutions  int     `json:"substitutions"`
 			PeakTerms      int     `json:"peak_terms"`
+			Cancelled      int     `json:"cancelled"`
 			RuntimeSeconds float64 `json:"runtime_seconds"`
 		}
+		type phaseJSON struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		}
 		report := struct {
-			Polynomial     string    `json:"polynomial"`
-			M              int       `json:"m"`
-			Verified       bool      `json:"verified"`
-			RuntimeSeconds float64   `json:"runtime_seconds"`
-			Threads        int       `json:"threads"`
-			Equations      int       `json:"equations"`
-			Bits           []bitJSON `json:"bits,omitempty"`
+			Polynomial     string      `json:"polynomial"`
+			M              int         `json:"m"`
+			Verified       bool        `json:"verified"`
+			RuntimeSeconds float64     `json:"runtime_seconds"`
+			Threads        int         `json:"threads"`
+			Equations      int         `json:"equations"`
+			Phases         []phaseJSON `json:"phases,omitempty"`
+			Bits           []bitJSON   `json:"bits,omitempty"`
 		}{
 			Polynomial:     ext.P.String(),
 			M:              ext.M,
 			Verified:       ext.Verified,
 			RuntimeSeconds: elapsed.Seconds(),
-			Threads:        *threads,
+			Threads:        ext.Rewrite.Threads,
 			Equations:      st.Equations,
+		}
+		// Phase-timing breakdown from the recorder, so scripted runs get
+		// the spans without parsing the NDJSON stream.
+		for _, sp := range rec.Spans() {
+			report.Phases = append(report.Phases, phaseJSON{Name: sp.Name, Seconds: sp.Duration.Seconds()})
 		}
 		if *stats {
 			for _, b := range ext.Rewrite.Bits {
 				report.Bits = append(report.Bits, bitJSON{
 					Bit: b.Bit, Name: b.Name, ConeGates: b.ConeGates,
 					Substitutions: b.Substitutions, PeakTerms: b.PeakTerms,
+					Cancelled:      b.Cancelled,
 					RuntimeSeconds: b.Runtime.Seconds(),
 				})
 			}
@@ -189,7 +244,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		fmt.Fprintf(stdout, "verification:           skipped\n")
 	}
-	fmt.Fprintf(stdout, "extraction time:        %v in %d threads\n", elapsed.Round(time.Millisecond), *threads)
+	fmt.Fprintf(stdout, "extraction time:        %v in %d threads\n", elapsed.Round(time.Millisecond), ext.Rewrite.Threads)
 	fmt.Fprintf(stdout, "peak expression terms:  %d\n", ext.Rewrite.PeakTerms())
 
 	if *simulate > 0 {
@@ -207,6 +262,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 				b.Bit, b.Name, b.ConeGates, b.Substitutions, b.PeakTerms, b.Runtime.Round(time.Microsecond))
 		}
 	}
+	return nil
+}
+
+// servePprof starts the observability HTTP endpoint: net/http/pprof and
+// expvar on the default mux, plus a live snapshot of the run's metrics
+// registry under the expvar name "gfre". It listens eagerly so a bad
+// address fails fast, then serves in the background for the lifetime of
+// the extraction.
+func servePprof(addr string, rec *gfre.Recorder, stderr io.Writer) error {
+	if expvar.Get("gfre") == nil { // expvar.Publish panics on re-registration
+		expvar.Publish("gfre", expvar.Func(func() any { return rec.Snapshot() }))
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "pprof:   http://%s/debug/pprof  (expvar metrics at /debug/vars)\n", ln.Addr())
+	go http.Serve(ln, nil) //nolint:errcheck — lives until process exit
 	return nil
 }
 

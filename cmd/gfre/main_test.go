@@ -133,6 +133,107 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunProgressAndMetrics(t *testing.T) {
+	path := writeNetlist(t, "m8.eqn", "mastrovito", 8)
+	ndjson := filepath.Join(t.TempDir(), "run.ndjson")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-progress", "-metrics", ndjson, path}, &out, &errOut); err != nil {
+		t.Fatalf("%v\n%s", err, errOut.String())
+	}
+	// The progress ticker lands on stderr, not stdout.
+	for _, want := range []string{"[obs ", "rewrite: 8 bits", "[  8/  8]", "rewrite done in"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("progress output missing %q:\n%s", want, errOut.String())
+		}
+	}
+	if strings.Contains(out.String(), "[obs ") {
+		t.Error("progress ticker leaked onto stdout")
+	}
+
+	// The metrics file must be valid NDJSON with the acceptance shape:
+	// phase spans plus one start/finish pair per output bit.
+	data, err := os.ReadFile(ndjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	spans := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			TS   float64          `json:"ts"`
+			Ev   string           `json:"ev"`
+			Name string           `json:"name"`
+			V    map[string]int64 `json:"v"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		counts[ev.Ev]++
+		if ev.Ev == "span_end" {
+			spans[ev.Name] = true
+		}
+	}
+	if counts["bit_start"] != 8 || counts["bit_finish"] != 8 {
+		t.Errorf("bit events %v, want 8 start + 8 finish", counts)
+	}
+	if counts["heap"] == 0 {
+		t.Errorf("no heap samples in %v", counts)
+	}
+	for _, phase := range []string{"parse", "cone-sort", "rewrite", "extract", "golden-model", "verify"} {
+		if !spans[phase] {
+			t.Errorf("phase span %q missing from event stream (have %v)", phase, spans)
+		}
+	}
+}
+
+func TestRunJSONIncludesPhases(t *testing.T) {
+	path := writeNetlist(t, "m8.eqn", "montgomery", 8)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-json", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Threads int `json:"threads"`
+		Phases  []struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Threads <= 0 {
+		t.Errorf("threads = %d; the auto default must report the actual worker count", rep.Threads)
+	}
+	got := map[string]bool{}
+	for _, ph := range rep.Phases {
+		if ph.Seconds < 0 {
+			t.Errorf("phase %q has negative duration", ph.Name)
+		}
+		got[ph.Name] = true
+	}
+	for _, phase := range []string{"parse", "rewrite", "extract", "golden-model", "verify"} {
+		if !got[phase] {
+			t.Errorf("JSON phases missing %q (have %v)", phase, got)
+		}
+	}
+}
+
+func TestRunPprofServer(t *testing.T) {
+	path := writeNetlist(t, "m4.eqn", "mastrovito", 4)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-pprof", "127.0.0.1:0", "-quiet", path}, &out, &errOut); err != nil {
+		t.Fatalf("%v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "/debug/pprof") {
+		t.Errorf("pprof address line missing:\n%s", errOut.String())
+	}
+	// A bad listen address must fail fast.
+	if err := run([]string{"-pprof", "256.256.256.256:0", "-quiet", path}, &out, &errOut); err == nil {
+		t.Error("unlistenable pprof address should fail")
+	}
+}
+
 func TestRunReport(t *testing.T) {
 	path := writeNetlist(t, "m8r.eqn", "mastrovito", 8)
 	var out bytes.Buffer

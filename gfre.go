@@ -41,6 +41,7 @@ import (
 	"github.com/galoisfield/gfre/internal/gf2m"
 	"github.com/galoisfield/gfre/internal/gf2poly"
 	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/obs"
 	"github.com/galoisfield/gfre/internal/opt"
 	"github.com/galoisfield/gfre/internal/polytab"
 	"github.com/galoisfield/gfre/internal/rewrite"
@@ -70,6 +71,27 @@ type (
 	MapStyle = opt.MapStyle
 	// ArchPoly pairs an architecture label with its optimal polynomial.
 	ArchPoly = polytab.ArchPoly
+
+	// Recorder is the telemetry hub threaded through Options /
+	// RewriteOptions: phase spans, per-bit events, metrics registry.
+	// nil disables instrumentation at negligible cost.
+	Recorder = obs.Recorder
+	// Span is an in-flight phase timing opened by Recorder.StartSpan.
+	Span = obs.Span
+	// SpanRecord is one completed phase with its wall-clock cost.
+	SpanRecord = obs.SpanRecord
+	// TelemetryEvent is one telemetry record (the NDJSON line schema).
+	TelemetryEvent = obs.Event
+	// TelemetrySink consumes telemetry events (NDJSON, progress, memory).
+	TelemetrySink = obs.Sink
+	// MetricsSnapshot is a point-in-time copy of every recorded metric.
+	MetricsSnapshot = obs.Snapshot
+	// NDJSONSink streams events as one JSON object per line.
+	NDJSONSink = obs.NDJSONSink
+	// ProgressSink renders a live per-bit completion ticker.
+	ProgressSink = obs.ProgressSink
+	// MemorySink captures events in memory (the test hook).
+	MemorySink = obs.MemorySink
 )
 
 // Extraction failure classes; test with errors.Is.
@@ -187,6 +209,29 @@ func TechMap(n *Netlist, style MapStyle) (*Netlist, error) { return opt.TechMap(
 // Synthesize runs the full optimization pipeline used for the paper's
 // Table III ("optimized and mapped" multipliers).
 func Synthesize(n *Netlist) (*Netlist, error) { return opt.Synthesize(n) }
+
+// SynthesizeObserved is Synthesize with every pass bracketed in a phase
+// span on rec (opt.simplify, opt.balance-xor, opt.techmap, opt.sweep).
+func SynthesizeObserved(n *Netlist, rec *Recorder) (*Netlist, error) {
+	return opt.SynthesizeObserved(n, rec)
+}
+
+// NewRecorder returns a telemetry recorder fanning out to the given sinks
+// (none is valid: spans and metrics are still captured for Spans/Snapshot).
+// Pass it via Options.Recorder / RewriteOptions.Recorder.
+func NewRecorder(sinks ...TelemetrySink) *Recorder { return obs.NewRecorder(sinks...) }
+
+// NewNDJSONSink streams every telemetry event to w as one JSON object per
+// line; see the package obs doc comment for the event schema.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return obs.NewNDJSONSink(w) }
+
+// NewProgressSink renders a human-readable live ticker (phase boundaries,
+// one line per completed output bit) to w, typically os.Stderr.
+func NewProgressSink(w io.Writer) *ProgressSink { return obs.NewProgressSink(w) }
+
+// NewMemorySink captures telemetry events in memory, for tests and
+// programmatic inspection.
+func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
 
 // Rewrite extracts the canonical ANF of every output bit (Algorithm 1,
 // parallel per Theorem 2) without interpreting the result.

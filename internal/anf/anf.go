@@ -356,6 +356,13 @@ func (p Poly) SupportVars() []Var {
 // ContainsVar reports whether variable v occurs anywhere in p.
 func (p Poly) ContainsVar(v Var) bool { return len(p.occ[v]) > 0 }
 
+// VarOccurrences returns the number of monomials of p that contain v.
+// It makes mod-2 cancellation accounting exact: substituting v by e turns
+// the k = VarOccurrences(v) affected monomials into k·|e| expansion terms,
+// so the expansion yields Len()-k+k·|e| terms before cancellation collapses
+// colliding pairs.
+func (p Poly) VarOccurrences(v Var) int { return len(p.occ[v]) }
+
 // Substitute replaces every occurrence of variable v in p by the expression
 // e, in place — one iteration of backward rewriting (lines 4–12 of
 // Algorithm 1). Monomials produced by the expansion that collide with

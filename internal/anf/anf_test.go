@@ -211,6 +211,24 @@ func TestSupportVarsAndContainsVar(t *testing.T) {
 	}
 }
 
+func TestVarOccurrences(t *testing.T) {
+	p := FromMonos(NewMono(1, 2), NewMono(1, 3), NewMono(4), MonoOne)
+	if got := p.VarOccurrences(1); got != 2 {
+		t.Errorf("VarOccurrences(1) = %d, want 2", got)
+	}
+	if got := p.VarOccurrences(4); got != 1 {
+		t.Errorf("VarOccurrences(4) = %d, want 1", got)
+	}
+	if got := p.VarOccurrences(7); got != 0 {
+		t.Errorf("VarOccurrences(7) = %d, want 0", got)
+	}
+	// Toggling a monomial out must drop its contribution from the index.
+	p.Toggle(NewMono(1, 2))
+	if got := p.VarOccurrences(1); got != 1 {
+		t.Errorf("after toggle: VarOccurrences(1) = %d, want 1", got)
+	}
+}
+
 func TestMonosDeterministicOrder(t *testing.T) {
 	p := FromMonos(NewMono(2), NewMono(1), NewMono(1, 2), MonoOne)
 	var prev []Mono

@@ -31,6 +31,7 @@ import (
 	"github.com/galoisfield/gfre/internal/gen"
 	"github.com/galoisfield/gfre/internal/gf2poly"
 	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/obs"
 	"github.com/galoisfield/gfre/internal/opt"
 	"github.com/galoisfield/gfre/internal/polytab"
 	"github.com/galoisfield/gfre/internal/rewrite"
@@ -58,6 +59,13 @@ type Row struct {
 	OK      bool          // extraction succeeded and matched the build P(x)
 	Err     string        // failure description when !OK
 	Paper   PaperRow
+
+	// Telemetry captured by the per-row recorder — the raw material of the
+	// machine-readable BENCH_<design>.json reports (not part of the table
+	// rendering).
+	Bits    []rewrite.BitStats
+	Phases  []obs.SpanRecord
+	Metrics obs.Snapshot
 }
 
 // Paper-reported values, transcribed from the text.
@@ -110,8 +118,14 @@ var (
 	Figure4Default = 233
 )
 
-// runExtraction measures one extraction and fills a Row.
-func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper PaperRow) Row {
+// runExtraction measures one extraction and fills a Row, capturing phase
+// spans, per-bit stats and the metrics snapshot through rec. Callers with
+// pre-extraction phases to attribute (synthesis) pass their own recorder;
+// nil means "create one for this row".
+func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper PaperRow, rec *obs.Recorder) Row {
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
 	row := Row{
 		Label: label,
 		M:     p.Deg(),
@@ -120,7 +134,7 @@ func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper Paper
 		Paper: paper,
 	}
 	start := time.Now()
-	ext, err := extract.IrreduciblePolynomial(n, extract.Options{Threads: Threads, SkipVerify: true})
+	ext, err := extract.IrreduciblePolynomial(n, extract.Options{Threads: Threads, SkipVerify: true, Recorder: rec})
 	row.Runtime = time.Since(start)
 	switch {
 	case err != nil:
@@ -131,6 +145,13 @@ func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper Paper
 		row.OK = true
 		row.Mem = ext.Rewrite.EstimatedMemBytes()
 	}
+	if ext != nil && ext.Rewrite != nil {
+		for _, b := range ext.Rewrite.Bits {
+			row.Bits = append(row.Bits, b.BitStats)
+		}
+	}
+	row.Phases = rec.Spans()
+	row.Metrics = rec.Snapshot()
 	return row
 }
 
@@ -150,7 +171,7 @@ func TableI(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Mastrovito", n, p, paperTableI[m]))
+		rows = append(rows, runExtraction("Mastrovito", n, p, paperTableI[m], nil))
 	}
 	return rows, nil
 }
@@ -172,7 +193,7 @@ func TableII(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Montgomery", n, p, paperTableII[m]))
+		rows = append(rows, runExtraction("Montgomery", n, p, paperTableII[m], nil))
 	}
 	return rows, nil
 }
@@ -193,21 +214,26 @@ func TableIII(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		mastSyn, err := opt.Synthesize(mast)
+		// The synthesis recorder is shared with the extraction run, so
+		// Table III rows report the opt.* phase spans alongside the
+		// extraction phases.
+		mastRec := obs.NewRecorder()
+		mastSyn, err := opt.SynthesizeObserved(mast, mastRec)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Mastrovito-syn", mastSyn, p, paperTableIIIMastrovito[m]))
+		rows = append(rows, runExtraction("Mastrovito-syn", mastSyn, p, paperTableIIIMastrovito[m], mastRec))
 
 		mont, err := gen.Montgomery(m, p)
 		if err != nil {
 			return nil, err
 		}
-		montSyn, err := opt.Synthesize(mont)
+		montRec := obs.NewRecorder()
+		montSyn, err := opt.SynthesizeObserved(mont, montRec)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Montgomery-syn", montSyn, p, paperTableIIIMontgomery[m]))
+		rows = append(rows, runExtraction("Montgomery-syn", montSyn, p, paperTableIIIMontgomery[m], montRec))
 	}
 	return rows, nil
 }
@@ -237,7 +263,7 @@ func TableIV(m int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction(ap.Arch, n, ap.P, paperTableIV[ap.Arch]))
+		rows = append(rows, runExtraction(ap.Arch, n, ap.P, paperTableIV[ap.Arch], nil))
 	}
 	return rows, nil
 }
@@ -389,7 +415,7 @@ func ArchComparison(m int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction(b.name, n, p, PaperRow{}))
+		rows = append(rows, runExtraction(b.name, n, p, PaperRow{}, nil))
 	}
 	return rows, nil
 }

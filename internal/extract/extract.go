@@ -30,6 +30,7 @@ import (
 	"github.com/galoisfield/gfre/internal/anf"
 	"github.com/galoisfield/gfre/internal/gf2poly"
 	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/obs"
 	"github.com/galoisfield/gfre/internal/rewrite"
 )
 
@@ -60,6 +61,11 @@ type Options struct {
 	// SkipVerify skips the golden-model equivalence check (extraction only,
 	// as in the paper's runtime tables).
 	SkipVerify bool
+	// Recorder receives telemetry for the whole pipeline: the cone-sort /
+	// rewrite / extract / golden-model / verify phase spans, per-bit
+	// rewriting events, and the metrics registry. nil disables
+	// instrumentation at negligible cost.
+	Recorder *obs.Recorder
 }
 
 // Extraction is the result of reverse engineering a multiplier netlist.
@@ -152,7 +158,7 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 		return nil, err
 	}
 
-	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads})
+	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads, Recorder: opts.Recorder})
 	if err != nil {
 		return nil, err
 	}
@@ -162,13 +168,15 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 	// swapping the two operands (monomials are unordered), so extraction is
 	// insensitive to which operand is which — only the bit order within each
 	// operand matters.
+	span := opts.Recorder.StartSpan("extract", map[string]int64{"m": int64(m)})
 	ext.P, err = FromExpressions(rw, a, b)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 
 	if !opts.SkipVerify {
-		if err := Verify(n, ext); err != nil {
+		if err := verifyObserved(n, ext, opts.Recorder); err != nil {
 			return ext, err
 		}
 		ext.Verified = true
@@ -243,13 +251,27 @@ func SpecificationANF(p gf2poly.Poly, a, b []int, c int) anf.Poly {
 // ANF canonicity. On failure it returns ErrMismatch wrapped with the list of
 // deviating bits, which is how tampered (trojaned) multipliers surface.
 func Verify(n *netlist.Netlist, ext *Extraction) error {
+	return verifyObserved(n, ext, nil)
+}
+
+// verifyObserved is Verify with the golden-model build and the canonical
+// comparison bracketed in separate phase spans.
+func verifyObserved(n *netlist.Netlist, ext *Extraction, rec *obs.Recorder) error {
+	span := rec.StartSpan("golden-model", map[string]int64{"bits": int64(len(ext.Rewrite.Bits))})
+	specs := make([]anf.Poly, len(ext.Rewrite.Bits))
+	for c := range ext.Rewrite.Bits {
+		specs[c] = SpecificationANF(ext.P, ext.AInputs, ext.BInputs, c)
+	}
+	span.End()
+
+	span = rec.StartSpan("verify", nil)
 	var bad []int
 	for c, br := range ext.Rewrite.Bits {
-		spec := SpecificationANF(ext.P, ext.AInputs, ext.BInputs, c)
-		if !br.Expr.Equal(spec) {
+		if !br.Expr.Equal(specs[c]) {
 			bad = append(bad, c)
 		}
 	}
+	span.End()
 	if len(bad) > 0 {
 		return fmt.Errorf("%w: output bits %v deviate from GF(2^%d) multiplication mod %v",
 			ErrMismatch, bad, ext.M, ext.P)
@@ -327,12 +349,12 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if err != nil {
 		return nil, err
 	}
-	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads})
+	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads, Recorder: opts.Recorder})
 	if err != nil {
 		return nil, err
 	}
 	ext := &Extraction{P: p, M: m, AInputs: a, BInputs: b, Rewrite: rw}
-	if err := Verify(n, ext); err != nil {
+	if err := verifyObserved(n, ext, opts.Recorder); err != nil {
 		return ext, err
 	}
 	ext.Verified = true

@@ -224,22 +224,26 @@ func IrreduciblePolynomialInferred(n *netlist.Netlist, opts Options) (*Extractio
 	if m < 2 {
 		return nil, nil, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
-	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads})
+	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads, Recorder: opts.Recorder})
 	if err != nil {
 		return nil, nil, err
 	}
+	span := opts.Recorder.StartSpan("infer-ports", nil)
 	ip, err := InferPorts(n, rw)
+	span.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	ordered := ip.ReorderBits(rw)
 	ext := &Extraction{M: m, AInputs: ip.A, BInputs: ip.B, Rewrite: ordered}
+	span = opts.Recorder.StartSpan("extract", map[string]int64{"m": int64(m)})
 	ext.P, err = FromExpressions(ordered, ip.A, ip.B)
+	span.End()
 	if err != nil {
 		return nil, ip, err
 	}
 	if !opts.SkipVerify {
-		if err := Verify(n, ext); err != nil {
+		if err := verifyObserved(n, ext, opts.Recorder); err != nil {
 			return ext, ip, err
 		}
 		ext.Verified = true

@@ -1,0 +1,104 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// reportFor runs a real extraction on a Mastrovito multiplier over p and
+// renders its report.
+func reportFor(t *testing.T, m int, p gf2poly.Poly) string {
+	t.Helper()
+	n, err := gen.Mastrovito(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := IrreduciblePolynomial(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Report(n, ext)
+}
+
+func TestReportTrinomialPrimitive(t *testing.T) {
+	// x^4+x+1 is a trinomial and primitive: x generates all of GF(16)*.
+	rep := reportFor(t, 4, gf2poly.FromTerms(4, 1, 0))
+	for _, want := range []string{
+		"field:       GF(2^4)",
+		"polynomial:  P(x) = x^4+x+1",
+		"class:       trinomial",
+		"primitive:   yes",
+		"verified:    yes",
+		"rewriting:   ",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReportPentanomialNonPrimitive(t *testing.T) {
+	// The AES polynomial x^8+x^4+x^3+x+1 is a pentanomial and not
+	// primitive: ord(x) = 51, not the full 255.
+	rep := reportFor(t, 8, gf2poly.FromTerms(8, 4, 3, 1, 0))
+	for _, want := range []string{
+		"class:       pentanomial",
+		"primitive:   no (ord(x) = 51 of 255)",
+		"verified:    yes",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "NIST-recommended") {
+		t.Errorf("AES polynomial is not a NIST curve choice:\n%s", rep)
+	}
+}
+
+func TestReportNISTMatchAndUnverified(t *testing.T) {
+	// A synthetic extraction carrying the NIST B-163 polynomial: the report
+	// must flag the standard match, skip the primitivity check (m > 63 means
+	// factoring 2^m-1 is off the table), and print the unverified footer.
+	n := netlist.New("stub")
+	a, _ := n.AddInput("a0")
+	n.MarkOutput("z0", a)
+	p, ok := polytab.NIST[163]
+	if !ok {
+		t.Fatal("no NIST polynomial for m=163")
+	}
+	rep := Report(n, &Extraction{P: p, M: 163})
+	for _, want := range []string{
+		"field:       GF(2^163)",
+		"class:       pentanomial, NIST-recommended for GF(2^163)",
+		"verified:    no (verification skipped)",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "primitive:") {
+		t.Errorf("primitivity should not be attempted at m=163:\n%s", rep)
+	}
+	if strings.Contains(rep, "rewriting:") {
+		t.Errorf("no rewrite stats were attached, none should print:\n%s", rep)
+	}
+}
+
+func TestReportWeightClassFallback(t *testing.T) {
+	// Polynomials that are neither trinomials nor pentanomials get the
+	// generic "weight-N" class. Report does not require irreducibility to
+	// render the class line, so a synthetic extraction suffices.
+	n := netlist.New("stub")
+	a, _ := n.AddInput("a0")
+	n.MarkOutput("z0", a)
+	p := gf2poly.FromTerms(7, 6, 5, 4, 3, 2, 1, 0) // weight 8
+	rep := Report(n, &Extraction{P: p, M: 7})
+	if !strings.Contains(rep, "class:       weight-8") {
+		t.Errorf("generic weight class not rendered:\n%s", rep)
+	}
+}

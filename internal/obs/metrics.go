@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and are no-ops on a nil receiver, so instrumented hot paths
+// can hold pre-fetched handles without guarding on recorder presence.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay meaningful; this is not
+// enforced).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways (live terms,
+// workers busy, heap bytes). A Gauge also tracks the maximum value it has
+// ever held — the watermark — because peak working set is the quantity the
+// paper's Mem columns report.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores an absolute value and raises the watermark if exceeded.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+	g.raise(n)
+}
+
+// Add moves the gauge by delta (may be negative) and raises the watermark.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.raise(g.v.Add(delta))
+}
+
+func (g *Gauge) raise(n int64) {
+	for {
+		cur := g.max.Load()
+		if n <= cur || g.max.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the watermark: the largest value the gauge ever held.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram accumulates observations into fixed power-of-two buckets
+// (bucket i counts observations with value < 2^i, i up to histBuckets-1;
+// the last bucket is unbounded). Exponential buckets suit the heavy-tailed
+// per-bit cost distributions of Figure 4. Concurrency is a single mutex —
+// observations happen per output bit, not per substitution, so contention
+// is negligible.
+type Histogram struct {
+	mu    sync.Mutex
+	n     int64
+	sum   int64
+	min   int64
+	max   int64
+	count [histBuckets]int64
+}
+
+const histBuckets = 64
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	for x := v; x > 0 && b < histBuckets-1; x >>= 1 {
+		b++
+	}
+	h.mu.Lock()
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.count[b]++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's aggregates.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets maps the inclusive upper bound 2^i-1 to the number of
+	// observations that landed in bucket i; empty buckets are omitted.
+	Buckets map[int64]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state (zero value on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.count {
+		if c == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = make(map[int64]int64)
+		}
+		bound := int64(1)<<uint(i) - 1
+		s.Buckets[bound] = c
+	}
+	return s
+}
+
+// Registry is a lock-cheap metrics registry: get-or-create is guarded by a
+// mutex, but the returned handles update via atomics, so instrumented code
+// fetches its handles once and never touches the registry lock again.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	GaugeMaxes map[string]int64             `json:"gauge_maxes,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		s.GaugeMaxes = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+			s.GaugeMaxes[name] = g.Max()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// Names returns the sorted names of all metrics of every kind, for
+// deterministic rendering.
+func (s Snapshot) Names() []string {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

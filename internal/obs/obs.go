@@ -1,0 +1,316 @@
+// Package obs is the zero-dependency telemetry layer of the extraction
+// pipeline: phase spans, a lock-cheap metrics registry, and pluggable event
+// sinks (NDJSON stream, live progress ticker, in-memory capture).
+//
+// The paper's entire cost story — Figure 4's per-bit runtime profile, the
+// runtime and Mem columns of Tables I–IV — is about where time and memory go
+// during backward rewriting. A *Recorder threaded through rewrite.Options /
+// extract.Options surfaces those quantities live instead of post hoc:
+//
+//	rec := obs.NewRecorder(obs.NewProgressSink(os.Stderr))
+//	stop := rec.StartHeapSampler(0)
+//	ext, err := extract.IrreduciblePolynomial(n, extract.Options{Recorder: rec})
+//	stop()
+//	rec.Close()
+//
+// A nil *Recorder is fully usable: every method no-ops, and the instrumented
+// hot paths hold pre-fetched nil metric handles whose methods also no-op, so
+// the uninstrumented pipeline pays a single predictable branch per event
+// site (< 2% on the extraction benchmarks).
+//
+// Event schema (one JSON object per line in the NDJSON sink):
+//
+//	{"ts":0.0012,"ev":"span_start","name":"rewrite","v":{"bits":16,"threads":8}}
+//	{"ts":0.0013,"ev":"bit_start","name":"z3","v":{"bit":3}}
+//	{"ts":0.0051,"ev":"bit_finish","name":"z3","v":{"bit":3,"cone":120,
+//	    "subst":116,"peak":257,"final":31,"cancelled":180,"dur_ns":3812345}}
+//	{"ts":0.0920,"ev":"span_end","name":"rewrite","v":{"dur_ns":91834021}}
+//	{"ts":0.1001,"ev":"heap","v":{"heap_bytes":8437760,"watermark":9125888}}
+//
+// ts is seconds since the recorder was created. Well-known span names, in
+// pipeline order: parse, cone-sort, rewrite, extract, golden-model, verify,
+// plus opt.simplify / opt.balance-xor / opt.techmap / opt.sweep inside the
+// synthesis flow. Well-known metrics: substitutions, cancellations (mod-2
+// eliminations), live_terms (gauge; watermark = peak resident terms),
+// workers_busy (gauge), bits_done, cone_sort_ns, heap_bytes (gauge;
+// watermark = heap high-water from runtime.ReadMemStats), and the
+// peak_terms / bit_dur_ns histograms.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Event is one telemetry record. Numeric payload lives in V so the schema
+// stays uniform across event types; absent keys mean "not applicable".
+type Event struct {
+	// TS is seconds since the recorder started.
+	TS float64 `json:"ts"`
+	// Ev is the event type: span_start, span_end, bit_start, bit_finish,
+	// heap, or metric.
+	Ev string `json:"ev"`
+	// Name is the span name, output-bit name, or metric name.
+	Name string `json:"name,omitempty"`
+	// V carries the numeric payload (counts, durations in ns, byte sizes).
+	V map[string]int64 `json:"v,omitempty"`
+}
+
+// Event types.
+const (
+	EvSpanStart = "span_start"
+	EvSpanEnd   = "span_end"
+	EvBitStart  = "bit_start"
+	EvBitFinish = "bit_finish"
+	EvHeap      = "heap"
+)
+
+// Sink consumes telemetry events. Emit must be safe for concurrent use;
+// the worker pool calls it from every rewriting goroutine.
+type Sink interface {
+	Emit(Event)
+	// Flush is called by Recorder.Close after the last event.
+	Flush() error
+}
+
+// SpanRecord is one completed phase with its wall-clock cost — the
+// phase-timing breakdown exported into JSON reports.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"` // offset from recorder start
+	Duration time.Duration `json:"dur_ns"`
+}
+
+// Recorder is the telemetry hub: it owns the metrics registry, fans events
+// out to sinks, and remembers completed spans. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Recorder struct {
+	start    time.Time
+	registry *Registry
+
+	mu    sync.Mutex
+	sinks []Sink
+	spans []SpanRecord
+}
+
+// NewRecorder returns a recorder fanning out to the given sinks (none is
+// valid: spans and metrics are still captured for Spans/Snapshot).
+func NewRecorder(sinks ...Sink) *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		registry: NewRegistry(),
+		sinks:    sinks,
+	}
+}
+
+// AttachSink adds a sink; events emitted earlier are not replayed.
+func (r *Recorder) AttachSink(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
+}
+
+// Metrics returns the recorder's registry. On a nil recorder it returns a
+// nil registry whose Counter/Gauge/Histogram methods return no-op handles.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.registry
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Recorder) Snapshot() Snapshot { return r.Metrics().Snapshot() }
+
+// Elapsed is the time since the recorder was created.
+func (r *Recorder) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// Emit forwards an event (with its timestamp filled in) to every sink.
+func (r *Recorder) Emit(ev string, name string, v map[string]int64) {
+	if r == nil {
+		return
+	}
+	e := Event{TS: time.Since(r.start).Seconds(), Ev: ev, Name: name, V: v}
+	r.mu.Lock()
+	sinks := r.sinks
+	r.mu.Unlock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}
+
+// Span is an in-flight phase timing; obtain with StartSpan, finish with End.
+// A nil Span (from a nil Recorder) is valid and End is a no-op.
+type Span struct {
+	r     *Recorder
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a phase span and emits a span_start event. The extra
+// payload v (may be nil) is attached to the start event.
+func (r *Recorder) StartSpan(name string, v map[string]int64) *Span {
+	if r == nil {
+		return nil
+	}
+	r.Emit(EvSpanStart, name, v)
+	return &Span{r: r, name: name, start: time.Now()}
+}
+
+// End closes the span, records it for Spans(), emits a span_end event, and
+// returns the span's duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.recordSpan(SpanRecord{Name: s.name, Start: s.start.Sub(s.r.start), Duration: d})
+	s.r.Emit(EvSpanEnd, s.name, map[string]int64{"dur_ns": int64(d)})
+	return d
+}
+
+// RecordSpan records an already-measured phase (used for phases whose cost
+// is accumulated across workers rather than bracketed on one goroutine,
+// like the per-bit cone sorts; the duration is then CPU time summed over
+// workers, not wall time).
+func (r *Recorder) RecordSpan(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.recordSpan(SpanRecord{Name: name, Start: time.Since(r.start) - d, Duration: d})
+	r.Emit(EvSpanEnd, name, map[string]int64{"dur_ns": int64(d)})
+}
+
+func (r *Recorder) recordSpan(sr SpanRecord) {
+	r.mu.Lock()
+	r.spans = append(r.spans, sr)
+	r.mu.Unlock()
+}
+
+// Spans returns every completed span in completion order.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// BitStart announces that an output bit began rewriting.
+func (r *Recorder) BitStart(bit int, name string) {
+	if r == nil {
+		return
+	}
+	r.Emit(EvBitStart, name, map[string]int64{"bit": int64(bit)})
+}
+
+// BitStats is the payload of a bit_finish event.
+type BitStats struct {
+	Bit           int
+	Name          string
+	ConeGates     int
+	Substitutions int
+	PeakTerms     int
+	FinalTerms    int
+	Cancelled     int
+	Duration      time.Duration
+}
+
+// BitFinish announces that an output bit completed, with its cost counters.
+func (r *Recorder) BitFinish(bs BitStats) {
+	if r == nil {
+		return
+	}
+	r.Metrics().Counter("bits_done").Inc()
+	r.Metrics().Histogram("peak_terms").Observe(int64(bs.PeakTerms))
+	r.Metrics().Histogram("bit_dur_ns").Observe(int64(bs.Duration))
+	r.Emit(EvBitFinish, bs.Name, map[string]int64{
+		"bit":       int64(bs.Bit),
+		"cone":      int64(bs.ConeGates),
+		"subst":     int64(bs.Substitutions),
+		"peak":      int64(bs.PeakTerms),
+		"final":     int64(bs.FinalTerms),
+		"cancelled": int64(bs.Cancelled),
+		"dur_ns":    int64(bs.Duration),
+	})
+}
+
+// SampleHeap reads runtime.ReadMemStats once into the heap_bytes gauge
+// (its watermark is the run's heap high-water mark) and emits a heap event.
+func (r *Recorder) SampleHeap() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g := r.Metrics().Gauge("heap_bytes")
+	g.Set(int64(ms.HeapAlloc))
+	r.Emit(EvHeap, "", map[string]int64{
+		"heap_bytes": int64(ms.HeapAlloc),
+		"watermark":  g.Max(),
+	})
+}
+
+// StartHeapSampler samples the heap every interval (default 250ms) on a
+// background goroutine until the returned stop function is called. Note
+// runtime.ReadMemStats briefly stops the world, so intervals far below the
+// default will themselves perturb the measurement.
+func (r *Recorder) StartHeapSampler(interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				r.SampleHeap()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			r.SampleHeap() // final sample so short runs record at least one
+		})
+	}
+}
+
+// Close flushes every sink (first flush error wins).
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	sinks := r.sinks
+	r.mu.Unlock()
+	var first error
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

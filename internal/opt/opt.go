@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/obs"
 )
 
 // builder constructs an optimized copy of a netlist with hash-consing and
@@ -749,19 +750,37 @@ func TechMap(n *netlist.Netlist, style MapStyle) (*netlist.Netlist, error) {
 // experiments: strash/simplify, XOR balancing with mod-2 leaf cancellation,
 // technology mapping, and a final cleanup.
 func Synthesize(n *netlist.Netlist) (*netlist.Netlist, error) {
-	s, err := Simplify(n)
+	return SynthesizeObserved(n, nil)
+}
+
+// SynthesizeObserved is Synthesize with every pass bracketed in a phase
+// span on rec (opt.simplify, opt.balance-xor, opt.techmap, opt.sweep), each
+// annotated with the equation count it produced. nil rec is valid.
+func SynthesizeObserved(n *netlist.Netlist, rec *obs.Recorder) (*netlist.Netlist, error) {
+	pass := func(name string, in *netlist.Netlist, f func(*netlist.Netlist) (*netlist.Netlist, error)) (*netlist.Netlist, error) {
+		span := rec.StartSpan(name, map[string]int64{"eqns_in": int64(in.NumEquations())})
+		out, err := f(in)
+		span.End()
+		if err == nil {
+			rec.Metrics().Gauge("synth_eqns").Set(int64(out.NumEquations()))
+		}
+		return out, err
+	}
+	s, err := pass("opt.simplify", n, Simplify)
 	if err != nil {
 		return nil, err
 	}
-	s, err = BalanceXor(s)
+	s, err = pass("opt.balance-xor", s, BalanceXor)
 	if err != nil {
 		return nil, err
 	}
-	s, err = TechMap(s, MapFuseInverters)
+	s, err = pass("opt.techmap", s, func(x *netlist.Netlist) (*netlist.Netlist, error) {
+		return TechMap(x, MapFuseInverters)
+	})
 	if err != nil {
 		return nil, err
 	}
-	s, err = Simplify(s)
+	s, err = pass("opt.sweep", s, Simplify)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/galoisfield/gfre/internal/anf"
 	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/obs"
 )
 
 // Options configures a rewriting run.
@@ -31,6 +32,11 @@ type Options struct {
 	// Threads is the worker-pool size. 0 selects runtime.GOMAXPROCS(0).
 	// The paper's experiments use 16.
 	Threads int
+	// Recorder receives telemetry: per-bit start/finish events, the
+	// rewrite and cone-sort phase spans, and the substitutions /
+	// cancellations / live_terms / workers_busy metrics. nil disables
+	// instrumentation at negligible cost.
+	Recorder *obs.Recorder
 }
 
 // BitStats records the per-output-bit cost counters that Figure 4 and the
@@ -42,6 +48,7 @@ type BitStats struct {
 	Substitutions int           // rewriting iterations actually performed
 	PeakTerms     int           // largest intermediate polynomial size
 	FinalTerms    int           // terms in the extracted expression
+	Cancelled     int           // terms eliminated mod 2 across all substitutions (exact)
 	Runtime       time.Duration // wall time to rewrite this bit
 }
 
@@ -63,6 +70,15 @@ func (r *Result) TotalSubstitutions() int {
 	n := 0
 	for _, b := range r.Bits {
 		n += b.Substitutions
+	}
+	return n
+}
+
+// TotalCancelled sums the mod-2 term eliminations over all bits.
+func (r *Result) TotalCancelled() int {
+	n := 0
+	for _, b := range r.Bits {
+		n += b.Cancelled
 	}
 	return n
 }
@@ -92,6 +108,34 @@ func (r *Result) EstimatedMemBytes() int64 {
 	return total
 }
 
+// hooks carries pre-fetched metric handles into the rewriting hot loop, so
+// the instrumented path costs one predictable nil check per event site and
+// the registry lock is never touched mid-rewrite. A nil *hooks disables
+// everything.
+type hooks struct {
+	rec    *obs.Recorder
+	subst  *obs.Counter // substitutions performed
+	cancel *obs.Counter // terms eliminated mod 2
+	coneNs *obs.Counter // cone sorting, CPU ns summed over workers
+	live   *obs.Gauge   // resident terms across all in-flight bits
+	busy   *obs.Gauge   // workers currently rewriting a bit
+}
+
+func newHooks(rec *obs.Recorder) *hooks {
+	if rec == nil {
+		return nil
+	}
+	m := rec.Metrics()
+	return &hooks{
+		rec:    rec,
+		subst:  m.Counter("substitutions"),
+		cancel: m.Counter("cancellations"),
+		coneNs: m.Counter("cone_sort_ns"),
+		live:   m.Gauge("live_terms"),
+		busy:   m.Gauge("workers_busy"),
+	}
+}
+
 // Outputs rewrites every primary output of n into its canonical ANF.
 func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 	threads := opts.Threads
@@ -105,6 +149,12 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("rewrite: netlist %q has no outputs", n.Name)
 	}
 
+	rec := opts.Recorder
+	h := newHooks(rec)
+	span := rec.StartSpan("rewrite", map[string]int64{
+		"bits": int64(len(outs)), "threads": int64(threads),
+	})
+
 	start := time.Now()
 	jobs := make(chan int)
 	errs := make([]error, len(outs))
@@ -114,7 +164,10 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for bit := range jobs {
-				br, err := Output(n, outs[bit])
+				rec.BitStart(bit, names[bit])
+				h.busyAdd(1)
+				br, err := rewriteOutput(n, outs[bit], h)
+				h.busyAdd(-1)
 				if err != nil {
 					errs[bit] = err
 					continue
@@ -122,6 +175,12 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 				br.Bit = bit
 				br.Name = names[bit]
 				res.Bits[bit] = br
+				rec.BitFinish(obs.BitStats{
+					Bit: br.Bit, Name: br.Name, ConeGates: br.ConeGates,
+					Substitutions: br.Substitutions, PeakTerms: br.PeakTerms,
+					FinalTerms: br.FinalTerms, Cancelled: br.Cancelled,
+					Duration: br.Runtime,
+				})
 			}
 		}()
 	}
@@ -136,16 +195,36 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		}
 	}
 	res.Runtime = time.Since(start)
+	if h != nil {
+		// Cone sorting runs inside the workers; its span is CPU time summed
+		// across them, not a wall-clock bracket.
+		rec.RecordSpan("cone-sort", time.Duration(h.coneNs.Value()))
+	}
+	span.End()
 	return res, nil
+}
+
+func (h *hooks) busyAdd(delta int64) {
+	if h != nil {
+		h.busy.Add(delta)
+	}
 }
 
 // Output rewrites the single output driven by gate root into its canonical
 // ANF over primary inputs (Algorithm 1 restricted to root's cone).
 func Output(n *netlist.Netlist, root int) (BitResult, error) {
+	return rewriteOutput(n, root, nil)
+}
+
+func rewriteOutput(n *netlist.Netlist, root int, h *hooks) (BitResult, error) {
 	start := time.Now()
 	cone := n.Cone(root)
 	br := BitResult{}
 	br.ConeGates = len(cone)
+	if h != nil {
+		h.coneNs.Add(int64(time.Since(start)))
+		h.live.Add(1) // F₀ = z
+	}
 
 	f := anf.Variable(anf.Var(root))
 	br.PeakTerms = 1
@@ -161,7 +240,8 @@ func Output(n *netlist.Netlist, root int) (BitResult, error) {
 			continue
 		}
 		v := anf.Var(id)
-		if !f.ContainsVar(v) {
+		k := f.VarOccurrences(v)
+		if k == 0 {
 			// The gate's contribution cancelled out earlier; nothing to do.
 			continue
 		}
@@ -169,10 +249,22 @@ func Output(n *netlist.Netlist, root int) (BitResult, error) {
 		if err != nil {
 			return br, fmt.Errorf("rewrite: gate %d (%s): %w", id, n.NameOf(id), err)
 		}
+		before := f.Len()
 		f.Substitute(v, e)
+		after := f.Len()
 		br.Substitutions++
-		if l := f.Len(); l > br.PeakTerms {
-			br.PeakTerms = l
+		// Exact mod-2 accounting: the k occurrences of v expand to k·|e|
+		// terms, so before-k+k·|e| were produced and the shortfall vanished
+		// in cancelling pairs.
+		cancelled := before - k + k*e.Len() - after
+		br.Cancelled += cancelled
+		if after > br.PeakTerms {
+			br.PeakTerms = after
+		}
+		if h != nil {
+			h.subst.Inc()
+			h.cancel.Add(int64(cancelled))
+			h.live.Add(int64(after - before))
 		}
 	}
 
@@ -185,5 +277,8 @@ func Output(n *netlist.Netlist, root int) (BitResult, error) {
 	br.Expr = f
 	br.FinalTerms = f.Len()
 	br.Runtime = time.Since(start)
+	if h != nil {
+		h.live.Add(-int64(br.FinalTerms)) // bit retired; its terms leave the working set
+	}
 	return br, nil
 }

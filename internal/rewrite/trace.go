@@ -58,7 +58,8 @@ func TraceOutput(n *netlist.Netlist, root int, w io.Writer) (BitResult, error) {
 			continue
 		}
 		v := anf.Var(id)
-		if !f.ContainsVar(v) {
+		k := f.VarOccurrences(v)
+		if k == 0 {
 			continue
 		}
 		e, err := n.GateANF(id, varOf)
@@ -69,9 +70,13 @@ func TraceOutput(n *netlist.Netlist, root int, w io.Writer) (BitResult, error) {
 		f.Substitute(v, e)
 		br.Substitutions++
 		after := f.Len()
-		// Upper bound on terms the expansion produced; the shortfall is the
-		// number of mod-2 cancellations ("2x"-style eliminations).
-		produced := before - 1 + e.Len() // every occurrence replaced; >= is exact for single occurrence
+		// Exact count of the terms the expansion produced: each of the k
+		// occurrences of v expands to |e| terms, so the pre-cancellation
+		// size is before-k+k·|e| and the shortfall is the number of mod-2
+		// cancellations ("2x"-style eliminations) — always an even number,
+		// since collisions vanish in pairs.
+		produced := before - k + k*e.Len()
+		br.Cancelled += produced - after
 		elim := ""
 		if after < produced {
 			elim = fmt.Sprintf("   [%d terms cancelled mod 2]", produced-after)
