@@ -5,19 +5,25 @@ package main
 
 import (
 	"fmt"
-	"log"
-	"math/rand"
+	"io"
 	"os"
+	"path/filepath"
 
 	gfre "github.com/galoisfield/gfre"
 )
 
-func write(path string, n *gfre.Netlist, format string) {
-	f, err := os.Create(path)
-	if err != nil {
-		log.Fatal(err)
+func main() {
+	if err := run("testdata", os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gentestdata:", err)
+		os.Exit(1)
 	}
-	defer f.Close()
+}
+
+func write(dir, name string, n *gfre.Netlist, format string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
 	switch format {
 	case "eqn":
 		err = n.WriteEQN(f)
@@ -25,137 +31,86 @@ func write(path string, n *gfre.Netlist, format string) {
 		err = n.WriteBLIF(f)
 	case "verilog":
 		err = n.WriteVerilog(f)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
 	}
-	if err != nil {
-		log.Fatal(err)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
+	return err
 }
 
-// flipXor replaces the k-th XOR gate with OR (the trojan used in tests).
-func flipXor(n *gfre.Netlist, k int) *gfre.Netlist {
-	out := gfre.NewNetlist(n.Name + "_trojan")
-	mapping := make([]int, n.NumGates())
-	seen := 0
-	for id := 0; id < n.NumGates(); id++ {
-		g := n.Gate(id)
-		fanin := make([]int, len(g.Fanin))
-		for i, f := range g.Fanin {
-			fanin[i] = mapping[f]
-		}
-		var nid int
-		var err error
-		switch {
-		case g.Type == gfre.Input:
-			nid, err = out.AddInput(n.NameOf(id))
-		case g.Type == gfre.Xor:
-			ty := gfre.Xor
-			if seen == k {
-				ty = gfre.Or
-			}
-			seen++
-			nid, err = out.AddGate(ty, fanin...)
-		default:
-			nid, err = out.AddGate(g.Type, fanin...)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		mapping[id] = nid
+func run(dir string, stdout io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	names := n.OutputNames()
-	for i, id := range n.Outputs() {
-		if err := out.MarkOutput(names[i], mapping[id]); err != nil {
-			log.Fatal(err)
-		}
-	}
-	return out
-}
-
-func anonymize(n *gfre.Netlist, seed int64) *gfre.Netlist {
-	r := rand.New(rand.NewSource(seed))
-	ins := n.Inputs()
-	perm := r.Perm(len(ins))
-	out := gfre.NewNetlist(n.Name + "_anon")
-	mapping := make([]int, n.NumGates())
-	for newPos, oldPos := range perm {
-		id, err := out.AddInput(fmt.Sprintf("sig_%03d", newPos))
-		if err != nil {
-			log.Fatal(err)
-		}
-		mapping[ins[oldPos]] = id
-	}
-	for id := 0; id < n.NumGates(); id++ {
-		g := n.Gate(id)
-		if g.Type == gfre.Input {
-			continue
-		}
-		fanin := make([]int, len(g.Fanin))
-		for i, f := range g.Fanin {
-			fanin[i] = mapping[f]
-		}
-		nid, err := out.AddGate(g.Type, fanin...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		mapping[id] = nid
-	}
-	outs := n.Outputs()
-	operm := r.Perm(len(outs))
-	for newPos, oldPos := range operm {
-		if err := out.MarkOutput(fmt.Sprintf("port_%03d", newPos), mapping[outs[oldPos]]); err != nil {
-			log.Fatal(err)
-		}
-	}
-	return out
-}
-
-func main() {
 	p16, _ := gfre.DefaultPolynomial(16)
 	p12, _ := gfre.DefaultPolynomial(12)
 	p8, _ := gfre.DefaultPolynomial(8)
 
 	mast, err := gfre.NewMastrovito(16, p16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("testdata/mastrovito16.eqn", mast, "eqn")
+	if err := write(dir, "mastrovito16.eqn", mast, "eqn"); err != nil {
+		return err
+	}
 
 	mont, err := gfre.NewMontgomery(12, p12)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("testdata/montgomery12.blif", mont, "blif")
+	if err := write(dir, "montgomery12.blif", mont, "blif"); err != nil {
+		return err
+	}
 
 	kar, err := gfre.NewKaratsuba(16, p16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	syn, err := gfre.Synthesize(kar)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("testdata/karatsuba16_syn.v", syn, "verilog")
+	if err := write(dir, "karatsuba16_syn.v", syn, "verilog"); err != nil {
+		return err
+	}
 
 	ds, err := gfre.NewDigitSerial(8, p8, 3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mapped, err := gfre.TechMap(ds, gfre.MapNandHeavy)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("testdata/digitserial8_mapped.eqn", mapped, "eqn")
+	if err := write(dir, "digitserial8_mapped.eqn", mapped, "eqn"); err != nil {
+		return err
+	}
 
 	base, err := gfre.NewMastrovito(8, p8)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("testdata/trojan8.eqn", flipXor(base, 11), "eqn")
+	trojan, err := gfre.FlipXor(base, 11)
+	if err != nil {
+		return err
+	}
+	if err := write(dir, "trojan8.eqn", trojan, "eqn"); err != nil {
+		return err
+	}
 
 	m16, err := gfre.NewMastrovito(16, p16)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write("testdata/scrambled16.eqn", anonymize(m16, 42), "eqn")
-	fmt.Println("testdata regenerated")
+	scrambled, err := gfre.Scramble(m16, 42)
+	if err != nil {
+		return err
+	}
+	if err := write(dir, "scrambled16.eqn", scrambled, "eqn"); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "testdata regenerated")
+	return nil
 }

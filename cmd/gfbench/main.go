@@ -81,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout)
 		}
 		if *benchjson != "" {
+			if err := os.MkdirAll(*benchjson, 0o755); err != nil {
+				return err
+			}
 			for _, r := range rows {
 				path := filepath.Join(*benchjson, eval.BenchFileName(r))
 				f, err := os.Create(path)

@@ -83,7 +83,9 @@ func TestRunArchComparison(t *testing.T) {
 }
 
 func TestRunBenchJSON(t *testing.T) {
-	dir := t.TempDir()
+	// A nested directory that does not exist yet: -benchjson must create it
+	// rather than fail at the first os.Create.
+	dir := filepath.Join(t.TempDir(), "out", "bench")
 	var out, errOut bytes.Buffer
 	if err := run([]string{"-table", "1", "-m", "64", "-skip-figure4", "-benchjson", dir}, &out, &errOut); err != nil {
 		t.Fatalf("%v\n%s", err, errOut.String())

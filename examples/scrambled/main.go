@@ -13,56 +13,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	gfre "github.com/galoisfield/gfre"
 )
-
-// anonymize rebuilds n with inputs shuffled and renamed sig_###, outputs
-// shuffled and renamed port_### — destroying every naming hint.
-func anonymize(n *gfre.Netlist, seed int64) (*gfre.Netlist, error) {
-	r := rand.New(rand.NewSource(seed))
-	ins := n.Inputs()
-	perm := r.Perm(len(ins))
-	out := gfre.NewNetlist(n.Name + "_anon")
-	mapping := make([]int, n.NumGates())
-	for newPos, oldPos := range perm {
-		id, err := out.AddInput(fmt.Sprintf("sig_%03d", newPos))
-		if err != nil {
-			return nil, err
-		}
-		mapping[ins[oldPos]] = id
-	}
-	for id := 0; id < n.NumGates(); id++ {
-		g := n.Gate(id)
-		if g.Type == gfre.Input {
-			continue
-		}
-		fanin := make([]int, len(g.Fanin))
-		for i, f := range g.Fanin {
-			fanin[i] = mapping[f]
-		}
-		var nid int
-		var err error
-		if g.Type == gfre.Lut {
-			nid, err = out.AddLut(g.Table, fanin...)
-		} else {
-			nid, err = out.AddGate(g.Type, fanin...)
-		}
-		if err != nil {
-			return nil, err
-		}
-		mapping[id] = nid
-	}
-	outs := n.Outputs()
-	operm := r.Perm(len(outs))
-	for newPos, oldPos := range operm {
-		if err := out.MarkOutput(fmt.Sprintf("port_%03d", newPos), mapping[outs[oldPos]]); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
 
 func main() {
 	secret := gfre.MustParsePoly("x^32+x^7+x^3+x^2+1")
@@ -70,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	anon, err := anonymize(clean, 0xC0FFEE)
+	anon, err := gfre.Scramble(clean, 0xC0FFEE)
 	if err != nil {
 		log.Fatal(err)
 	}

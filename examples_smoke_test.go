@@ -1,0 +1,41 @@
+package gfre_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRunClean builds and runs every example program and requires a
+// zero exit status — the examples double as end-to-end smoke tests of the
+// public API, and this keeps them from rotting as it evolves.
+func TestExamplesRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are compiled and executed; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

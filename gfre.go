@@ -34,8 +34,10 @@ package gfre
 import (
 	"fmt"
 	"io"
+	"math/rand"
 
 	"github.com/galoisfield/gfre/internal/anf"
+	"github.com/galoisfield/gfre/internal/diffcheck"
 	"github.com/galoisfield/gfre/internal/extract"
 	"github.com/galoisfield/gfre/internal/gen"
 	"github.com/galoisfield/gfre/internal/gf2m"
@@ -304,6 +306,19 @@ func VerifyAgainst(n *Netlist, p Poly, opts Options) (*Extraction, error) {
 // MapAOI fuses inverted AND-OR/OR-AND trees into AOI21/AOI22/OAI21/OAI22
 // complex cells (function-preserving; sharing-aware).
 func MapAOI(n *Netlist) (*Netlist, error) { return opt.MapAOI(n) }
+
+// Scramble rebuilds n with inputs and outputs shuffled and renamed to
+// meaningless sig_###/port_### identifiers — the obfuscated third-party-IP
+// adversary ExtractInferred is built for. Deterministic in (n, seed).
+func Scramble(n *Netlist, seed int64) (*Netlist, error) { return diffcheck.Scramble(n, seed) }
+
+// FlipXor returns a copy of n with its k-th XOR gate replaced by OR — the
+// single-gate trojan used to exercise verification failure paths.
+func FlipXor(n *Netlist, k int) (*Netlist, error) { return diffcheck.FlipXor(n, k) }
+
+// RandomIrreducible samples a uniformly random irreducible polynomial of
+// degree m by rejection, for randomized differential testing.
+func RandomIrreducible(r *rand.Rand, m int) (Poly, error) { return gf2poly.RandomIrreducible(r, m) }
 
 // Report renders a human-readable analysis of an extraction (polynomial
 // class, standard-catalog matches, primitivity, rewriting cost).

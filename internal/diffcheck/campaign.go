@@ -1,0 +1,330 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// Config bounds a differential campaign.
+type Config struct {
+	// N is the number of cases; Seed makes the whole campaign deterministic
+	// (case i depends only on Seed and i, not on scheduling).
+	N    int
+	Seed int64
+	// Workers is the parallel case-runner count (0 = GOMAXPROCS).
+	Workers int
+	// Timeout is the per-case budget (0 = 30s). A timed-out case is a
+	// failure; its goroutine is abandoned, which a fuzzing campaign accepts
+	// in exchange for forward progress.
+	Timeout time.Duration
+
+	// MinM..MaxM is the field-size range (defaults 3..12).
+	MinM, MaxM int
+	// Archs and Formats restrict sampling (defaults: all).
+	Archs   []Arch
+	Formats []Format
+	// MaxOptPasses bounds the random pass sequence per case (default 2).
+	MaxOptPasses int
+	// Scramble enables port-scrambled cases (extraction must then infer the
+	// operand partition and bit orders).
+	Scramble bool
+	// Adversarial mixes in one random-DAG robustness case every this many
+	// cases (0 = off).
+	Adversarial int
+	// Inject plants a flipped XOR in every multiplier case (see Case.Inject)
+	// to prove the harness catches and minimizes real faults.
+	Inject int
+
+	// SimTrials is the 64-vector word count per simulation oracle (default 2).
+	SimTrials int
+	// Threads is the per-case rewriting worker count (default 1: the
+	// campaign parallelizes across cases instead).
+	Threads int
+
+	// Recorder streams campaign telemetry (case_start / case_pass /
+	// case_fail events and the campaign span); nil disables it.
+	Recorder *obs.Recorder
+	// ReproDir, when set, receives a minimized .eqn repro per failure.
+	ReproDir string
+	// Minimize shrinks failing netlists before writing repros (default on
+	// when ReproDir is set; requires a functional deviation to hold onto).
+	Minimize bool
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.N <= 0 {
+		cfg.N = 100
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MinM < 2 {
+		cfg.MinM = 3
+	}
+	if cfg.MaxM < cfg.MinM {
+		cfg.MaxM = cfg.MinM + 9
+	}
+	if len(cfg.Archs) == 0 {
+		cfg.Archs = AllArchs()
+	}
+	if len(cfg.Formats) == 0 {
+		cfg.Formats = AllFormats()
+	}
+	if cfg.MaxOptPasses == 0 {
+		cfg.MaxOptPasses = 2
+	}
+	if cfg.SimTrials <= 0 {
+		cfg.SimTrials = 2
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+}
+
+// NewCase deterministically samples case idx of a campaign.
+func NewCase(idx int, cfg Config) Case {
+	cfg.setDefaults()
+	// Per-case generator: mix the index into the seed with a splitmix-style
+	// odd constant so neighboring cases decorrelate.
+	seed := cfg.Seed + int64(idx)*-0x61C8864680B583EB + 1
+	r := rand.New(rand.NewSource(seed))
+	c := Case{
+		Index:     idx,
+		Seed:      seed,
+		Kind:      KindMultiplier,
+		SimTrials: cfg.SimTrials,
+		Threads:   cfg.Threads,
+	}
+	if cfg.Adversarial > 0 && idx%cfg.Adversarial == cfg.Adversarial-1 {
+		c.Kind = KindAdversarial
+		return c
+	}
+	c.Inject = cfg.Inject
+	c.M = cfg.MinM + r.Intn(cfg.MaxM-cfg.MinM+1)
+	p, err := gf2poly.RandomIrreducible(r, c.M)
+	if err != nil {
+		// Unreachable for m >= 1; degrade to the standard choice.
+		p = gf2poly.MustParse("x^8+x^4+x^3+x+1")
+		c.M = 8
+	}
+	c.P = p
+	c.Arch = cfg.Archs[r.Intn(len(cfg.Archs))]
+	if c.Arch == ArchDigitSerial {
+		max := c.M - 1
+		if max > 8 {
+			max = 8
+		}
+		if max < 1 {
+			max = 1
+		}
+		c.Digit = 1 + r.Intn(max)
+	}
+	if k := r.Intn(cfg.MaxOptPasses + 1); k > 0 {
+		perm := r.Perm(len(PassNames))
+		for _, pi := range perm[:k] {
+			c.Opt = append(c.Opt, PassNames[pi])
+		}
+	}
+	c.Format = cfg.Formats[r.Intn(len(cfg.Formats))]
+	if cfg.Scramble && r.Intn(4) == 0 && InferenceSafe(c.P) {
+		c.Scramble = true
+	}
+	return c
+}
+
+// InferenceSafe reports whether port inference is unambiguous for p: every
+// reduced power x^k mod p for m <= k <= 2m-2 must have weight >= 2 (see
+// package extract's port-inference preconditions). Rare low-order
+// polynomials fail this; scrambled cases skip them rather than demand the
+// impossible from inference.
+func InferenceSafe(p gf2poly.Poly) bool {
+	m := p.Deg()
+	for k := m; k <= 2*m-2; k++ {
+		if gf2poly.Monomial(k).Mod(p).Weight() < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Cases    int
+	Passed   int
+	Failed   int
+	Panics   int
+	Timeouts int
+	Duration time.Duration
+	// ByArch / ByFormat count cases per dimension (failures in parens are
+	// tracked separately in Failures).
+	ByArch   map[string]int
+	ByFormat map[string]int
+	// Failures holds every failing result, in case order.
+	Failures []Result
+	// Repros lists written repro file paths, parallel to Failures where
+	// minimization succeeded ("" where it did not apply).
+	Repros []string
+}
+
+// RunCampaign executes cfg.N deterministic cases on a worker pool and
+// aggregates the outcomes. The error return reports campaign-infrastructure
+// problems only (e.g. an unwritable repro directory); case failures are
+// reported through the summary.
+func RunCampaign(cfg Config) (*Summary, error) {
+	cfg.setDefaults()
+	if cfg.ReproDir != "" {
+		if err := os.MkdirAll(cfg.ReproDir, 0o755); err != nil {
+			return nil, err
+		}
+		cfg.Minimize = true
+	}
+	rec := cfg.Recorder
+	span := rec.StartSpan("diffcheck.campaign", map[string]int64{
+		"cases": int64(cfg.N), "workers": int64(cfg.Workers), "seed": cfg.Seed,
+	})
+
+	jobs := make(chan int)
+	results := make(chan Result)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				c := NewCase(idx, cfg)
+				rec.Emit("case_start", c.Label(), map[string]int64{"case": int64(idx)})
+				results <- runWithTimeout(c, cfg.Timeout)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < cfg.N; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	sum := &Summary{ByArch: map[string]int{}, ByFormat: map[string]int{}}
+	start := time.Now()
+	collected := make([]Result, 0, cfg.N)
+	for res := range results {
+		collected = append(collected, res)
+		ev := "case_pass"
+		if res.Status == Fail {
+			ev = "case_fail"
+		}
+		rec.Emit(ev, res.Case.Label(), map[string]int64{
+			"case": int64(res.Case.Index), "m": int64(res.Case.M),
+			"gates": int64(res.Gates), "dur_ns": int64(res.Dur),
+		})
+		rec.Metrics().Counter("diffcheck_" + string(res.Status)).Inc()
+	}
+	// Deterministic report order regardless of worker scheduling.
+	sort.Slice(collected, func(i, j int) bool { return collected[i].Case.Index < collected[j].Case.Index })
+
+	for _, res := range collected {
+		sum.Cases++
+		key := string(res.Case.Arch)
+		if res.Case.Kind == KindAdversarial {
+			key = "adversarial"
+		}
+		sum.ByArch[key]++
+		if res.Case.Kind == KindMultiplier {
+			sum.ByFormat[string(res.Case.Format)]++
+		}
+		if res.Status == Pass {
+			sum.Passed++
+			continue
+		}
+		sum.Failed++
+		if res.Panicked {
+			sum.Panics++
+		}
+		if res.Stage == "timeout" {
+			sum.Timeouts++
+		}
+		repro := ""
+		if cfg.Minimize && cfg.ReproDir != "" && res.Netlist != nil {
+			if path, err := writeRepro(cfg.ReproDir, res); err == nil {
+				repro = path
+			}
+		}
+		sum.Failures = append(sum.Failures, res)
+		sum.Repros = append(sum.Repros, repro)
+	}
+	sum.Duration = time.Since(start)
+	span.End()
+	return sum, nil
+}
+
+// runWithTimeout runs the case on its own goroutine and abandons it past
+// the deadline (Run itself converts panics into Fail results).
+func runWithTimeout(c Case, timeout time.Duration) Result {
+	done := make(chan Result, 1)
+	go func() { done <- Run(c) }()
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(timeout):
+		return Result{
+			Case:   c,
+			Status: Fail,
+			Stage:  "timeout",
+			Err:    fmt.Sprintf("case exceeded %v", timeout),
+		}
+	}
+}
+
+// writeRepro minimizes the failing netlist (when it functionally deviates
+// from the planted specification) and writes it as an .eqn repro file.
+func writeRepro(dir string, res Result) (string, error) {
+	n := res.Netlist
+	if min, err := Minimize(n, MinimizeOptions{
+		P:       res.Case.P,
+		Binding: res.Binding,
+		Seed:    res.Case.Seed,
+	}); err == nil {
+		n = min
+	}
+	n.Name = fmt.Sprintf("repro_case%d_%s", res.Case.Index, sanitize(res.Case.Label()))
+	path := filepath.Join(dir, fmt.Sprintf("repro_case%d.eqn", res.Case.Index))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	werr := n.WriteEQN(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	return path, nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

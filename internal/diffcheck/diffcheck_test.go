@@ -1,0 +1,165 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+func TestRunPassesEveryArchitecture(t *testing.T) {
+	p8 := gf2poly.MustParse("x^8+x^4+x^3+x+1")
+	for _, arch := range AllArchs() {
+		c := Case{Kind: KindMultiplier, M: 8, P: p8, Arch: arch, Digit: 3, Format: FormatNone}
+		res := Run(c)
+		if res.Status != Pass {
+			t.Errorf("%s: %s at %s: %s", arch, res.Status, res.Stage, res.Err)
+		}
+	}
+}
+
+func TestRunPassesEveryFormatAndScramble(t *testing.T) {
+	p, err := gf2poly.RandomIrreducible(rand.New(rand.NewSource(5)), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range AllFormats() {
+		for _, scramble := range []bool{false, true} {
+			if scramble && !InferenceSafe(p) {
+				t.Skip("sampled polynomial not inference-safe")
+			}
+			c := Case{Kind: KindMultiplier, M: 9, P: p, Arch: ArchMastrovito,
+				Format: format, Scramble: scramble, Seed: 17}
+			res := Run(c)
+			if res.Status != Pass {
+				t.Errorf("%s/scramble=%v: %s at %s: %s", format, scramble, res.Status, res.Stage, res.Err)
+			}
+		}
+	}
+}
+
+func TestRunWithOptPasses(t *testing.T) {
+	p8 := gf2poly.MustParse("x^8+x^4+x^3+x+1")
+	for _, passes := range [][]string{{"simplify"}, {"synth"}, {"balance", "techmap-nand"}, {"aoi", "simplify"}} {
+		c := Case{Kind: KindMultiplier, M: 8, P: p8, Arch: ArchKaratsuba,
+			Opt: passes, Format: FormatBLIF, Seed: 3}
+		res := Run(c)
+		if res.Status != Pass {
+			t.Errorf("%v: %s at %s: %s", passes, res.Status, res.Stage, res.Err)
+		}
+	}
+}
+
+func TestRunCatchesInjectedBug(t *testing.T) {
+	// A single flipped gate anywhere must surface at one of the oracle
+	// stages — this is the harness's reason to exist.
+	p8 := gf2poly.MustParse("x^8+x^4+x^3+x+1")
+	n, err := gen.Mastrovito(8, p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 7, 23} {
+		bad, err := FlipXor(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd := CanonicalBinding(8)
+		if err := SimOracle(bad, p8, bd, 4, 1); err == nil {
+			t.Errorf("flip %d: simulation oracle missed the corruption", k)
+		}
+		dev, err := Deviations(bad, p8, bd, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dev) == 0 {
+			t.Errorf("flip %d: exhaustive deviation check found nothing", k)
+		}
+	}
+}
+
+func TestScrambleKeepsFunctionAndMap(t *testing.T) {
+	p8 := gf2poly.MustParse("x^8+x^4+x^3+x+1")
+	n, err := gen.Mastrovito(8, p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, sm, err := ScrambleMapped(n, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Gate) != n.NumGates() || len(sm.OutPos) != 8 {
+		t.Fatalf("scramble map sizes: %d gates, %d outputs", len(sm.Gate), len(sm.OutPos))
+	}
+	for _, nm := range sc.OutputNames() {
+		if !strings.HasPrefix(nm, "port_") {
+			t.Fatalf("output %q not anonymized", nm)
+		}
+	}
+	// The mapped binding must still satisfy the simulation oracle.
+	bd := CanonicalBinding(8).afterScramble(n, sc, sm)
+	if err := SimOracle(sc, p8, bd, 4, 2); err != nil {
+		t.Fatalf("scrambled netlist fails the sim oracle through the map: %v", err)
+	}
+}
+
+func TestInferenceSafe(t *testing.T) {
+	// x^4+x^3+x^2+x+1 has ord(x)=5 < 2m-1: the documented ambiguous corner.
+	if InferenceSafe(gf2poly.MustParse("x^4+x^3+x^2+x+1")) {
+		t.Error("low-order pentanomial should be inference-unsafe")
+	}
+	for _, m := range []int{8, 16, 32} {
+		if !InferenceSafe(polytab.NIST[m]) {
+			t.Errorf("NIST polynomial for m=%d should be inference-safe", m)
+		}
+	}
+}
+
+func TestAdversarialCasesSurvive(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(Case{Kind: KindAdversarial, Seed: seed})
+		if res.Status != Pass {
+			t.Errorf("seed %d: %s at %s: %s", seed, res.Status, res.Stage, res.Err)
+		}
+	}
+}
+
+func TestRunNeverPanicsOutward(t *testing.T) {
+	// An impossible case (unknown arch) must come back as a Fail result,
+	// not a panic or a zero value.
+	res := Run(Case{Kind: KindMultiplier, M: 4, P: gf2poly.MustParse("x^4+x+1"), Arch: "nosuch"})
+	if res.Status != Fail || res.Stage != "gen" {
+		t.Errorf("got %s at %q", res.Status, res.Stage)
+	}
+}
+
+func TestNewCaseDeterministic(t *testing.T) {
+	cfg := Config{N: 50, Seed: 42, Scramble: true, Adversarial: 8}
+	for i := 0; i < 50; i++ {
+		a, b := NewCase(i, cfg), NewCase(i, cfg)
+		if a.Label() != b.Label() || !a.P.Equal(b.P) || a.Seed != b.Seed {
+			t.Fatalf("case %d not deterministic: %s vs %s", i, a.Label(), b.Label())
+		}
+	}
+}
+
+func TestCampaignSmallCleanRun(t *testing.T) {
+	sum, err := RunCampaign(Config{
+		N: 24, Seed: 7, Workers: 4, MinM: 3, MaxM: 8,
+		Scramble: true, Adversarial: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cases != 24 || sum.Passed != 24 || sum.Failed != 0 {
+		for _, f := range sum.Failures {
+			t.Logf("failure: %s at %s: %s", f.Case.Label(), f.Stage, f.Err)
+		}
+		t.Fatalf("campaign: %d cases, %d passed, %d failed", sum.Cases, sum.Passed, sum.Failed)
+	}
+	if sum.ByArch["adversarial"] != 4 {
+		t.Errorf("expected 4 adversarial cases, got %d", sum.ByArch["adversarial"])
+	}
+}

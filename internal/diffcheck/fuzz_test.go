@@ -1,0 +1,55 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gf2poly"
+)
+
+// FuzzPipeline drives the full differential pipeline from fuzzed scalars:
+// every reachable (m, P, architecture, opt passes, format, scramble)
+// combination must come back Pass — generation, optimization, scrambling,
+// serialization and extraction all agree on the planted polynomial. The
+// scalars are folded into valid ranges rather than rejected so the fuzzer's
+// mutations always reach the pipeline.
+func FuzzPipeline(f *testing.F) {
+	f.Add(int64(1), byte(8), byte(0), byte(1), byte(0), false)
+	f.Add(int64(7), byte(5), byte(2), byte(2), byte(3), true)
+	f.Add(int64(42), byte(10), byte(4), byte(3), byte(9), false)
+	f.Fuzz(func(t *testing.T, seed int64, mRaw, archRaw, formatRaw, optMask byte, scramble bool) {
+		m := 3 + int(mRaw)%8 // 3..10: exhaustive enough, fast enough
+		r := rand.New(rand.NewSource(seed))
+		p, err := gf2poly.RandomIrreducible(r, m)
+		if err != nil {
+			t.Fatalf("no irreducible polynomial of degree %d: %v", m, err)
+		}
+		archs := AllArchs()
+		formats := AllFormats()
+		c := Case{
+			Kind:   KindMultiplier,
+			Seed:   seed,
+			M:      m,
+			P:      p,
+			Arch:   archs[int(archRaw)%len(archs)],
+			Format: formats[int(formatRaw)%len(formats)],
+		}
+		if c.Arch == ArchDigitSerial {
+			c.Digit = 1 + int(archRaw/8)%(m-1)
+		}
+		// optMask selects an ordered subset of passes, capped at two so a
+		// single exec stays in the low milliseconds.
+		for i, name := range PassNames {
+			if optMask&(1<<uint(i)) != 0 && len(c.Opt) < 2 {
+				c.Opt = append(c.Opt, name)
+			}
+		}
+		if scramble && InferenceSafe(p) {
+			c.Scramble = true
+		}
+		res := Run(c)
+		if res.Status != Pass {
+			t.Fatalf("%s: failed at %s: %s", c.Label(), res.Stage, res.Err)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package diffcheck
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlist"
+)
+
+// TestMinimizeReductionNetworkBug encodes the headline acceptance criterion:
+// a deliberately injected reduction-network bug must be caught and minimized
+// to a repro of fewer than 50 gates, without the minimizer sliding off onto
+// a different (easier) bug.
+func TestMinimizeReductionNetworkBug(t *testing.T) {
+	p8 := gf2poly.MustParse("x^8+x^4+x^3+x+1")
+	n, err := gen.Mastrovito(8, p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mastrovito builds the m^2 partial products first (m^2 - (2m-1) XORs in
+	// the column trees), then the reduction network as the final XOR trees —
+	// so any flip index >= m^2-(2m-1) corrupts the reduction network.
+	m := 8
+	redStart := m*m - (2*m - 1)
+	nx := CountXor(n)
+	if nx <= redStart {
+		t.Fatalf("expected reduction-network XORs beyond index %d, have %d total", redStart, nx)
+	}
+	bd := CanonicalBinding(m)
+	for _, k := range []int{redStart + 1, (redStart + nx) / 2, nx - 1} {
+		bad, err := FlipXor(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := Minimize(bad, MinimizeOptions{P: p8, Binding: bd, Seed: 1})
+		if err != nil {
+			t.Fatalf("flip %d: minimize: %v", k, err)
+		}
+		if min.NumGates() >= 50 {
+			t.Errorf("flip %d: repro has %d gates, want < 50 (started from %d)",
+				k, min.NumGates(), bad.NumGates())
+		}
+		// The repro must still exhibit the planted bug, not merely be small.
+		dev, err := Deviations(min, p8, bd, 1)
+		if err != nil {
+			t.Fatalf("flip %d: deviation check on repro: %v", k, err)
+		}
+		if len(dev) == 0 {
+			t.Errorf("flip %d: minimized repro no longer deviates from the spec", k)
+		}
+		// And it must survive the repro file format round trip intact.
+		var buf bytes.Buffer
+		if err := min.WriteEQN(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := netlist.ReadEQN(&buf, min.Name)
+		if err != nil {
+			t.Fatalf("flip %d: repro does not re-parse: %v", k, err)
+		}
+		// Parsing may add one alias buffer for the output port; nothing more.
+		if back.NumGates() > min.NumGates()+1 {
+			t.Errorf("flip %d: EQN round trip grew gate count %d -> %d",
+				k, min.NumGates(), back.NumGates())
+		}
+		bdev, err := Deviations(back, p8, bd, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bdev) == 0 {
+			t.Errorf("flip %d: round-tripped repro no longer deviates", k)
+		}
+	}
+}
+
+func TestMinimizeRejectsCorrectNetlist(t *testing.T) {
+	p8 := gf2poly.MustParse("x^8+x^4+x^3+x+1")
+	n, err := gen.Mastrovito(8, p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Minimize(n, MinimizeOptions{P: p8, Binding: CanonicalBinding(8), Seed: 1}); err == nil {
+		t.Fatal("minimizing a correct multiplier must fail: there is no bug to hold onto")
+	}
+}
+
+// TestCampaignInjectWritesMinimizedRepros drives the self-check path end to
+// end: every multiplier case carries a flipped XOR, the campaign must catch
+// all of them at the first oracle and write a parseable, smaller repro.
+func TestCampaignInjectWritesMinimizedRepros(t *testing.T) {
+	dir := t.TempDir()
+	sum, err := RunCampaign(Config{
+		N: 6, Seed: 3, Workers: 2, MinM: 4, MaxM: 8,
+		Inject: 5, ReproDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != sum.Cases || sum.Passed != 0 {
+		t.Fatalf("injected campaign: %d/%d cases failed, want all", sum.Failed, sum.Cases)
+	}
+	for i, res := range sum.Failures {
+		if res.Stage != "sim-gen" {
+			t.Errorf("case %d: caught at %q, want the first oracle (sim-gen)", res.Case.Index, res.Stage)
+		}
+		repro := sum.Repros[i]
+		if repro == "" {
+			t.Errorf("case %d: no repro written", res.Case.Index)
+			continue
+		}
+		f, err := os.Open(repro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, rerr := netlist.ReadEQN(f, filepath.Base(repro))
+		f.Close()
+		if rerr != nil {
+			t.Errorf("case %d: repro %s does not parse: %v", res.Case.Index, repro, rerr)
+			continue
+		}
+		if back.NumGates() == 0 || back.NumGates() > res.Gates {
+			t.Errorf("case %d: repro has %d gates, original had %d", res.Case.Index, back.NumGates(), res.Gates)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/galoisfield/gfre/internal/netlist"
+)
+
+// ScrambleMap records how Scramble permuted a netlist: Gate maps old gate
+// IDs to new ones, OutPos maps old output positions to new positions.
+type ScrambleMap struct {
+	Gate   []int
+	OutPos []int
+}
+
+// Scramble rebuilds n with the primary inputs shuffled and renamed sig_###
+// and the outputs shuffled and renamed port_### — the "obfuscated
+// third-party IP" adversary of the paper's threat model, destroying every
+// naming hint extraction could rely on. Deterministic in (n, seed).
+func Scramble(n *netlist.Netlist, seed int64) (*netlist.Netlist, error) {
+	s, _, err := ScrambleMapped(n, seed)
+	return s, err
+}
+
+// ScrambleMapped is Scramble returning the permutation, so callers that
+// planted the design can still locate its ports afterwards.
+func ScrambleMapped(n *netlist.Netlist, seed int64) (*netlist.Netlist, *ScrambleMap, error) {
+	r := rand.New(rand.NewSource(seed))
+	ins := n.Inputs()
+	perm := r.Perm(len(ins))
+	out := netlist.New(n.Name + "_anon")
+	mapping := make([]int, n.NumGates())
+	for newPos, oldPos := range perm {
+		id, err := out.AddInput(fmt.Sprintf("sig_%03d", newPos))
+		if err != nil {
+			return nil, nil, err
+		}
+		mapping[ins[oldPos]] = id
+	}
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = mapping[f]
+		}
+		var nid int
+		var err error
+		if g.Type == netlist.Lut {
+			nid, err = out.AddLut(g.Table, fanin...)
+		} else {
+			nid, err = out.AddGate(g.Type, fanin...)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		mapping[id] = nid
+	}
+	outs := n.Outputs()
+	operm := r.Perm(len(outs))
+	outPos := make([]int, len(outs))
+	for newPos, oldPos := range operm {
+		if err := out.MarkOutput(fmt.Sprintf("port_%03d", newPos), mapping[outs[oldPos]]); err != nil {
+			return nil, nil, err
+		}
+		outPos[oldPos] = newPos
+	}
+	return out, &ScrambleMap{Gate: mapping, OutPos: outPos}, nil
+}
+
+// FlipXor returns a copy of n with its k-th XOR gate (in creation order)
+// replaced by OR — the single-gate trojan used to prove the differential
+// harness catches real function corruptions. Signal names of internal gates
+// are dropped; port names and order are preserved.
+func FlipXor(n *netlist.Netlist, k int) (*netlist.Netlist, error) {
+	out := netlist.New(n.Name + "_trojan")
+	mapping := make([]int, n.NumGates())
+	seen := 0
+	flipped := false
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = mapping[f]
+		}
+		var nid int
+		var err error
+		switch {
+		case g.Type == netlist.Input:
+			nid, err = out.AddInput(n.NameOf(id))
+		case g.Type == netlist.Lut:
+			nid, err = out.AddLut(g.Table, fanin...)
+		case g.Type == netlist.Xor:
+			ty := netlist.Xor
+			if seen == k {
+				ty = netlist.Or
+				flipped = true
+			}
+			seen++
+			nid, err = out.AddGate(ty, fanin...)
+		default:
+			nid, err = out.AddGate(g.Type, fanin...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		mapping[id] = nid
+	}
+	if !flipped {
+		return nil, fmt.Errorf("diffcheck: netlist has only %d XOR gates, cannot flip #%d", seen, k)
+	}
+	names := n.OutputNames()
+	for i, id := range n.Outputs() {
+		if err := out.MarkOutput(names[i], mapping[id]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CountXor returns the number of XOR gates in n (the valid k range of
+// FlipXor is [0, CountXor)).
+func CountXor(n *netlist.Netlist) int {
+	c := 0
+	for id := 0; id < n.NumGates(); id++ {
+		if n.Gate(id).Type == netlist.Xor {
+			c++
+		}
+	}
+	return c
+}

@@ -1,6 +1,7 @@
 package polytab
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/galoisfield/gfre/internal/gf2poly"
@@ -243,5 +244,34 @@ func TestCountIrreducibleKnownValues(t *testing.T) {
 	}
 	if _, err := CountIrreducible(63); err == nil {
 		t.Error("m=63 should fail")
+	}
+}
+
+// TestNISTTableBerlekampCrossCheck re-validates every standardized
+// polynomial with the independent Berlekamp nullity test: the two
+// irreducibility algorithms share no code path, so agreement on the full
+// table (up to degree 571) is a strong differential check. A one-bit
+// corruption of each polynomial must also be flagged by both.
+func TestNISTTableBerlekampCrossCheck(t *testing.T) {
+	check := func(name string, p gf2poly.Poly) {
+		if !p.IrreducibleBerlekamp() {
+			t.Errorf("%s = %v: Berlekamp disagrees with Rabin on irreducibility", name, p)
+		}
+		// Corrupt the lowest interior term; the damaged polynomial must not
+		// pass either test pretending to be the standardized one.
+		terms := p.Terms()
+		if len(terms) < 3 {
+			t.Fatalf("%s = %v: not a standards-shaped polynomial", name, p)
+		}
+		bad := p.Add(gf2poly.Monomial(terms[1] + 1))
+		if bad.Irreducible() != bad.IrreducibleBerlekamp() {
+			t.Errorf("%s: algorithms disagree on corrupted %v", name, bad)
+		}
+	}
+	for _, m := range NISTSizes {
+		check(fmt.Sprintf("NIST[%d]", m), NIST[m])
+	}
+	for _, ap := range Arch233 {
+		check("Arch233/"+ap.Arch, ap.P)
 	}
 }
