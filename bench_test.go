@@ -13,8 +13,10 @@
 package gfre_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	gfre "github.com/galoisfield/gfre"
 	"github.com/galoisfield/gfre/internal/eval"
@@ -151,7 +153,11 @@ func BenchmarkFigure4(b *testing.B) {
 // pipeline: "norecorder" is the nil-recorder path (every instrumentation
 // site reduced to one predictable branch — expected within 2% of the
 // pre-telemetry pipeline), "recorder" attaches a full recorder with an
-// in-memory sink, i.e. the -json / gfbench configuration.
+// in-memory sink, i.e. the -json / gfbench configuration, and "governed"
+// turns on the full resource governor (context deadline, per-cone deadline,
+// term budget) on a clean circuit that never trips any limit — expected
+// within 2% of "norecorder", since governance on the happy path is one
+// counter compare and one atomic load per substitution batch.
 func BenchmarkExtract(b *testing.B) {
 	p, _ := gfre.NISTPolynomial(64)
 	n, err := gfre.NewMastrovitoMatrix(64, p)
@@ -175,6 +181,23 @@ func BenchmarkExtract(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rec := gfre.NewRecorder(gfre.NewMemorySink())
 			ext, err := gfre.Extract(n, gfre.Options{Threads: eval.Threads, SkipVerify: true, Recorder: rec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ext.P.Equal(p) {
+				b.Fatal("wrong P")
+			}
+		}
+	})
+	b.Run("governed", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ext, err := gfre.Extract(n, gfre.Options{
+				Threads: eval.Threads, SkipVerify: true,
+				Ctx: ctx, ConeDeadline: time.Hour, BudgetTerms: 1 << 30,
+			})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		arch      = fs.Int("archcmp", 0, "also run the architecture-comparison extension at this field size (0 = off)")
 		jsonOut   = fs.Bool("json", false, "emit tables as JSON instead of text")
 		benchjson = fs.String("benchjson", "", "also write one machine-readable BENCH_<design>_m<M>.json (phase + per-bit breakdowns) per row into this directory")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); rows abort with a resource error past it")
+		coneTO    = fs.Duration("cone-timeout", 0, "per-output-cone rewriting deadline (0 = none)")
+		budget    = fs.Int("budget", 0, "per-cone term budget; cones abort with ErrBudgetExceeded past it (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +72,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	szs, err := parseSizes(*sizes)
 	if err != nil {
 		return err
+	}
+	var ropts []eval.RunOption
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ropts = append(ropts, eval.WithContext(ctx))
+	}
+	if *coneTO > 0 {
+		ropts = append(ropts, eval.WithConeDeadline(*coneTO))
+	}
+	if *budget > 0 {
+		ropts = append(ropts, eval.WithBudget(*budget))
 	}
 	want := func(t string) bool { return *table == "all" || *table == t }
 	emit := func(title string, rows []eval.Row) error {
@@ -104,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if want("1") {
-		rows, err := eval.TableI(szs)
+		rows, err := eval.TableI(szs, ropts...)
 		if err != nil {
 			return err
 		}
@@ -113,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if want("2") {
-		rows, err := eval.TableII(szs)
+		rows, err := eval.TableII(szs, ropts...)
 		if err != nil {
 			return err
 		}
@@ -126,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if use == nil {
 			use = eval.TableIIISizes
 		}
-		rows, err := eval.TableIII(use)
+		rows, err := eval.TableIII(use, ropts...)
 		if err != nil {
 			return err
 		}
@@ -135,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if want("4") {
-		rows, err := eval.TableIV(*m233)
+		rows, err := eval.TableIV(*m233, ropts...)
 		if err != nil {
 			return err
 		}
@@ -144,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *arch > 0 {
-		rows, err := eval.ArchComparison(*arch)
+		rows, err := eval.ArchComparison(*arch, ropts...)
 		if err != nil {
 			return err
 		}
@@ -153,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if (*table == "all" && !*noFig) || *fig4 != "" {
-		series, err := eval.Figure4(*m233)
+		series, err := eval.Figure4(*m233, ropts...)
 		if err != nil {
 			return err
 		}

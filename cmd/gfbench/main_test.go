@@ -146,6 +146,40 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 }
 
+func TestRunGovernedFlags(t *testing.T) {
+	// Generous limits must not disturb a clean Table I row.
+	var out, errOut bytes.Buffer
+	err := run([]string{"-table", "1", "-m", "64", "-skip-figure4",
+		"-timeout", "10m", "-cone-timeout", "5m", "-budget", "100000000"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table I") {
+		t.Errorf("governed run lost its output:\n%s", out.String())
+	}
+
+	// A starvation budget must abort the row with a typed resource error,
+	// reported in the row rather than crashing the whole sweep.
+	out.Reset()
+	errOut.Reset()
+	err = run([]string{"-table", "1", "-m", "64", "-json", "-skip-figure4",
+		"-budget", "8"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, errOut.String())
+	}
+	body := out.String()
+	var rows []map[string]interface{}
+	if err := json.Unmarshal([]byte(body[strings.IndexByte(body, '\n'):]), &rows); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(rows) != 1 || rows[0]["ok"] == true {
+		t.Fatalf("starved row should not be ok: %v", rows)
+	}
+	if errText, _ := rows[0]["error"].(string); !strings.Contains(errText, "budget") {
+		t.Errorf("row error %q does not mention the budget", errText)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-m", "notanumber"}, &buf, &buf); err == nil {

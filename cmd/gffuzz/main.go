@@ -10,6 +10,7 @@
 //	gffuzz -n 200 -arch montgomery -m 4-16 # one architecture, wider fields
 //	gffuzz -repro out/ -ndjson log.ndjson  # minimized repros + telemetry
 //	gffuzz -selfcheck                      # prove the harness catches bugs
+//	gffuzz -n 50 -diagnose -inject 2       # trojan-localization campaign
 //
 // A campaign is fully determined by (-seed, -n, the sampling flags): case i
 // depends only on the seed and i, never on scheduling, so any failure can be
@@ -107,7 +108,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		optPasses   = fs.Int("opt", 2, "max random optimization passes per case")
 		scramble    = fs.Bool("scramble", true, "include port-scrambled cases (extraction must infer ports)")
 		adversarial = fs.Int("adversarial", 10, "mix in a random-DAG robustness case every N cases (0 = off)")
-		inject      = fs.Int("inject", 0, "flip XOR #((k-1) mod count) in every case; the campaign must fail everywhere")
+		inject      = fs.Int("inject", 0, "flip XOR #((k-1) mod count) in every case; the campaign must fail everywhere (with -diagnose: number of trojans per case)")
+		diagnose    = fs.Bool("diagnose", false, "fault-tolerance campaign: plant -inject trojans (default 1) in distinct cones, require P(x) recovery by consensus AND trojan localization")
 		ndjson      = fs.String("ndjson", "", "stream per-case telemetry events to this NDJSON file")
 		repro       = fs.String("repro", "", "write a minimized .eqn repro per failure into this directory")
 		selfcheck   = fs.Bool("selfcheck", false, "inject a reduction-network bug and verify it is caught and minimized")
@@ -149,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		N: *n, Seed: *seed, Workers: *workers, Timeout: *timeout,
 		MinM: minM, MaxM: maxM, Archs: archList, Formats: formatList,
 		MaxOptPasses: *optPasses, Scramble: *scramble,
-		Adversarial: *adversarial, Inject: *inject,
+		Adversarial: *adversarial, Inject: *inject, Diagnose: *diagnose,
 		Recorder: rec, ReproDir: *repro,
 	}
 	if *verbose {
@@ -162,6 +164,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	printSummary(stdout, sum)
+	if *diagnose {
+		// Diagnosis mode: cases pass only if consensus recovered P(x) and
+		// localization covered every planted gate, so plain failure counting
+		// applies; the precision line above is the campaign's deliverable.
+		if sum.Failed > 0 {
+			return fmt.Errorf("%d of %d diagnosis cases failed", sum.Failed, sum.Cases)
+		}
+		return nil
+	}
 	if *inject > 0 {
 		// Inverted mode: the campaign is healthy only if every multiplier
 		// case failed (the harness caught the planted bug each time).
@@ -200,6 +211,10 @@ func printSummary(w io.Writer, sum *diffcheck.Summary) {
 			fmt.Fprintf(w, " %s=%d", k, dim.m[k])
 		}
 		fmt.Fprintln(w)
+	}
+	if sum.Diagnosed > 0 {
+		fmt.Fprintf(w, "  localization: %d/%d cases fully localized (precision %.0f%%), median best-suspect rank %d\n",
+			sum.LocHits, sum.Diagnosed, 100*sum.LocPrecision(), sum.MedianLocRank())
 	}
 	for i, f := range sum.Failures {
 		fmt.Fprintf(w, "  FAIL case %d [%s] at %s: %s\n", f.Case.Index, f.Case.Label(), f.Stage, f.Err)

@@ -67,6 +67,49 @@ func TestRunInjectModeCatchesEverything(t *testing.T) {
 	}
 }
 
+func TestRunDiagnoseCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "diag.ndjson")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-n", "5", "-seed", "9", "-m", "5-9", "-adversarial", "0",
+		"-diagnose", "-inject", "1", "-ndjson", path}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "localization: 5/5 cases fully localized (precision 100%)") {
+		t.Errorf("missing localization precision line:\n%s", out.String())
+	}
+	// Per-case localization telemetry must land in the NDJSON stream.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locEvents := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var e struct {
+			Event string           `json:"ev"`
+			V     map[string]int64 `json:"v"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Event == "case_pass" {
+			if hit, ok := e.V["loc_hit"]; ok {
+				locEvents++
+				if hit != 1 {
+					t.Errorf("case_pass with loc_hit = %d, want 1", hit)
+				}
+				if rank, ok := e.V["loc_rank"]; !ok || rank < 0 {
+					t.Errorf("case_pass missing usable loc_rank (v = %v)", e.V)
+				}
+			}
+		}
+	}
+	if locEvents != 5 {
+		t.Errorf("found %d case_pass events with localization fields, want 5", locEvents)
+	}
+}
+
 func TestRunNDJSONTelemetry(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "log.ndjson")
 	var out, errOut bytes.Buffer

@@ -16,10 +16,16 @@
 //
 //	gfmultgen -m 163 -arch montgomery -o mult.eqn
 //	gfre -threads 16 -stats mult.eqn
+//
+// Extraction can be resource-governed (-budget, -cone-timeout, -timeout)
+// and fault-tolerant (-tolerate, -diagnose); the exit code then classifies
+// the failure — see the table in -h.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -35,11 +41,46 @@ import (
 	gfre "github.com/galoisfield/gfre"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "gfre:", err)
-		os.Exit(1)
+// Exit codes, so scripted callers can tell failure classes apart without
+// parsing stderr. Documented in -h.
+const (
+	exitOK       = 0 // P(x) recovered (and verified unless -no-verify)
+	exitInternal = 1 // I/O errors, bad ports, anything unclassified
+	exitUsage    = 2 // bad flags / arguments, malformed netlist
+	exitResource = 3 // term budget, cone deadline or run timeout tripped
+	exitMismatch = 4 // netlist ≢ golden model, or consensus ambiguous
+)
+
+// errUsage tags command-line mistakes (it plays the role netlist.ErrParse
+// plays for malformed input files).
+var errUsage = errors.New("usage error")
+
+// exitCode classifies err into the documented exit codes with errors.Is,
+// so wrapped and aggregated errors (e.g. ErrTooManyFailures wrapping a
+// BudgetError) land in the right class.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, errUsage), errors.Is(err, flag.ErrHelp), errors.Is(err, gfre.ErrParse):
+		return exitUsage
+	case errors.Is(err, gfre.ErrBudgetExceeded), errors.Is(err, gfre.ErrConeTimeout),
+		errors.Is(err, gfre.ErrTooManyFailures),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitResource
+	case errors.Is(err, gfre.ErrMismatch), errors.Is(err, gfre.ErrConsensus):
+		return exitMismatch
+	default:
+		return exitInternal
 	}
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "gfre:", err)
+	}
+	os.Exit(exitCode(err))
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -61,15 +102,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 		progress = fs.Bool("progress", false, "live per-bit progress ticker on stderr")
 		metrics  = fs.String("metrics", "", "stream telemetry events (phase spans, per-bit stats, heap samples) to this NDJSON file")
 		pprofSrv = fs.String("pprof", "", "serve net/http/pprof and expvar (incl. live gfre metrics) on this address, e.g. localhost:6060")
+
+		timeout     = fs.Duration("timeout", 0, "abort the whole run after this long (exit code 3)")
+		coneTimeout = fs.Duration("cone-timeout", 0, "abort any single output cone whose rewriting exceeds this wall time")
+		budget      = fs.Int("budget", 0, "per-cone term budget: abort a cone when its expression holds more resident terms (guards against non-multiplier blowup)")
+		tolerate    = fs.Int("tolerate", 0, "fault-tolerant extraction: recover P(x) by consensus despite up to K failed or tampered output cones")
+		diagnose    = fs.Bool("diagnose", false, "print the fault diagnosis (per-bit verdicts, ranked suspect gates) even when -tolerate is 0")
 	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gfre [flags] netlist.{eqn,blif,v}\n\nflags:\n")
+		fs.PrintDefaults()
+		fmt.Fprint(stderr, `
+exit codes:
+  0  success: P(x) recovered (and verified unless -no-verify)
+  1  internal error
+  2  usage error or malformed netlist
+  3  resource-governance abort (-budget / -cone-timeout / -timeout tripped)
+  4  verification failure: netlist does not match the golden model, or the
+     fault-tolerant consensus is ambiguous
+`)
+	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected exactly one netlist file argument")
+		return fmt.Errorf("%w: expected exactly one netlist file argument", errUsage)
+	}
+	if *infer && (*tolerate > 0 || *diagnose) {
+		return fmt.Errorf("%w: -infer cannot be combined with -tolerate/-diagnose (port inference needs every cone intact)", errUsage)
 	}
 	path := fs.Arg(0)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Telemetry: any observability flag (or -json, whose output embeds the
 	// phase breakdown) attaches a recorder; the nil recorder otherwise keeps
@@ -126,7 +199,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "verilog":
 		n, err = gfre.ReadVerilog(f)
 	default:
-		err = fmt.Errorf("unknown format %q", kind)
+		err = fmt.Errorf("%w: unknown format %q", errUsage, kind)
 	}
 	parseSpan.End()
 	if err != nil {
@@ -148,23 +221,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			*trace, gfre.FormatExpr(br.Expr, n), br.Substitutions, br.PeakTerms)
 	}
 
+	opts := gfre.Options{
+		Threads:      *threads,
+		PrefixA:      *prefixA,
+		PrefixB:      *prefixB,
+		SkipVerify:   *noVerify,
+		Recorder:     rec,
+		Ctx:          ctx,
+		ConeDeadline: *coneTimeout,
+		BudgetTerms:  *budget,
+		Tolerate:     *tolerate,
+		Diagnose:     *diagnose,
+	}
 	start := time.Now()
 	var ext *gfre.Extraction
+	var diag *gfre.Diagnosis
 	var ports *gfre.InferredPorts
 	if *infer {
-		ext, ports, err = gfre.ExtractInferred(n, gfre.Options{
-			Threads:    *threads,
-			SkipVerify: *noVerify,
-			Recorder:   rec,
-		})
+		opts.PrefixA, opts.PrefixB = "", ""
+		ext, ports, err = gfre.ExtractInferred(n, opts)
+	} else if *tolerate > 0 || *diagnose {
+		ext, diag, err = gfre.ExtractDiagnose(n, opts)
 	} else {
-		ext, err = gfre.Extract(n, gfre.Options{
-			Threads:    *threads,
-			PrefixA:    *prefixA,
-			PrefixB:    *prefixB,
-			SkipVerify: *noVerify,
-			Recorder:   rec,
-		})
+		ext, err = gfre.Extract(n, opts)
 	}
 	elapsed := time.Since(start)
 	stopHeap() // final heap sample, then flush the event stream
@@ -172,6 +251,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		err = cerr
 	}
 	if err != nil {
+		// The diagnosis carries whatever was learned before the failure —
+		// per-bit verdicts matter most exactly when extraction aborts.
+		if diag != nil && !*quiet && !*jsonOut {
+			writeDiagnosis(stdout, n, diag)
+		}
 		return err
 	}
 	if ports != nil && !*quiet && !*jsonOut {
@@ -194,14 +278,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Seconds float64 `json:"seconds"`
 		}
 		report := struct {
-			Polynomial     string      `json:"polynomial"`
-			M              int         `json:"m"`
-			Verified       bool        `json:"verified"`
-			RuntimeSeconds float64     `json:"runtime_seconds"`
-			Threads        int         `json:"threads"`
-			Equations      int         `json:"equations"`
-			Phases         []phaseJSON `json:"phases,omitempty"`
-			Bits           []bitJSON   `json:"bits,omitempty"`
+			Polynomial     string          `json:"polynomial"`
+			M              int             `json:"m"`
+			Verified       bool            `json:"verified"`
+			RuntimeSeconds float64         `json:"runtime_seconds"`
+			Threads        int             `json:"threads"`
+			Equations      int             `json:"equations"`
+			Phases         []phaseJSON     `json:"phases,omitempty"`
+			Bits           []bitJSON       `json:"bits,omitempty"`
+			Diagnosis      *gfre.Diagnosis `json:"diagnosis,omitempty"`
 		}{
 			Polynomial:     ext.P.String(),
 			M:              ext.M,
@@ -209,6 +294,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			RuntimeSeconds: elapsed.Seconds(),
 			Threads:        ext.Rewrite.Threads,
 			Equations:      st.Equations,
+			Diagnosis:      diag,
 		}
 		// Phase-timing breakdown from the recorder, so scripted runs get
 		// the spans without parsing the NDJSON stream.
@@ -246,6 +332,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "extraction time:        %v in %d threads\n", elapsed.Round(time.Millisecond), ext.Rewrite.Threads)
 	fmt.Fprintf(stdout, "peak expression terms:  %d\n", ext.Rewrite.PeakTerms())
+	if diag != nil {
+		writeDiagnosis(stdout, n, diag)
+	}
 
 	if *simulate > 0 {
 		if err := gfre.SimulationCrossCheck(n, ext, *simulate, time.Now().UnixNano()); err != nil {
@@ -281,6 +370,50 @@ func servePprof(addr string, rec *gfre.Recorder, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "pprof:   http://%s/debug/pprof  (expvar metrics at /debug/vars)\n", ln.Addr())
 	go http.Serve(ln, nil) //nolint:errcheck — lives until process exit
 	return nil
+}
+
+// writeDiagnosis renders the fault-tolerance verdict: consensus outcome,
+// every non-healthy bit, and the ranked suspect gates.
+func writeDiagnosis(w io.Writer, n *gfre.Netlist, diag *gfre.Diagnosis) {
+	fmt.Fprintf(w, "\nfault diagnosis (tolerance %d):\n", diag.Tolerate)
+	switch {
+	case diag.Faults == 0:
+		fmt.Fprintf(w, "  all %d output cones healthy\n", len(diag.Bits))
+	case diag.Recovered:
+		fmt.Fprintf(w, "  P(x) recovered by consensus over %d faulty cone(s) (%d candidates tried)\n",
+			diag.Faults, diag.CandidatesTried)
+	default:
+		fmt.Fprintf(w, "  consensus FAILED with %d faulty cone(s) (%d candidates tried)\n",
+			diag.Faults, diag.CandidatesTried)
+	}
+	for _, bd := range diag.Bits {
+		if bd.State == "ok" {
+			continue
+		}
+		detail := bd.Detail
+		if detail != "" {
+			detail = " — " + detail
+		}
+		fmt.Fprintf(w, "  bit %3d (%s): %s%s\n", bd.Bit, bd.Name, bd.State, detail)
+	}
+	if len(diag.Suspects) > 0 {
+		fmt.Fprintf(w, "  suspect gates (most likely first):\n")
+		max := len(diag.Suspects)
+		if max > 10 {
+			max = 10
+		}
+		for _, s := range diag.Suspects[:max] {
+			name := s.Name
+			if name == "" {
+				name = n.NameOf(s.Gate)
+			}
+			fmt.Fprintf(w, "    gate %5d %-12s correct-rate %.2f  structural %.2f  (%d tampered / %d clean cones)\n",
+				s.Gate, name, s.CorrectRate, s.Structural, s.TamperedCones, s.CleanCones)
+		}
+		if len(diag.Suspects) > max {
+			fmt.Fprintf(w, "    ... and %d more\n", len(diag.Suspects)-max)
+		}
+	}
 }
 
 func portNames(n *gfre.Netlist, ids []int) string {

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +49,246 @@ func writeNetlist(t *testing.T, name, arch string, m int) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// writeFile dumps a netlist in EQN format for CLI tests.
+func writeFile(t *testing.T, name string, n *gfre.Netlist) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := n.WriteEQN(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// trojanedMultiplier builds an m-bit matrix-Mastrovito multiplier with its
+// middle XOR gate flipped to OR — a single-gate hardware trojan.
+func trojanedMultiplier(t *testing.T, m int) *gfre.Netlist {
+	t.Helper()
+	p, err := gfre.DefaultPolynomial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gfre.NewMastrovitoMatrix(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx := 0
+	for id := 0; id < n.NumGates(); id++ {
+		if n.Gate(id).Type == gfre.Xor {
+			nx++
+		}
+	}
+	out := gfre.NewNetlist(n.Name + "_troj")
+	idmap := make([]int, n.NumGates())
+	seen := 0
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		var nid int
+		if g.Type == gfre.Input {
+			nid, err = out.AddInput(n.NameOf(id))
+		} else {
+			typ := g.Type
+			if typ == gfre.Xor {
+				if seen == nx/2 {
+					typ = gfre.Or
+				}
+				seen++
+			}
+			fanin := make([]int, len(g.Fanin))
+			for i, f := range g.Fanin {
+				fanin[i] = idmap[f]
+			}
+			nid, err = out.AddGate(typ, fanin...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		idmap[id] = nid
+	}
+	names := n.OutputNames()
+	for i, oid := range n.Outputs() {
+		if err := out.MarkOutput(names[i], idmap[oid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// explodingNetlist builds an l-output circuit shaped like a multiplier
+// (inputs a0../b0.., outputs z0..) whose last bit is z = Π(a_i⊕b_i): its
+// rewriting has zero mod-2 cancellation and blows up to 2^l terms — the
+// budget-abort testbed. The other bits are cheap a_i·b_i cones so port
+// identification succeeds and the run reaches the rewriting phase.
+func explodingNetlist(t *testing.T, l int) *gfre.Netlist {
+	t.Helper()
+	n := gfre.NewNetlist("explode")
+	var sums, prods []int
+	for i := 0; i < l; i++ {
+		ai, err := n.AddInput(fmt.Sprintf("a%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := n.AddInput(fmt.Sprintf("b%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := n.AddGate(gfre.Xor, ai, bi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, x)
+		p, err := n.AddGate(gfre.And, ai, bi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prods = append(prods, p)
+	}
+	for len(sums) > 1 {
+		var next []int
+		for i := 0; i+1 < len(sums); i += 2 {
+			g, err := n.AddGate(gfre.And, sums[i], sums[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			next = append(next, g)
+		}
+		if len(sums)%2 == 1 {
+			next = append(next, sums[len(sums)-1])
+		}
+		sums = next
+	}
+	for i := 0; i < l-1; i++ {
+		if err := n.MarkOutput(fmt.Sprintf("z%d", i), prods[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.MarkOutput(fmt.Sprintf("z%d", l-1), sums[0]); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, exitOK},
+		{"internal", errors.New("boom"), exitInternal},
+		{"usage", fmt.Errorf("%w: no file", errUsage), exitUsage},
+		{"parse", fmt.Errorf("read: %w", gfre.ErrParse), exitUsage},
+		{"budget", fmt.Errorf("bit 3: %w", gfre.ErrBudgetExceeded), exitResource},
+		{"cone-timeout", gfre.ErrConeTimeout, exitResource},
+		{"too-many-failures", fmt.Errorf("%w: %w", gfre.ErrTooManyFailures, gfre.ErrBudgetExceeded), exitResource},
+		{"run-timeout", context.DeadlineExceeded, exitResource},
+		{"cancelled", context.Canceled, exitResource},
+		{"mismatch", fmt.Errorf("verify: %w", gfre.ErrMismatch), exitMismatch},
+		{"consensus", gfre.ErrConsensus, exitMismatch},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := exitCode(tt.err); got != tt.want {
+				t.Errorf("exitCode(%v) = %d, want %d", tt.err, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunBudgetAbortExitsResource(t *testing.T) {
+	path := writeFile(t, "explode.eqn", explodingNetlist(t, 14))
+	var out, errOut bytes.Buffer
+	err := run([]string{"-budget", "256", "-no-verify", path}, &out, &errOut)
+	if !errors.Is(err, gfre.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if got := exitCode(err); got != exitResource {
+		t.Errorf("exit code = %d, want %d", got, exitResource)
+	}
+}
+
+func TestRunUsageExitCodes(t *testing.T) {
+	path := writeNetlist(t, "m4.eqn", "mastrovito", 4)
+	garbage := filepath.Join(t.TempDir(), "garbage.eqn")
+	if err := os.WriteFile(garbage, []byte("NAME = ((((\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{},
+		{"-format", "bogus", path},
+		{"-infer", "-tolerate", "1", path},
+		{garbage},
+	} {
+		var out bytes.Buffer
+		err := run(args, &out, &out)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want usage/parse error", args)
+			continue
+		}
+		if got := exitCode(err); got != exitUsage {
+			t.Errorf("run(%v): exit code = %d (%v), want %d", args, got, err, exitUsage)
+		}
+	}
+}
+
+func TestRunMismatchExitsMismatch(t *testing.T) {
+	path := writeFile(t, "troj.eqn", trojanedMultiplier(t, 8))
+	var out bytes.Buffer
+	err := run([]string{path}, &out, &out)
+	if !errors.Is(err, gfre.ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	if got := exitCode(err); got != exitMismatch {
+		t.Errorf("exit code = %d, want %d", got, exitMismatch)
+	}
+}
+
+func TestRunToleratesTrojan(t *testing.T) {
+	path := writeFile(t, "troj.eqn", trojanedMultiplier(t, 8))
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-tolerate", "1", path}, &out, &errOut); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"x^8+x^4+x^3+x+1", "fault diagnosis", "tampered", "suspect gates"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunDiagnoseJSON(t *testing.T) {
+	path := writeFile(t, "troj.eqn", trojanedMultiplier(t, 8))
+	var out bytes.Buffer
+	if err := run([]string{"-tolerate", "1", "-json", path}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Polynomial string `json:"polynomial"`
+		Diagnosis  *struct {
+			Recovered bool  `json:"recovered"`
+			Faults    int   `json:"faults"`
+			Tampered  []int `json:"tampered"`
+			Suspects  []struct {
+				Gate int `json:"gate"`
+			} `json:"suspects"`
+		} `json:"diagnosis"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Polynomial != "x^8+x^4+x^3+x+1" {
+		t.Errorf("polynomial = %q", rep.Polynomial)
+	}
+	if rep.Diagnosis == nil || !rep.Diagnosis.Recovered || rep.Diagnosis.Faults != 1 ||
+		len(rep.Diagnosis.Tampered) != 1 || len(rep.Diagnosis.Suspects) == 0 {
+		t.Errorf("diagnosis = %+v", rep.Diagnosis)
+	}
 }
 
 func TestRunBasicExtraction(t *testing.T) {

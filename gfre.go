@@ -69,6 +69,16 @@ type (
 	RewriteOptions = rewrite.Options
 	// BitStats is the per-output-bit cost record (Figure 4's data).
 	BitStats = rewrite.BitStats
+	// ConeStatus classifies how a single output cone ended (ok, budget,
+	// timeout, panic, cancelled, error).
+	ConeStatus = rewrite.Status
+	// Diagnosis is the outcome of fault-tolerant extraction: recovered
+	// P(x), per-bit states, and the ranked suspect-gate set.
+	Diagnosis = extract.Diagnosis
+	// BitDiagnosis is the per-output-bit verdict inside a Diagnosis.
+	BitDiagnosis = extract.BitDiagnosis
+	// Suspect is one candidate trojan location in a Diagnosis.
+	Suspect = extract.Suspect
 	// MapStyle selects the technology-mapping flavor.
 	MapStyle = opt.MapStyle
 	// ArchPoly pairs an architecture label with its optimal polynomial.
@@ -102,6 +112,16 @@ var (
 	ErrNotIrreducible = extract.ErrNotIrreducible
 	ErrMismatch       = extract.ErrMismatch
 	ErrBadPorts       = extract.ErrBadPorts
+	// ErrConsensus means fault-tolerant extraction could not determine a
+	// unique P(x) within the configured tolerance.
+	ErrConsensus = extract.ErrConsensus
+	// ErrParse tags malformed netlist input (all readers wrap it).
+	ErrParse = netlist.ErrParse
+	// Resource-governance failures from the rewriting engine.
+	ErrBudgetExceeded  = rewrite.ErrBudgetExceeded
+	ErrConeTimeout     = rewrite.ErrConeTimeout
+	ErrConePanic       = rewrite.ErrConePanic
+	ErrTooManyFailures = rewrite.ErrTooManyFailures
 )
 
 // Technology-mapping styles.
@@ -262,6 +282,17 @@ func ExtractInferred(n *Netlist, opts Options) (*Extraction, *InferredPorts, err
 
 // Verify re-checks an extraction against the golden specification.
 func Verify(n *Netlist, ext *Extraction) error { return extract.Verify(n, ext) }
+
+// ExtractDiagnose is fault-tolerant extraction with localization: up to
+// opts.Tolerate output cones may fail (budget, timeout, panic) or deviate
+// from the golden model (tampering) while P(x) is still recovered by
+// per-bit consensus, and the returned Diagnosis ranks candidate trojan
+// gates by how completely force-complementing them on the deviating test
+// vectors repairs the outputs. The Diagnosis is non-nil even on error,
+// carrying whatever was learned.
+func ExtractDiagnose(n *Netlist, opts Options) (*Extraction, *Diagnosis, error) {
+	return extract.Diagnose(n, opts)
+}
 
 // SimulationCrossCheck validates an extraction by random simulation against
 // software field multiplication — an independent path that does not rely on

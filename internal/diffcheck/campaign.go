@@ -43,6 +43,11 @@ type Config struct {
 	// Inject plants a flipped XOR in every multiplier case (see Case.Inject)
 	// to prove the harness catches and minimizes real faults.
 	Inject int
+	// Diagnose routes injected faults through fault-tolerant extraction
+	// instead: every case becomes a KindDiagnose case planting
+	// max(Inject, 1) XOR→OR trojans in distinct cones of a matrix-form
+	// multiplier, and asserts P(x) recovery plus trojan localization.
+	Diagnose bool
 
 	// SimTrials is the 64-vector word count per simulation oracle (default 2).
 	SimTrials int
@@ -111,6 +116,34 @@ func NewCase(idx int, cfg Config) Case {
 		c.Kind = KindAdversarial
 		return c
 	}
+	if cfg.Diagnose {
+		// Diagnosis cases are matrix-form only (private per-output cones keep
+		// each trojan confined to one bit) and need enough healthy bits for
+		// consensus: m >= 3k+2 leaves a solid majority at tolerance k.
+		k := cfg.Inject
+		if k <= 0 {
+			k = 1
+		}
+		c.Kind = KindDiagnose
+		c.Inject = k
+		c.Arch = ArchMatrix
+		minM := cfg.MinM
+		if minM < 3*k+2 {
+			minM = 3*k + 2
+		}
+		maxM := cfg.MaxM
+		if maxM < minM {
+			maxM = minM
+		}
+		c.M = minM + r.Intn(maxM-minM+1)
+		p, err := gf2poly.RandomIrreducible(r, c.M)
+		if err != nil {
+			p = gf2poly.MustParse("x^8+x^4+x^3+x+1")
+			c.M = 8
+		}
+		c.P = p
+		return c
+	}
 	c.Inject = cfg.Inject
 	c.M = cfg.MinM + r.Intn(cfg.MaxM-cfg.MinM+1)
 	p, err := gf2poly.RandomIrreducible(r, c.M)
@@ -176,6 +209,35 @@ type Summary struct {
 	// Repros lists written repro file paths, parallel to Failures where
 	// minimization succeeded ("" where it did not apply).
 	Repros []string
+
+	// Localization aggregates of a diagnosis campaign (Config.Diagnose):
+	// Diagnosed counts KindDiagnose cases, LocHits those whose suspect set
+	// covered every planted gate, and LocRanks collects the best suspect
+	// rank per localized case (0 = top suspect), in case order.
+	Diagnosed int
+	LocHits   int
+	LocRanks  []int
+}
+
+// LocPrecision is LocHits / Diagnosed, the fraction of diagnosis cases
+// whose localization covered every planted trojan (NaN-free: 0 when no
+// diagnosis case ran).
+func (s *Summary) LocPrecision() float64 {
+	if s.Diagnosed == 0 {
+		return 0
+	}
+	return float64(s.LocHits) / float64(s.Diagnosed)
+}
+
+// MedianLocRank is the median best-suspect rank across localized cases
+// (-1 when none).
+func (s *Summary) MedianLocRank() int {
+	if len(s.LocRanks) == 0 {
+		return -1
+	}
+	ranks := append([]int(nil), s.LocRanks...)
+	sort.Ints(ranks)
+	return ranks[len(ranks)/2]
 }
 
 // RunCampaign executes cfg.N deterministic cases on a worker pool and
@@ -227,10 +289,19 @@ func RunCampaign(cfg Config) (*Summary, error) {
 		if res.Status == Fail {
 			ev = "case_fail"
 		}
-		rec.Emit(ev, res.Case.Label(), map[string]int64{
+		v := map[string]int64{
 			"case": int64(res.Case.Index), "m": int64(res.Case.M),
 			"gates": int64(res.Gates), "dur_ns": int64(res.Dur),
-		})
+		}
+		if res.Diagnosed {
+			var hit int64
+			if res.LocHit {
+				hit = 1
+			}
+			v["loc_hit"] = hit
+			v["loc_rank"] = int64(res.LocRank)
+		}
+		rec.Emit(ev, res.Case.Label(), v)
 		rec.Metrics().Counter("diffcheck_" + string(res.Status)).Inc()
 	}
 	// Deterministic report order regardless of worker scheduling.
@@ -239,8 +310,18 @@ func RunCampaign(cfg Config) (*Summary, error) {
 	for _, res := range collected {
 		sum.Cases++
 		key := string(res.Case.Arch)
-		if res.Case.Kind == KindAdversarial {
+		switch res.Case.Kind {
+		case KindAdversarial:
 			key = "adversarial"
+		case KindDiagnose:
+			key = "diagnose"
+			sum.Diagnosed++
+			if res.LocHit {
+				sum.LocHits++
+			}
+			if res.LocRank >= 0 {
+				sum.LocRanks = append(sum.LocRanks, res.LocRank)
+			}
 		}
 		sum.ByArch[key]++
 		if res.Case.Kind == KindMultiplier {

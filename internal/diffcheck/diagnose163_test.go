@@ -1,0 +1,26 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// TestDiagnoseGF163NIST pins fault tolerance at the paper's largest
+// "everyday" field size: a GF(2^163) matrix Mastrovito over the NIST
+// pentanomial with one planted trojan recovers P(x) and localizes the gate
+// in seconds. (The gffuzz -diagnose campaign at m=163 is far slower only
+// because it samples dense random irreducibles, which inflate the
+// reduction network — see EXPERIMENTS.md.)
+func TestDiagnoseGF163NIST(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GF(2^163) diagnosis in -short mode")
+	}
+	res := Run(Case{
+		Kind: KindDiagnose, M: 163, P: polytab.NIST[163],
+		Arch: ArchMatrix, Inject: 1, Seed: 5, Threads: 8,
+	})
+	if res.Status != Pass {
+		t.Fatalf("%s at %s: %s", res.Status, res.Stage, res.Err)
+	}
+}

@@ -93,6 +93,11 @@ type Kind string
 const (
 	KindMultiplier  Kind = "multiplier"
 	KindAdversarial Kind = "adversarial"
+	// KindDiagnose plants Inject trojans in distinct output cones of a
+	// matrix-form multiplier and asserts that fault-tolerant extraction
+	// recovers P(x) AND localizes every planted gate (suspect inside its
+	// fanout cone).
+	KindDiagnose Kind = "diagnose"
 )
 
 // Case is one deterministic differential test: everything Run does is a
@@ -127,6 +132,9 @@ type Case struct {
 func (c Case) Label() string {
 	if c.Kind == KindAdversarial {
 		return fmt.Sprintf("adversarial/seed=%d", c.Seed)
+	}
+	if c.Kind == KindDiagnose {
+		return fmt.Sprintf("diagnose/%s/m=%d/k=%d", c.Arch, c.M, c.Inject)
 	}
 	parts := []string{string(c.Arch), fmt.Sprintf("m=%d", c.M)}
 	if c.Arch == ArchDigitSerial {
@@ -184,6 +192,11 @@ type Result struct {
 	// planted port binding valid in it (nil/empty when not applicable).
 	Netlist *netlist.Netlist
 	Binding Binding
+
+	// Diagnosis-case outcome (KindDiagnose only).
+	Diagnosed bool // the case ran the fault-tolerant diagnosis pipeline
+	LocHit    bool // every planted gate had a suspect in its fanout cone
+	LocRank   int  // best (lowest) suspect rank hitting a planted cone; -1 when none
 }
 
 // Binding names the multiplier ports of a netlist: operand input names (LSB
@@ -274,6 +287,9 @@ func Run(c Case) (res Result) {
 
 	if c.Kind == KindAdversarial {
 		return runAdversarial(c, &stage, fail)
+	}
+	if c.Kind == KindDiagnose {
+		return runDiagnose(c, &stage, fail)
 	}
 
 	stage = "gen"
@@ -395,6 +411,108 @@ func Run(c Case) (res Result) {
 		return fail(err)
 	}
 	res.Netlist, res.Binding = nil, Binding{} // passing cases drop the context
+	return res
+}
+
+// runDiagnose executes a fault-tolerance case: plant c.Inject XOR→OR trojans
+// in distinct output cones of a matrix-form multiplier, then require that
+//
+//   - extract.Diagnose recovers the planted P(x) by consensus at tolerance
+//     c.Inject despite the tampered cones, and
+//   - the ranked suspect set localizes every planted gate: each trojan's
+//     fanout cone must contain at least one suspect (sensitization cannot
+//     distinguish a fault from its always-sensitized downstream path, so
+//     "planted or fanout" is the sharpest assertable criterion).
+func runDiagnose(c Case, stage *string, fail func(error) Result) Result {
+	k := c.Inject
+	if k <= 0 {
+		k = 1
+	}
+	*stage = "gen"
+	n, err := c.Generate()
+	if err != nil {
+		return fail(err)
+	}
+
+	// Pick one XOR in each of k distinct output cones, deterministically
+	// from the case seed. Distinct cones keep the faults independent: two
+	// trojans in one cone could partially mask each other, which is a
+	// consensus scenario, not a localization one.
+	*stage = "plant"
+	xorIdx := map[int]int{}
+	idx := 0
+	for id := 0; id < n.NumGates(); id++ {
+		if n.Gate(id).Type == netlist.Xor {
+			xorIdx[id] = idx
+			idx++
+		}
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	outs := n.Outputs()
+	chosen := map[int]bool{}
+	var ks []int
+	for _, oi := range r.Perm(len(outs)) {
+		if len(ks) == k {
+			break
+		}
+		var inCone []int
+		for _, id := range n.Cone(outs[oi]) {
+			if xi, ok := xorIdx[id]; ok && !chosen[xi] {
+				inCone = append(inCone, xi)
+			}
+		}
+		if len(inCone) == 0 {
+			continue
+		}
+		xi := inCone[r.Intn(len(inCone))]
+		chosen[xi] = true
+		ks = append(ks, xi)
+	}
+	if len(ks) < k {
+		return fail(fmt.Errorf("diffcheck: only %d of %d cones have an unclaimed XOR to trojan", len(ks), k))
+	}
+	*stage = "inject"
+	bad, planted, err := FlipXors(n, ks)
+	if err != nil {
+		return fail(err)
+	}
+
+	res := Result{Case: c, Status: Pass, Gates: bad.NumGates(), Diagnosed: true, LocRank: -1}
+	*stage = "diagnose"
+	ext, diag, err := extract.Diagnose(bad, extract.Options{Threads: c.Threads, Tolerate: k})
+	if err != nil {
+		return fail(err)
+	}
+	if !ext.P.Equal(c.P) {
+		return fail(fmt.Errorf("diffcheck: diagnosed %v, planted %v", ext.P, c.P))
+	}
+	*stage = "localize"
+	if diag.Faults == 0 {
+		// The trojans were functionally masked; nothing to localize.
+		res.LocHit = true
+		return res
+	}
+	hits := 0
+	for _, g := range planted {
+		fan := map[int]bool{}
+		for _, id := range bad.FanoutCone(g) {
+			fan[id] = true
+		}
+		for rank, s := range diag.Suspects {
+			if fan[s.Gate] {
+				hits++
+				if res.LocRank < 0 || rank < res.LocRank {
+					res.LocRank = rank
+				}
+				break
+			}
+		}
+	}
+	res.LocHit = hits == len(planted)
+	if !res.LocHit {
+		return fail(fmt.Errorf("diffcheck: localization missed %d of %d planted gates (suspects %d, tampered bits %v)",
+			len(planted)-hits, len(planted), len(diag.Suspects), diag.Tampered))
+	}
 	return res
 }
 
@@ -520,13 +638,22 @@ func runAdversarial(c Case, stage *string, fail func(error) Result) Result {
 	}
 
 	// Extraction on garbage: any error is fine, a panic is not (the deferred
-	// recover in Run converts it into a Fail).
+	// recover in Run converts it into a Fail). The term budget makes the
+	// exit deterministic on exploding DAGs — the governor aborts the cone
+	// with ErrBudgetExceeded instead of racing the case timeout.
 	*stage = "adv-extract"
-	_, _ = extract.IrreduciblePolynomial(n, extract.Options{Threads: c.Threads})
+	_, _ = extract.IrreduciblePolynomial(n, extract.Options{Threads: c.Threads, BudgetTerms: advTermBudget})
 	*stage = "adv-extract-inferred"
-	_, _, _ = extract.IrreduciblePolynomialInferred(n, extract.Options{Threads: c.Threads})
+	_, _, _ = extract.IrreduciblePolynomialInferred(n, extract.Options{Threads: c.Threads, BudgetTerms: advTermBudget})
 	return res
 }
+
+// advTermBudget is the per-cone resident-term cap for adversarial
+// extraction. Random DAGs are exactly the cancellation-free blowup the
+// resource governor exists for; half a million terms is far beyond any
+// in-range multiplier cone and still aborts a 2^50-term explosion in
+// milliseconds.
+const advTermBudget = 1 << 19
 
 // functionsAgree simulates both netlists on shared random vectors and
 // compares the primary-output words.

@@ -121,6 +121,71 @@ func FlipXor(n *netlist.Netlist, k int) (*netlist.Netlist, error) {
 	return out, nil
 }
 
+// FlipXors returns a copy of n with the XOR gates at the given creation-order
+// indices replaced by OR, plus the new-netlist gate IDs of the flipped gates
+// (in the order of ks) — the multi-gate trojan used by the fault-tolerance
+// campaign, where localization must name each planted gate or its fanout.
+func FlipXors(n *netlist.Netlist, ks []int) (*netlist.Netlist, []int, error) {
+	want := make(map[int]int, len(ks)) // xor index -> position in ks
+	for i, k := range ks {
+		if _, dup := want[k]; dup {
+			return nil, nil, fmt.Errorf("diffcheck: duplicate XOR index %d", k)
+		}
+		want[k] = i
+	}
+	out := netlist.New(n.Name + "_trojan")
+	mapping := make([]int, n.NumGates())
+	flipped := make([]int, len(ks))
+	for i := range flipped {
+		flipped[i] = -1
+	}
+	seen := 0
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		fanin := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = mapping[f]
+		}
+		var nid int
+		var err error
+		switch {
+		case g.Type == netlist.Input:
+			nid, err = out.AddInput(n.NameOf(id))
+		case g.Type == netlist.Lut:
+			nid, err = out.AddLut(g.Table, fanin...)
+		case g.Type == netlist.Xor:
+			ty := netlist.Xor
+			pos, hit := want[seen]
+			if hit {
+				ty = netlist.Or
+			}
+			seen++
+			nid, err = out.AddGate(ty, fanin...)
+			if hit {
+				flipped[pos] = nid
+			}
+		default:
+			nid, err = out.AddGate(g.Type, fanin...)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		mapping[id] = nid
+	}
+	for i, id := range flipped {
+		if id < 0 {
+			return nil, nil, fmt.Errorf("diffcheck: netlist has only %d XOR gates, cannot flip #%d", seen, ks[i])
+		}
+	}
+	names := n.OutputNames()
+	for i, id := range n.Outputs() {
+		if err := out.MarkOutput(names[i], mapping[id]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, flipped, nil
+}
+
 // CountXor returns the number of XOR gates in n (the valid k range of
 // FlipXor is [0, CountXor)).
 func CountXor(n *netlist.Netlist) int {

@@ -21,6 +21,7 @@
 package eval
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -118,14 +119,55 @@ var (
 	Figure4Default = 233
 )
 
+// RunOption adjusts how an experiment drives the extraction pipeline.
+// The defaults (no context, no deadlines, no budget) reproduce the paper's
+// unconstrained runs; the options thread the resource-governance knobs of
+// extract.Options through to every table row, so a long sweep can be made
+// interruptible and bounded without changing any experiment's signature.
+type RunOption func(*runCfg)
+
+type runCfg struct {
+	ctx          context.Context
+	budgetTerms  int
+	coneDeadline time.Duration
+}
+
+// WithContext cancels in-flight extractions when ctx ends; remaining rows
+// report the cancellation as their failure.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runCfg) { c.ctx = ctx }
+}
+
+// WithBudget caps every rewriting cone at the given number of resident
+// terms (see rewrite.Options.BudgetTerms). Rows whose extraction trips the
+// budget fail with ErrBudgetExceeded instead of exhausting memory.
+func WithBudget(terms int) RunOption {
+	return func(c *runCfg) { c.budgetTerms = terms }
+}
+
+// WithConeDeadline bounds the wall time spent rewriting any single output
+// cone (see rewrite.Options.ConeDeadline).
+func WithConeDeadline(d time.Duration) RunOption {
+	return func(c *runCfg) { c.coneDeadline = d }
+}
+
+func applyRunOptions(ropts []RunOption) runCfg {
+	var cfg runCfg
+	for _, o := range ropts {
+		o(&cfg)
+	}
+	return cfg
+}
+
 // runExtraction measures one extraction and fills a Row, capturing phase
 // spans, per-bit stats and the metrics snapshot through rec. Callers with
 // pre-extraction phases to attribute (synthesis) pass their own recorder;
 // nil means "create one for this row".
-func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper PaperRow, rec *obs.Recorder) Row {
+func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper PaperRow, rec *obs.Recorder, ropts ...RunOption) Row {
 	if rec == nil {
 		rec = obs.NewRecorder()
 	}
+	cfg := applyRunOptions(ropts)
 	row := Row{
 		Label: label,
 		M:     p.Deg(),
@@ -134,7 +176,10 @@ func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper Paper
 		Paper: paper,
 	}
 	start := time.Now()
-	ext, err := extract.IrreduciblePolynomial(n, extract.Options{Threads: Threads, SkipVerify: true, Recorder: rec})
+	ext, err := extract.IrreduciblePolynomial(n, extract.Options{
+		Threads: Threads, SkipVerify: true, Recorder: rec,
+		Ctx: cfg.ctx, BudgetTerms: cfg.budgetTerms, ConeDeadline: cfg.coneDeadline,
+	})
 	row.Runtime = time.Since(start)
 	switch {
 	case err != nil:
@@ -157,7 +202,7 @@ func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper Paper
 
 // TableI reproduces Table I: reverse engineering Mastrovito multipliers
 // built with the NIST-recommended polynomials, for the requested sizes.
-func TableI(sizes []int) ([]Row, error) {
+func TableI(sizes []int, ropts ...RunOption) ([]Row, error) {
 	if sizes == nil {
 		sizes = TableISizes
 	}
@@ -171,7 +216,7 @@ func TableI(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Mastrovito", n, p, paperTableI[m], nil))
+		rows = append(rows, runExtraction("Mastrovito", n, p, paperTableI[m], nil, ropts...))
 	}
 	return rows, nil
 }
@@ -179,7 +224,7 @@ func TableI(sizes []int) ([]Row, error) {
 // TableII reproduces Table II: flattened Montgomery multipliers with
 // NIST-recommended polynomials. The paper's 409-bit run exhausted 32 GB; we
 // run it anyway and report the measured cost.
-func TableII(sizes []int) ([]Row, error) {
+func TableII(sizes []int, ropts ...RunOption) ([]Row, error) {
 	if sizes == nil {
 		sizes = TableIISizes
 	}
@@ -193,14 +238,14 @@ func TableII(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Montgomery", n, p, paperTableII[m], nil))
+		rows = append(rows, runExtraction("Montgomery", n, p, paperTableII[m], nil, ropts...))
 	}
 	return rows, nil
 }
 
 // TableIII reproduces Table III: extraction on synthesized (optimized and
 // technology-mapped) Mastrovito and Montgomery multipliers.
-func TableIII(sizes []int) ([]Row, error) {
+func TableIII(sizes []int, ropts ...RunOption) ([]Row, error) {
 	if sizes == nil {
 		sizes = TableIIISizes
 	}
@@ -222,7 +267,7 @@ func TableIII(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Mastrovito-syn", mastSyn, p, paperTableIIIMastrovito[m], mastRec))
+		rows = append(rows, runExtraction("Mastrovito-syn", mastSyn, p, paperTableIIIMastrovito[m], mastRec, ropts...))
 
 		mont, err := gen.Montgomery(m, p)
 		if err != nil {
@@ -233,7 +278,7 @@ func TableIII(sizes []int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction("Montgomery-syn", montSyn, p, paperTableIIIMontgomery[m], montRec))
+		rows = append(rows, runExtraction("Montgomery-syn", montSyn, p, paperTableIIIMontgomery[m], montRec, ropts...))
 	}
 	return rows, nil
 }
@@ -243,7 +288,7 @@ func TableIII(sizes []int) ([]Row, error) {
 // plus the NIST recommendation. A smaller m may be passed to scale the
 // experiment down; the polynomials are then the lowest-weight trinomial and
 // pentanomial equivalents (only m=233 uses the genuine Table IV set).
-func TableIV(m int) ([]Row, error) {
+func TableIV(m int, ropts ...RunOption) ([]Row, error) {
 	var set []polytab.ArchPoly
 	if m == 233 || m == 0 {
 		set = polytab.Arch233
@@ -263,7 +308,7 @@ func TableIV(m int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction(ap.Arch, n, ap.P, paperTableIV[ap.Arch], nil))
+		rows = append(rows, runExtraction(ap.Arch, n, ap.P, paperTableIV[ap.Arch], nil, ropts...))
 	}
 	return rows, nil
 }
@@ -278,7 +323,7 @@ type Figure4Series struct {
 // Figure4 reproduces Figure 4: the per-output-bit runtime of extracting the
 // polynomial expressions of the GF(2^m) Mastrovito multipliers of Table IV.
 // m = 233 matches the paper; other values use the scaled Table IV set.
-func Figure4(m int) ([]Figure4Series, error) {
+func Figure4(m int, ropts ...RunOption) ([]Figure4Series, error) {
 	var set []polytab.ArchPoly
 	if m == 233 || m == 0 {
 		set = polytab.Arch233
@@ -300,7 +345,11 @@ func Figure4(m int) ([]Figure4Series, error) {
 		// concurrent workers contending for cores would pollute the
 		// per-bit clock. (Tables I–IV measure wall time and use the full
 		// pool.)
-		rw, err := rewrite.Outputs(n, rewrite.Options{Threads: 1})
+		cfg := applyRunOptions(ropts)
+		rw, err := rewrite.Outputs(n, rewrite.Options{
+			Threads: 1,
+			Ctx:     cfg.ctx, BudgetTerms: cfg.budgetTerms, ConeDeadline: cfg.coneDeadline,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -394,7 +443,7 @@ func WriteFigure4CSV(w io.Writer, series []Figure4Series) {
 // the interesting shape is that per-output-cone independence (matrix form,
 // digit-serial) extracts fastest, while global logic sharing (Karatsuba)
 // and serial chains (Montgomery) inflate intermediate expressions.
-func ArchComparison(m int) ([]Row, error) {
+func ArchComparison(m int, ropts ...RunOption) ([]Row, error) {
 	p, err := polytab.Default(m)
 	if err != nil {
 		return nil, err
@@ -415,7 +464,7 @@ func ArchComparison(m int) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runExtraction(b.name, n, p, PaperRow{}, nil))
+		rows = append(rows, runExtraction(b.name, n, p, PaperRow{}, nil, ropts...))
 	}
 	return rows, nil
 }

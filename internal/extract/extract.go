@@ -20,12 +20,14 @@
 package extract
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/galoisfield/gfre/internal/anf"
 	"github.com/galoisfield/gfre/internal/gf2poly"
@@ -59,13 +61,48 @@ type Options struct {
 	// taken as operand A and the next m as operand B, in port order.
 	PrefixA, PrefixB string
 	// SkipVerify skips the golden-model equivalence check (extraction only,
-	// as in the paper's runtime tables).
+	// as in the paper's runtime tables). The diagnosis path (Tolerate > 0
+	// or Diagnose) ignores it: consensus arbitration IS the verification.
 	SkipVerify bool
 	// Recorder receives telemetry for the whole pipeline: the cone-sort /
 	// rewrite / extract / golden-model / verify phase spans, per-bit
 	// rewriting events, and the metrics registry. nil disables
 	// instrumentation at negligible cost.
 	Recorder *obs.Recorder
+
+	// Ctx cancels the whole extraction cooperatively. nil = Background.
+	Ctx context.Context
+	// ConeDeadline bounds the wall time of each output cone's rewriting;
+	// see rewrite.Options.ConeDeadline.
+	ConeDeadline time.Duration
+	// BudgetTerms caps the live terms per cone; see
+	// rewrite.Options.BudgetTerms. Exceeding it surfaces as
+	// rewrite.ErrBudgetExceeded (strict path) or a failed cone the
+	// diagnosis path can tolerate.
+	BudgetTerms int
+	// Tolerate enables consensus extraction: up to this many output cones
+	// may fail (budget/timeout/panic) or disagree with the recovered P(x)
+	// (tampering) while extraction still succeeds. 0 keeps the paper's
+	// strict all-or-nothing behavior.
+	Tolerate int
+	// Diagnose requests a full Diagnosis (per-bit states plus the ranked
+	// suspect-gate set) even when Tolerate is 0.
+	Diagnose bool
+}
+
+// governedRewriteOptions translates the extraction options into the rewrite
+// engine's governance knobs. keepPartial is set on the diagnosis path, where
+// failed cones are data rather than fatal.
+func (o Options) governedRewriteOptions(keepPartial bool) rewrite.Options {
+	ro := rewrite.Options{
+		Threads: o.Threads, Recorder: o.Recorder,
+		Ctx: o.Ctx, ConeDeadline: o.ConeDeadline, BudgetTerms: o.BudgetTerms,
+	}
+	if keepPartial {
+		ro.KeepPartial = true
+		ro.MaxFailures = o.Tolerate
+	}
+	return ro
 }
 
 // Extraction is the result of reverse engineering a multiplier netlist.
@@ -80,6 +117,9 @@ type Extraction struct {
 	Rewrite *rewrite.Result
 	// Verified records whether the golden-model check ran and passed.
 	Verified bool
+	// Diag carries the fault diagnosis when extraction ran with
+	// Options.Tolerate > 0 or Options.Diagnose; nil on the strict path.
+	Diag *Diagnosis
 }
 
 var portRe = regexp.MustCompile(`^([A-Za-z_]+?)\[?(\d+)\]?$`)
@@ -142,7 +182,15 @@ func outFieldProducts(a, b []int) []anf.Mono {
 // IrreduciblePolynomial reverse engineers P(x) from a multiplier netlist.
 // The number of primary outputs determines m; inputs must be the two m-bit
 // operands.
+//
+// With Options.Tolerate > 0 or Options.Diagnose the call is routed through
+// the fault-tolerant consensus path (see Diagnose); otherwise any failed
+// cone or deviating bit is fatal, as in the paper.
 func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error) {
+	if opts.Tolerate > 0 || opts.Diagnose {
+		ext, _, err := Diagnose(n, opts)
+		return ext, err
+	}
 	if opts.PrefixA == "" {
 		opts.PrefixA = "a"
 	}
@@ -158,7 +206,7 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 		return nil, err
 	}
 
-	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads, Recorder: opts.Recorder})
+	rw, err := rewrite.Outputs(n, opts.governedRewriteOptions(false))
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +397,7 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if err != nil {
 		return nil, err
 	}
-	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads, Recorder: opts.Recorder})
+	rw, err := rewrite.Outputs(n, opts.governedRewriteOptions(false))
 	if err != nil {
 		return nil, err
 	}

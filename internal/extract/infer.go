@@ -224,7 +224,7 @@ func IrreduciblePolynomialInferred(n *netlist.Netlist, opts Options) (*Extractio
 	if m < 2 {
 		return nil, nil, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
-	rw, err := rewrite.Outputs(n, rewrite.Options{Threads: opts.Threads, Recorder: opts.Recorder})
+	rw, err := rewrite.Outputs(n, opts.governedRewriteOptions(false))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -63,5 +63,36 @@ func Report(n *netlist.Netlist, ext *Extraction) string {
 		fmt.Fprintf(&sb, "rewriting:   %d substitutions, peak %d terms, %v wall (%d threads)\n",
 			rw.TotalSubstitutions(), rw.PeakTerms(), rw.Runtime.Round(time.Millisecond), rw.Threads)
 	}
+	if d := ext.Diag; d != nil {
+		switch {
+		case d.Faults == 0:
+			fmt.Fprintf(&sb, "diagnosis:   healthy — all %d cones agree with P(x) (tolerance %d unused)\n",
+				len(d.Bits), d.Tolerate)
+		case d.Recovered:
+			fmt.Fprintf(&sb, "diagnosis:   recovered by consensus over %d faults (%d tampered, %d failed cones), %d candidates tried\n",
+				d.Faults, len(d.Tampered), len(d.FailedCones), d.CandidatesTried)
+		default:
+			fmt.Fprintf(&sb, "diagnosis:   FAILED — %d faults exceed tolerance %d (%d candidates tried)\n",
+				d.Faults, d.Tolerate, d.CandidatesTried)
+		}
+		for _, bd := range d.Bits {
+			if bd.State == BitOK {
+				continue
+			}
+			fmt.Fprintf(&sb, "  bit %3d (%s): %s", bd.Bit, bd.Name, bd.State)
+			if bd.Detail != "" {
+				fmt.Fprintf(&sb, " — %s", bd.Detail)
+			}
+			sb.WriteByte('\n')
+		}
+		for i, s := range d.Suspects {
+			if i >= 5 {
+				fmt.Fprintf(&sb, "  ... and %d more suspects\n", len(d.Suspects)-i)
+				break
+			}
+			fmt.Fprintf(&sb, "  suspect #%d: gate %d (%s), correct-rate %.2f, structural %+.2f\n",
+				i+1, s.Gate, s.Name, s.CorrectRate, s.Structural)
+		}
+	}
 	return sb.String()
 }

@@ -89,6 +89,50 @@ func TestReportNISTMatchAndUnverified(t *testing.T) {
 	}
 }
 
+func TestReportDiagnosisSection(t *testing.T) {
+	n := netlist.New("stub")
+	a, _ := n.AddInput("a0")
+	n.MarkOutput("z0", a)
+	p := gf2poly.FromTerms(8, 4, 3, 1, 0)
+
+	healthy := Report(n, &Extraction{P: p, M: 8, Diag: &Diagnosis{
+		Recovered: true, Tolerate: 2,
+		Bits: []BitDiagnosis{{Bit: 0, Name: "z0", State: BitOK}},
+	}})
+	if !strings.Contains(healthy, "diagnosis:   healthy") {
+		t.Errorf("healthy diagnosis not rendered:\n%s", healthy)
+	}
+
+	recovered := Report(n, &Extraction{P: p, M: 8, Diag: &Diagnosis{
+		Recovered: true, Tolerate: 2, Faults: 1, Tampered: []int{3},
+		CandidatesTried: 4,
+		Bits: []BitDiagnosis{
+			{Bit: 0, Name: "z0", State: BitOK},
+			{Bit: 3, Name: "z3", State: BitTampered, Detail: "5 deviating vectors"},
+		},
+		Suspects: []Suspect{{Gate: 17, Name: "n17", CorrectRate: 1.0, Structural: 0.5}},
+	}})
+	for _, want := range []string{
+		"diagnosis:   recovered by consensus over 1 faults (1 tampered, 0 failed cones), 4 candidates tried",
+		"bit   3 (z3): tampered — 5 deviating vectors",
+		"suspect #1: gate 17 (n17), correct-rate 1.00, structural +0.50",
+	} {
+		if !strings.Contains(recovered, want) {
+			t.Errorf("report missing %q:\n%s", want, recovered)
+		}
+	}
+	if strings.Contains(recovered, "bit   0") {
+		t.Errorf("healthy bits must not be listed:\n%s", recovered)
+	}
+
+	failed := Report(n, &Extraction{P: p, M: 8, Diag: &Diagnosis{
+		Tolerate: 1, Faults: 3, CandidatesTried: 9,
+	}})
+	if !strings.Contains(failed, "diagnosis:   FAILED — 3 faults exceed tolerance 1 (9 candidates tried)") {
+		t.Errorf("failed diagnosis not rendered:\n%s", failed)
+	}
+}
+
 func TestReportWeightClassFallback(t *testing.T) {
 	// Polynomials that are neither trinomials nor pentanomials get the
 	// generic "weight-N" class. Report does not require irreducibility to

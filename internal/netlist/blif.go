@@ -14,8 +14,17 @@ import (
 //
 // Unlike the equation format, BLIF allows .names blocks in any order;
 // ReadBLIF resolves forward references by topologically ordering the blocks
-// before building gates.
+// before building gates. All syntax and structure failures are wrapped in
+// ErrParse.
 func ReadBLIF(r io.Reader) (*Netlist, error) {
+	n, err := readBLIF(r)
+	if err != nil {
+		return nil, parseError(err)
+	}
+	return n, nil
+}
+
+func readBLIF(r io.Reader) (*Netlist, error) {
 	type namesBlock struct {
 		inputs []string
 		output string

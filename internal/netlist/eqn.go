@@ -125,8 +125,17 @@ type eqnParser struct {
 	n  *Netlist
 }
 
-// ReadEQN parses an equation-format netlist.
+// ReadEQN parses an equation-format netlist. All syntax and structure
+// failures are wrapped in ErrParse.
 func ReadEQN(r io.Reader, name string) (*Netlist, error) {
+	n, err := readEQN(r, name)
+	if err != nil {
+		return nil, parseError(err)
+	}
+	return n, nil
+}
+
+func readEQN(r io.Reader, name string) (*Netlist, error) {
 	lx, err := lexEQN(r)
 	if err != nil {
 		return nil, err

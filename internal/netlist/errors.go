@@ -1,0 +1,23 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrParse is the sentinel every netlist reader (ReadEQN, ReadBLIF,
+// ReadVerilog) wraps its failures in: malformed syntax, truncated files,
+// unknown cell types, arity violations, duplicate or missing signals.
+// Callers distinguish "the input is bad" from "the tool broke" with
+// errors.Is(err, ErrParse) — the CLI maps the former to its own exit code.
+var ErrParse = errors.New("netlist: parse error")
+
+// parseError tags err as an input-format problem. Errors already carrying
+// the sentinel pass through unchanged, so nesting readers never
+// double-wraps.
+func parseError(err error) error {
+	if err == nil || errors.Is(err, ErrParse) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrParse, err)
+}

@@ -1,0 +1,153 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParsersReturnErrParse: every reader must turn malformed input into an
+// error wrapping ErrParse — typed, testable with errors.Is, and never a
+// panic. The corpus covers truncation, garbage, and structurally invalid
+// but lexically plausible inputs for each format.
+func TestParsersReturnErrParse(t *testing.T) {
+	eqn := func(s string) error { _, err := ReadEQN(strings.NewReader(s), "t"); return err }
+	blif := func(s string) error { _, err := ReadBLIF(strings.NewReader(s)); return err }
+	verilog := func(s string) error { _, err := ReadVerilog(strings.NewReader(s)); return err }
+
+	tests := []struct {
+		name  string
+		parse func(string) error
+		in    string
+	}{
+		{"eqn/unbalanced-parens", eqn, "INORDER = a;\nOUTORDER = z;\nz = ((a;\n"},
+		{"eqn/truncated-expr", eqn, "INORDER = a b;\nOUTORDER = z;\nz = a ^"},
+		{"eqn/missing-rhs", eqn, "INORDER = a;\nOUTORDER = z;\nz =\n"},
+		{"eqn/undefined-signal", eqn, "INORDER = a;\nOUTORDER = z;\nz = nope;\n"},
+		{"eqn/binary-garbage", eqn, "\x00\x01\x02\xff = ;;;"},
+		{"eqn/operator-soup", eqn, "INORDER = a;\nOUTORDER = z;\nz = + * ^ ! a;\n"},
+
+		{"blif/names-before-model", blif, ".names a z\n1 1\n"},
+		{"blif/undriven-output", blif, ".model m\n.inputs a\n.outputs z\n.end\n"},
+		{"blif/bad-cover-literal", blif, ".model m\n.inputs a\n.outputs z\n.names a z\nX 1\n.end\n"},
+		{"blif/bad-cover-width", blif, ".model m\n.inputs a b\n.outputs z\n.names a b z\n111 1\n.end\n"},
+		{"blif/latch", blif, ".model m\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n"},
+		{"blif/garbage-directive", blif, ".model m\n.inputs a\n.outputs z\n.frobnicate\n.end\n"},
+
+		{"verilog/no-module", verilog, "assign z = a;\n"},
+		{"verilog/unterminated-module", verilog, "module m(a, z);\ninput a;\noutput z;\nassign z = a;\n"},
+		{"verilog/unknown-cell", verilog, "module m(a, z);\ninput a;\noutput z;\nfrobgate g1(z, a);\nendmodule\n"},
+		{"verilog/truncated-instance", verilog, "module m(a, z);\ninput a;\noutput z;\nxor g1(z,\n"},
+		{"verilog/undeclared-net", verilog, "module m(a, z);\ninput a;\noutput z;\nassign z = ghost;\nendmodule\n"},
+		{"verilog/binary-garbage", verilog, "\x7fELF\x02\x01\x01module"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.parse(tt.in) // a panic here fails the test via the runtime
+			if err == nil {
+				t.Fatal("malformed input parsed without error")
+			}
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("err = %v, want errors.Is(err, ErrParse)", err)
+			}
+		})
+	}
+}
+
+// TestErrParseNoDoubleWrap: re-wrapping a parse error must not stack a
+// second "parse error" prefix onto the message.
+func TestErrParseNoDoubleWrap(t *testing.T) {
+	inner := parseError(errors.New("line 3: bad token"))
+	outer := parseError(inner)
+	if outer != inner {
+		t.Errorf("parseError re-wrapped an already-tagged error: %v", outer)
+	}
+	if got := strings.Count(outer.Error(), "parse error"); got != 1 {
+		t.Errorf("message mentions 'parse error' %d times: %q", got, outer.Error())
+	}
+	if parseError(nil) != nil {
+		t.Error("parseError(nil) must be nil")
+	}
+}
+
+// xorChain builds in -> g1=XOR(a,b) -> g2=XOR(g1,c) -> out with an extra
+// AND output, the fixture for SimulateXor / FanoutCone assertions.
+func xorChain(t *testing.T) (*Netlist, [3]int, [2]int) {
+	t.Helper()
+	n := New("chain")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	c, _ := n.AddInput("c")
+	g1, err := n.AddGate(Xor, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := n.AddGate(Xor, g1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := n.AddGate(And, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("z", g2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("w", g3); err != nil {
+		t.Fatal(err)
+	}
+	return n, [3]int{a, b, c}, [2]int{g1, g2}
+}
+
+func TestSimulateXorOverlay(t *testing.T) {
+	n, _, gates := xorChain(t)
+	words := []uint64{0xF0F0, 0xCCCC, 0xAAAA}
+
+	plain, err := n.Simulate(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complementing g1 on lanes `mask` must complement z on exactly those
+	// lanes (the XOR chain propagates every flip) and leave w untouched.
+	const mask = uint64(0x00FF)
+	flipped, err := n.SimulateXor(words, map[int]uint64{gates[0]: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := n.Outputs()
+	if got := plain[outs[0]] ^ flipped[outs[0]]; got != mask {
+		t.Errorf("z flipped on lanes %#x, want %#x", got, mask)
+	}
+	if plain[outs[1]] != flipped[outs[1]] {
+		t.Error("flip on the XOR chain leaked into the AND output")
+	}
+	// nil flips must be Simulate exactly.
+	again, err := n.SimulateXor(words, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range plain {
+		if again[id] != v {
+			t.Fatalf("SimulateXor(nil) deviates from Simulate at gate %d", id)
+		}
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	n, ins, gates := xorChain(t)
+	got := n.FanoutCone(gates[0])
+	want := []int{gates[0], gates[1]} // g1 and the downstream XOR, not the AND
+	if len(got) != len(want) {
+		t.Fatalf("FanoutCone(g1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FanoutCone(g1) = %v, want %v (ascending IDs)", got, want)
+		}
+	}
+	// An input's fanout reaches everything fed by it.
+	aFan := n.FanoutCone(ins[0])
+	if len(aFan) != 4 { // a itself, g1, g2, g3
+		t.Errorf("FanoutCone(a) = %v, want 4 gates", aFan)
+	}
+}

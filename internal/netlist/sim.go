@@ -10,6 +10,16 @@ import "fmt"
 // Simulation is the randomized cross-check used alongside the formal ANF
 // comparison in package extract.
 func (n *Netlist) Simulate(inputs []uint64) ([]uint64, error) {
+	return n.SimulateXor(inputs, nil)
+}
+
+// SimulateXor is Simulate with fault injection: after a gate's word is
+// computed, it is XORed with flips[id] before readers consume it. A lane
+// with a set mask bit therefore sees the gate stuck at its complement — the
+// primitive behind sensitization-based trojan localization (flip a suspect
+// gate only on the test vectors where the output deviates and watch whether
+// the deviation disappears). A nil map is a plain simulation.
+func (n *Netlist) SimulateXor(inputs []uint64, flips map[int]uint64) ([]uint64, error) {
 	if len(inputs) != len(n.inputs) {
 		return nil, fmt.Errorf("netlist: %d input words for %d primary inputs", len(inputs), len(n.inputs))
 	}
@@ -56,6 +66,11 @@ func (n *Netlist) Simulate(inputs []uint64) ([]uint64, error) {
 		default:
 			return nil, fmt.Errorf("netlist: cannot simulate gate type %v", g.Type)
 		}
+		if flips != nil {
+			if m, ok := flips[id]; ok {
+				vals[id] ^= m
+			}
+		}
 	}
 	return vals, nil
 }
@@ -86,6 +101,26 @@ func (n *Netlist) OutputWords(vals []uint64) []uint64 {
 	out := make([]uint64, len(n.outputs))
 	for i, id := range n.outputs {
 		out[i] = vals[id]
+	}
+	return out
+}
+
+// FanoutCone returns root plus every gate in root's transitive fanout, in
+// ascending ID order — the dual of Cone. A trojan at gate g can only disturb
+// outputs inside FanoutCone(g), which is what localization accuracy is
+// judged against.
+func (n *Netlist) FanoutCone(root int) []int {
+	mark := make([]bool, len(n.gates))
+	mark[root] = true
+	out := []int{root}
+	for id := root + 1; id < len(n.gates); id++ {
+		for _, f := range n.gates[id].Fanin {
+			if mark[f] {
+				mark[id] = true
+				out = append(out, id)
+				break
+			}
+		}
 	}
 	return out
 }

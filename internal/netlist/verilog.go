@@ -25,14 +25,19 @@ import (
 // vectors like "input [7:0] a;" which expand to a[7]..a[0]); the gate
 // primitives and/or/xor/xnor/nand/nor/not/buf (2-input for the binary ones);
 // assign with expressions over ~ & ^ | and parentheses; 1'b0/1'b1 constants;
-// // and /* */ comments. Behavioral constructs are rejected.
+// // and /* */ comments. Behavioral constructs are rejected. All syntax and
+// structure failures are wrapped in ErrParse.
 func ReadVerilog(r io.Reader) (*Netlist, error) {
 	toks, err := lexVerilog(r)
 	if err != nil {
-		return nil, err
+		return nil, parseError(err)
 	}
 	p := &vParser{toks: toks}
-	return p.parseModule()
+	n, err := p.parseModule()
+	if err != nil {
+		return nil, parseError(err)
+	}
+	return n, nil
 }
 
 type vToken struct {

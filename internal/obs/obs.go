@@ -29,12 +29,18 @@
 //
 // ts is seconds since the recorder was created. Well-known span names, in
 // pipeline order: parse, cone-sort, rewrite, extract, golden-model, verify,
-// plus opt.simplify / opt.balance-xor / opt.techmap / opt.sweep inside the
-// synthesis flow. Well-known metrics: substitutions, cancellations (mod-2
-// eliminations), live_terms (gauge; watermark = peak resident terms),
-// workers_busy (gauge), bits_done, cone_sort_ns, heap_bytes (gauge;
-// watermark = heap high-water from runtime.ReadMemStats), and the
-// peak_terms / bit_dur_ns histograms.
+// plus consensus / localize on the fault-tolerant path and opt.simplify /
+// opt.balance-xor / opt.techmap / opt.sweep inside the synthesis flow.
+// Well-known metrics: substitutions, cancellations (mod-2 eliminations),
+// live_terms (gauge; watermark = peak resident terms), workers_busy (gauge),
+// bits_done, cone_sort_ns, heap_bytes (gauge; watermark = heap high-water
+// from runtime.ReadMemStats), the peak_terms / bit_dur_ns histograms, and
+// the resource-governance counters cone_retries (budget aborts re-attempted
+// under the alternative substitution order) and cone_aborts (cones ended
+// without an expression). Each abort additionally emits a cone_abort event
+// whose name is the abort status (budget / timeout / panic / cancelled /
+// error) and whose payload carries bit, cone_gates, substitutions and
+// peak_terms at the moment the governor stopped the cone.
 package obs
 
 import (

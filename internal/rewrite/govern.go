@@ -1,0 +1,198 @@
+// Resource governance for backward rewriting: per-cone term budgets and
+// deadlines, cooperative cancellation, panic containment and a bounded retry
+// ladder. The paper assumes well-formed GF(2^m) multipliers, whose rewriting
+// is cancellation-heavy and cheap; adversarial or damaged netlists can make
+// the intermediate polynomial blow up exponentially instead (the non-GF
+// explosion the paper warns about in Section V). The governor turns that
+// failure mode from an OOM kill into a typed, per-cone error with partial
+// progress preserved.
+package rewrite
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/netlist"
+)
+
+// Sentinel errors; use errors.Is against them.
+var (
+	// ErrBudgetExceeded means a cone's intermediate polynomial outgrew the
+	// configured term budget. The returned BitResult still carries the cost
+	// counters accumulated up to the abort.
+	ErrBudgetExceeded = errors.New("rewrite: per-cone term budget exceeded")
+	// ErrConeTimeout means a single cone exceeded Options.ConeDeadline.
+	ErrConeTimeout = errors.New("rewrite: per-cone deadline exceeded")
+	// ErrConePanic means a worker panicked while rewriting a cone; the panic
+	// was contained and converted into this error instead of taking down the
+	// process.
+	ErrConePanic = errors.New("rewrite: panic during cone rewriting")
+	// ErrTooManyFailures means more cones failed than Options.MaxFailures
+	// allows under KeepPartial.
+	ErrTooManyFailures = errors.New("rewrite: failed cones exceed tolerance")
+)
+
+// BudgetError is the concrete error behind ErrBudgetExceeded; it records how
+// far the cone got before the governor stopped it.
+type BudgetError struct {
+	Bit           int    // output position (-1 for single-output Output calls)
+	Name          string // output port name
+	Terms         int    // live terms when the budget tripped
+	Budget        int    // the configured ceiling
+	Substitutions int    // rewriting steps completed before the abort
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("rewrite: cone %q (bit %d): %d live terms exceed budget %d after %d substitutions",
+		e.Name, e.Bit, e.Terms, e.Budget, e.Substitutions)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// Status classifies how a single output cone ended.
+type Status string
+
+const (
+	// StatusOK is a completed cone; for backward compatibility the zero
+	// value "" also reads as OK (see BitResult.Failed).
+	StatusOK Status = "ok"
+	// StatusBudget marks a cone aborted by the term budget.
+	StatusBudget Status = "budget"
+	// StatusTimeout marks a cone aborted by its per-cone deadline.
+	StatusTimeout Status = "timeout"
+	// StatusPanic marks a cone whose worker panicked (contained).
+	StatusPanic Status = "panic"
+	// StatusCancelled marks a cone cut short because a sibling failed
+	// fatally or the caller's context ended; the cone itself is innocent.
+	StatusCancelled Status = "cancelled"
+	// StatusError marks any other per-cone failure (e.g. a structural
+	// error such as a non-input variable surviving rewriting).
+	StatusError Status = "error"
+)
+
+// Failed reports whether the cone ended without an expression. The zero
+// Status counts as OK so that pre-governance constructors of BitResult keep
+// working.
+func (s Status) Failed() bool { return s != "" && s != StatusOK }
+
+// governor enforces the per-cone resource policy inside the substitution
+// loop. A nil governor disables every check.
+type governor struct {
+	ctx      context.Context
+	deadline time.Time // zero = no per-cone deadline
+	budget   int       // max live terms, 0 = unlimited
+}
+
+// poll checks cancellation and the cone deadline. It runs once per
+// substitution actually performed — substitutions dominate the loop cost by
+// orders of magnitude, so the two clock reads are noise (see
+// BenchmarkExtract/governed).
+func (g *governor) poll() (Status, error) {
+	if g == nil {
+		return StatusOK, nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		return StatusCancelled, err
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		return StatusTimeout, ErrConeTimeout
+	}
+	return StatusOK, nil
+}
+
+// charge checks the live-term budget after a substitution landed. The check
+// is post-hoc rather than predictive on purpose: mod-2 cancellation (the
+// paper's central phenomenon) makes the projected k·|e| expansion a wild
+// overestimate on legitimate multipliers, so a pre-check would abort healthy
+// cones. Transient overshoot is bounded by one substitution's expansion.
+func (g *governor) charge(terms int) bool {
+	return g != nil && g.budget > 0 && terms > g.budget
+}
+
+// testPanicOutput, when >= 0, makes rewriteOutput panic upon visiting that
+// gate ID. The public API cannot build a netlist that panics mid-rewrite
+// (constructors validate shapes), so the containment path needs a seam.
+var testPanicOutput = -1
+
+// rewriteSafe runs one rewriting attempt with panic containment: a panicking
+// cone yields ErrConePanic instead of crashing the process.
+func rewriteSafe(n *netlist.Netlist, root int, h *hooks, gov *governor, order []int) (br BitResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			br.Status = StatusPanic
+			err = fmt.Errorf("%w: output %q: %v", ErrConePanic, n.NameOf(root), r)
+		}
+	}()
+	return rewriteOutput(n, root, h, gov, order)
+}
+
+// rewriteGoverned is the per-cone retry ladder: one attempt in the default
+// reverse-topological order, then — only for budget aborts — one retry with
+// the alternative substitution schedule, then cone abandonment. Timeouts and
+// cancellations are never retried: the clock that killed the first attempt
+// is still running.
+func rewriteGoverned(n *netlist.Netlist, root int, h *hooks, opts Options, ctx context.Context) (BitResult, error, bool) {
+	gov := &governor{ctx: ctx, budget: opts.BudgetTerms}
+	if opts.ConeDeadline > 0 {
+		gov.deadline = time.Now().Add(opts.ConeDeadline)
+	}
+	br, err := rewriteSafe(n, root, h, gov, nil)
+	if err == nil || opts.NoRetry || !errors.Is(err, ErrBudgetExceeded) {
+		return br, err, false
+	}
+	// Budget abort: substitution order changes which products meet which,
+	// and hence when cancellations fire; a level-driven schedule often keeps
+	// the frontier smaller than the ID-driven one. The deadline keeps
+	// running, so a retry cannot extend the cone's wall budget.
+	h.countRetry()
+	br2, err2 := rewriteSafe(n, root, h, gov, altOrder(n, n.Cone(root)))
+	if err2 != nil {
+		// Report the attempt that got further; both failed.
+		if br2.Substitutions < br.Substitutions {
+			return br, err, true
+		}
+		return br2, err2, true
+	}
+	return br2, nil, true
+}
+
+// altOrder returns an alternative substitution schedule for the cone:
+// descending logic level, and within a level cheaper gate models first,
+// then ascending ID. Every reader of a gate sits at a strictly higher
+// level, so this is still a valid reverse-topological elimination order —
+// just a different interleaving across branches than the default
+// descending-ID walk.
+func altOrder(n *netlist.Netlist, cone []int) []int {
+	levels, _ := n.Levels()
+	order := append([]int(nil), cone...)
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := levels[order[i]], levels[order[j]]
+		if li != lj {
+			return li > lj
+		}
+		ci, cj := gateCost(n.Gate(order[i]).Type), gateCost(n.Gate(order[j]).Type)
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// gateCost estimates the term count of a gate's algebraic model (Eq. 1) —
+// how much a substitution can expand the polynomial per occurrence.
+func gateCost(t netlist.GateType) int {
+	switch t {
+	case netlist.Buf, netlist.And, netlist.Const0, netlist.Const1:
+		return 1
+	case netlist.Not, netlist.Xor, netlist.Nand, netlist.Xnor:
+		return 2
+	case netlist.Or, netlist.Nor:
+		return 3
+	default:
+		return 4
+	}
+}

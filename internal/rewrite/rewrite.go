@@ -17,9 +17,12 @@
 package rewrite
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/galoisfield/gfre/internal/anf"
@@ -37,6 +40,30 @@ type Options struct {
 	// cancellations / live_terms / workers_busy metrics. nil disables
 	// instrumentation at negligible cost.
 	Recorder *obs.Recorder
+
+	// Ctx cancels the whole run cooperatively: in-flight cones stop at the
+	// next substitution and queued cones are skipped. nil means Background.
+	Ctx context.Context
+	// ConeDeadline bounds the wall time of each individual cone; a cone
+	// over deadline aborts with ErrConeTimeout. 0 disables the deadline.
+	ConeDeadline time.Duration
+	// BudgetTerms caps the live terms of each cone's intermediate
+	// polynomial; exceeding it aborts the cone with a *BudgetError
+	// (errors.Is ErrBudgetExceeded). 0 disables the budget.
+	BudgetTerms int
+	// NoRetry disables the retry ladder: budget-aborted cones are not
+	// re-attempted under the alternative substitution order.
+	NoRetry bool
+	// KeepPartial makes Outputs survive individual cone failures: failed
+	// bits carry a Status and empty Expr, healthy bits complete normally,
+	// and the Result comes back with a nil error as long as the failure
+	// count stays within MaxFailures. Without KeepPartial the first
+	// failure cancels all sibling cones promptly and fails the run.
+	KeepPartial bool
+	// MaxFailures bounds the tolerated failed-cone count under
+	// KeepPartial; one failure beyond it fails the run with
+	// ErrTooManyFailures (wrapping the last cone error). 0 = unlimited.
+	MaxFailures int
 }
 
 // BitStats records the per-output-bit cost counters that Figure 4 and the
@@ -56,6 +83,11 @@ type BitStats struct {
 type BitResult struct {
 	BitStats
 	Expr anf.Poly // canonical ANF over primary-input variables
+	// Status classifies how the cone ended; "" and StatusOK both mean a
+	// completed cone with a valid Expr.
+	Status Status
+	// Err holds the cone's failure message when Status.Failed().
+	Err string
 }
 
 // Result is the outcome of rewriting all outputs of a netlist.
@@ -63,6 +95,12 @@ type Result struct {
 	Bits    []BitResult   // indexed by output position
 	Runtime time.Duration // wall time for the whole run (all workers)
 	Threads int           // worker count actually used
+	// Failed lists the output positions whose cones did not complete
+	// (budget, timeout, panic, cancellation or structural error).
+	Failed []int
+	// Retries counts budget-aborted cones that were re-attempted under the
+	// alternative substitution order.
+	Retries int
 }
 
 // TotalSubstitutions sums the rewriting iterations over all bits.
@@ -119,6 +157,8 @@ type hooks struct {
 	coneNs *obs.Counter // cone sorting, CPU ns summed over workers
 	live   *obs.Gauge   // resident terms across all in-flight bits
 	busy   *obs.Gauge   // workers currently rewriting a bit
+	retry  *obs.Counter // cone_retries: budget aborts re-attempted
+	aborts *obs.Counter // cone_aborts: cones that ended without an Expr
 }
 
 func newHooks(rec *obs.Recorder) *hooks {
@@ -133,10 +173,40 @@ func newHooks(rec *obs.Recorder) *hooks {
 		coneNs: m.Counter("cone_sort_ns"),
 		live:   m.Gauge("live_terms"),
 		busy:   m.Gauge("workers_busy"),
+		retry:  m.Counter("cone_retries"),
+		aborts: m.Counter("cone_aborts"),
 	}
 }
 
+func (h *hooks) countRetry() {
+	if h != nil {
+		h.retry.Inc()
+	}
+}
+
+// countAbort bumps the abort counter and emits a structured cone_abort event
+// carrying the bit, its status and the progress made before the abort.
+func (h *hooks) countAbort(br BitResult) {
+	if h == nil {
+		return
+	}
+	h.aborts.Inc()
+	h.rec.Emit("cone_abort", string(br.Status), map[string]int64{
+		"bit":           int64(br.Bit),
+		"cone_gates":    int64(br.ConeGates),
+		"substitutions": int64(br.Substitutions),
+		"peak_terms":    int64(br.PeakTerms),
+	})
+}
+
 // Outputs rewrites every primary output of n into its canonical ANF.
+//
+// Failure semantics: without Options.KeepPartial the first failing cone
+// cancels its siblings promptly and Outputs returns that cone's error
+// together with the partial Result (completed bits keep their expressions,
+// aborted bits carry a Status). With KeepPartial, up to MaxFailures cones
+// may fail while the run still returns nil; the failures are listed in
+// Result.Failed.
 func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 	threads := opts.Threads
 	if threads <= 0 {
@@ -149,38 +219,92 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("rewrite: netlist %q has no outputs", n.Name)
 	}
 
+	base := opts.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	// The internal cancel context lets the first fatal cone stop its
+	// siblings at their next substitution instead of burning cores on a run
+	// that is already lost.
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
 	rec := opts.Recorder
 	h := newHooks(rec)
 	span := rec.StartSpan("rewrite", map[string]int64{
 		"bits": int64(len(outs)), "threads": int64(threads),
 	})
 
+	var (
+		failures  atomic.Int64
+		retries   atomic.Int64
+		fatalOnce sync.Once
+		fatalErr  error
+	)
+	fatal := func(err error) {
+		fatalOnce.Do(func() {
+			fatalErr = err
+			cancel()
+		})
+	}
+
 	start := time.Now()
 	jobs := make(chan int)
-	errs := make([]error, len(outs))
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for bit := range jobs {
+				if err := ctx.Err(); err != nil {
+					res.Bits[bit] = BitResult{
+						BitStats: BitStats{Bit: bit, Name: names[bit]},
+						Status:   StatusCancelled, Err: err.Error(),
+					}
+					continue
+				}
 				rec.BitStart(bit, names[bit])
 				h.busyAdd(1)
-				br, err := rewriteOutput(n, outs[bit], h)
+				br, err, retried := rewriteGoverned(n, outs[bit], h, opts, ctx)
 				h.busyAdd(-1)
-				if err != nil {
-					errs[bit] = err
-					continue
+				if retried {
+					retries.Add(1)
 				}
 				br.Bit = bit
 				br.Name = names[bit]
+				if err == nil {
+					br.Status = StatusOK
+					res.Bits[bit] = br
+					rec.BitFinish(obs.BitStats{
+						Bit: br.Bit, Name: br.Name, ConeGates: br.ConeGates,
+						Substitutions: br.Substitutions, PeakTerms: br.PeakTerms,
+						FinalTerms: br.FinalTerms, Cancelled: br.Cancelled,
+						Duration: br.Runtime,
+					})
+					continue
+				}
+				if be := (*BudgetError)(nil); errors.As(err, &be) {
+					be.Bit, be.Name = bit, names[bit]
+				}
+				if br.Status == "" || br.Status == StatusOK {
+					br.Status = StatusError
+				}
+				br.Err = err.Error()
 				res.Bits[bit] = br
-				rec.BitFinish(obs.BitStats{
-					Bit: br.Bit, Name: br.Name, ConeGates: br.ConeGates,
-					Substitutions: br.Substitutions, PeakTerms: br.PeakTerms,
-					FinalTerms: br.FinalTerms, Cancelled: br.Cancelled,
-					Duration: br.Runtime,
-				})
+				h.countAbort(br)
+				if br.Status == StatusCancelled {
+					// Collateral of someone else's failure (or the
+					// caller's context): not this cone's fault and not a
+					// tolerated-failure slot.
+					continue
+				}
+				n := failures.Add(1)
+				if !opts.KeepPartial {
+					fatal(err)
+				} else if opts.MaxFailures > 0 && n > int64(opts.MaxFailures) {
+					fatal(fmt.Errorf("%w: %d cones failed (tolerate %d), last: %w",
+						ErrTooManyFailures, n, opts.MaxFailures, err))
+				}
 			}
 		}()
 	}
@@ -189,9 +313,11 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	res.Retries = int(retries.Load())
+	for bit, br := range res.Bits {
+		if br.Status.Failed() {
+			res.Failed = append(res.Failed, bit)
 		}
 	}
 	res.Runtime = time.Since(start)
@@ -201,6 +327,12 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		rec.RecordSpan("cone-sort", time.Duration(h.coneNs.Value()))
 	}
 	span.End()
+	if fatalErr != nil {
+		return res, fatalErr
+	}
+	if err := base.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -213,13 +345,17 @@ func (h *hooks) busyAdd(delta int64) {
 // Output rewrites the single output driven by gate root into its canonical
 // ANF over primary inputs (Algorithm 1 restricted to root's cone).
 func Output(n *netlist.Netlist, root int) (BitResult, error) {
-	return rewriteOutput(n, root, nil)
+	return rewriteOutput(n, root, nil, nil, nil)
 }
 
-func rewriteOutput(n *netlist.Netlist, root int, h *hooks) (BitResult, error) {
+// rewriteOutput runs Algorithm 1 on root's cone. gov (may be nil) enforces
+// the per-cone resource policy; order (may be nil) overrides the default
+// descending-ID substitution schedule with an explicit linear extension.
+func rewriteOutput(n *netlist.Netlist, root int, h *hooks, gov *governor, order []int) (BitResult, error) {
 	start := time.Now()
 	cone := n.Cone(root)
 	br := BitResult{}
+	br.Bit = -1
 	br.ConeGates = len(cone)
 	if h != nil {
 		h.coneNs.Add(int64(time.Since(start)))
@@ -229,25 +365,37 @@ func rewriteOutput(n *netlist.Netlist, root int, h *hooks) (BitResult, error) {
 	f := anf.Variable(anf.Var(root))
 	br.PeakTerms = 1
 	varOf := func(id int) anf.Var { return anf.Var(id) }
+	if h != nil {
+		// On every exit path the bit's resident terms leave the working
+		// set — aborted cones must not leak into the live_terms gauge.
+		defer func() { h.live.Add(-int64(f.Len())) }()
+	}
 
 	// Reverse topological order: cone is ascending and every fanin ID is
 	// smaller than its reader, so walking backwards guarantees each gate
-	// variable is eliminated before its fanins are visited.
-	for i := len(cone) - 1; i >= 0; i-- {
-		id := cone[i]
+	// variable is eliminated before its fanins are visited. An explicit
+	// order replaces the walk with its own schedule (already reversed).
+	step := func(id int) error {
 		g := n.Gate(id)
 		if g.Type == netlist.Input {
-			continue
+			return nil
+		}
+		if id == testPanicOutput {
+			panic(fmt.Sprintf("test-injected panic at gate %d", id))
 		}
 		v := anf.Var(id)
 		k := f.VarOccurrences(v)
 		if k == 0 {
 			// The gate's contribution cancelled out earlier; nothing to do.
-			continue
+			return nil
+		}
+		if st, err := gov.poll(); err != nil {
+			br.Status = st
+			return err
 		}
 		e, err := n.GateANF(id, varOf)
 		if err != nil {
-			return br, fmt.Errorf("rewrite: gate %d (%s): %w", id, n.NameOf(id), err)
+			return fmt.Errorf("rewrite: gate %d (%s): %w", id, n.NameOf(id), err)
 		}
 		before := f.Len()
 		f.Substitute(v, e)
@@ -266,19 +414,38 @@ func rewriteOutput(n *netlist.Netlist, root int, h *hooks) (BitResult, error) {
 			h.cancel.Add(int64(cancelled))
 			h.live.Add(int64(after - before))
 		}
+		if gov.charge(after) {
+			br.Status = StatusBudget
+			return &BudgetError{Bit: -1, Name: n.NameOf(root),
+				Terms: after, Budget: gov.budget, Substitutions: br.Substitutions}
+		}
+		return nil
+	}
+	if order == nil {
+		for i := len(cone) - 1; i >= 0; i-- {
+			if err := step(cone[i]); err != nil {
+				br.Runtime = time.Since(start)
+				return br, err
+			}
+		}
+	} else {
+		for _, id := range order {
+			if err := step(id); err != nil {
+				br.Runtime = time.Since(start)
+				return br, err
+			}
+		}
 	}
 
 	// Sanity: only primary-input variables may remain (Theorem 1).
 	for _, v := range f.SupportVars() {
 		if n.Gate(int(v)).Type != netlist.Input {
+			br.Status = StatusError
 			return br, fmt.Errorf("rewrite: non-input variable v%d (%s) survived rewriting", v, n.NameOf(int(v)))
 		}
 	}
 	br.Expr = f
 	br.FinalTerms = f.Len()
 	br.Runtime = time.Since(start)
-	if h != nil {
-		h.live.Add(-int64(br.FinalTerms)) // bit retired; its terms leave the working set
-	}
 	return br, nil
 }
