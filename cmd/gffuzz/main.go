@@ -110,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		adversarial = fs.Int("adversarial", 10, "mix in a random-DAG robustness case every N cases (0 = off)")
 		inject      = fs.Int("inject", 0, "flip XOR #((k-1) mod count) in every case; the campaign must fail everywhere (with -diagnose: number of trojans per case)")
 		diagnose    = fs.Bool("diagnose", false, "fault-tolerance campaign: plant -inject trojans (default 1) in distinct cones, require P(x) recovery by consensus AND trojan localization")
+		resume      = fs.Bool("resume", false, "crash-recovery campaign: hard-cancel each extraction at a random cone boundary, resume from its checkpoint, require exact P(x) and cone reuse")
 		ndjson      = fs.String("ndjson", "", "stream per-case telemetry events to this NDJSON file")
 		repro       = fs.String("repro", "", "write a minimized .eqn repro per failure into this directory")
 		selfcheck   = fs.Bool("selfcheck", false, "inject a reduction-network bug and verify it is caught and minimized")
@@ -152,6 +153,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MinM: minM, MaxM: maxM, Archs: archList, Formats: formatList,
 		MaxOptPasses: *optPasses, Scramble: *scramble,
 		Adversarial: *adversarial, Inject: *inject, Diagnose: *diagnose,
+		Resume:   *resume,
 		Recorder: rec, ReproDir: *repro,
 	}
 	if *verbose {
@@ -211,6 +213,10 @@ func printSummary(w io.Writer, sum *diffcheck.Summary) {
 			fmt.Fprintf(w, " %s=%d", k, dim.m[k])
 		}
 		fmt.Fprintln(w)
+	}
+	if sum.Resumed > 0 {
+		fmt.Fprintf(w, "  resume: %d interrupted runs recovered, %d checkpointed cones reused\n",
+			sum.Resumed, sum.ReusedCones)
 	}
 	if sum.Diagnosed > 0 {
 		fmt.Fprintf(w, "  localization: %d/%d cases fully localized (precision %.0f%%), median best-suspect rank %d\n",

@@ -158,3 +158,20 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("bad -arch accepted")
 	}
 }
+
+func TestRunResumeCampaign(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-resume", "-n", "6", "-seed", "3", "-m", "4-8", "-workers", "4"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "6 passed, 0 failed") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "resume:") || !strings.Contains(out.String(), "cones reused") {
+		t.Errorf("summary missing the resume line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "resume=6") {
+		t.Errorf("by-architecture tally missing resume cases:\n%s", out.String())
+	}
+}

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+// crashArgSep separates CLI arguments inside the helper's environment
+// variable (NUL is not legal in env values; the unit separator is safe in
+// any path the tests generate).
+const crashArgSep = "\x1f"
+
+// TestGfreCrashHelper is not a test: it is the subprocess body of the
+// SIGKILL crash-recovery tests below, re-executing this test binary so the
+// real gfre run() can be killed without building the CLI separately.
+func TestGfreCrashHelper(t *testing.T) {
+	if os.Getenv("GFRE_CRASH_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	args := strings.Split(os.Getenv("GFRE_CRASH_ARGS"), crashArgSep)
+	err := run(args, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+	}
+	os.Exit(exitCode(err))
+}
+
+// crashResume kills a checkpointed extraction mid-run with SIGKILL — no
+// cleanup, no signal handler, the hard way a container OOM or power cut
+// ends a process — then resumes from the snapshot and asserts the recovered
+// P(x) is identical and strictly fewer cones were re-rewritten.
+func crashResume(t *testing.T, m int) {
+	t.Helper()
+	want, err := gfre.DefaultPolynomial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPath := writeNetlist(t, "mult.eqn", "mastrovito", m)
+
+	var killed bool
+	for attempt := 0; attempt < 5 && !killed; attempt++ {
+		ckpt := t.TempDir()
+		// -threads 1 serializes the cones, widening the window in which the
+		// snapshot holds some-but-not-all of them.
+		cmd := exec.Command(os.Args[0], "-test.run=TestGfreCrashHelper$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"GFRE_CRASH_HELPER=1",
+			"GFRE_CRASH_ARGS="+strings.Join([]string{
+				"-threads", "1", "-checkpoint", ckpt, netPath,
+			}, crashArgSep))
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		// Poll until the snapshot holds at least one completed cone but is
+		// not yet complete, then SIGKILL. If the run finishes first the
+		// attempt is wasted (the box was too fast); try again.
+		deadline := time.After(30 * time.Second)
+	poll:
+		for {
+			select {
+			case <-exited:
+				break poll
+			case <-deadline:
+				cmd.Process.Kill()
+				<-exited
+				t.Fatal("extraction did not checkpoint within 30s")
+			default:
+			}
+			snap, err := gfre.LoadCheckpoint(ckpt)
+			if err == nil && !snap.Complete && snap.DoneCones() >= 1 {
+				cmd.Process.Kill() // SIGKILL: no handler runs, no sync happens
+				<-exited
+				killed = true
+				break poll
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		if !killed {
+			continue
+		}
+
+		snap, err := gfre.LoadCheckpoint(ckpt)
+		if err != nil {
+			t.Fatalf("snapshot unreadable after SIGKILL: %v", err)
+		}
+		if snap.Complete {
+			// Killed between the last cone and process exit; the resumed run
+			// would reuse everything. Still a valid resume, keep going.
+			t.Logf("killed after completion; %d cones reused", snap.DoneCones())
+		}
+		doneAtKill := snap.DoneCones()
+
+		var out bytes.Buffer
+		if err := run([]string{"-json", "-resume", "-checkpoint", ckpt, netPath}, &out, os.Stderr); err != nil {
+			t.Fatalf("resume failed: %v", err)
+		}
+		var res struct {
+			Polynomial  string `json:"polynomial"`
+			Verified    bool   `json:"verified"`
+			ReusedCones int    `json:"reused_cones"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("resume output: %v\n%s", err, out.String())
+		}
+		if res.Polynomial != want.String() {
+			t.Fatalf("resumed P(x) = %s, want %s", res.Polynomial, want)
+		}
+		if !res.Verified {
+			t.Fatal("resumed extraction skipped verification")
+		}
+		if res.ReusedCones < doneAtKill || res.ReusedCones < 1 {
+			t.Fatalf("resumed run reused %d cones, snapshot had %d done at kill time",
+				res.ReusedCones, doneAtKill)
+		}
+		t.Logf("GF(2^%d): killed with %d/%d cones done, resume reused %d and recovered %s",
+			m, doneAtKill, m, res.ReusedCones, res.Polynomial)
+	}
+	if !killed {
+		t.Fatal("could not catch the extraction mid-run in 5 attempts")
+	}
+}
+
+// TestCrashRecoveryGF64 is the CI smoke size: SIGKILL a GF(2^64) extraction
+// mid-run, resume, and require the exact NIST P(x) back.
+func TestCrashRecoveryGF64(t *testing.T) {
+	crashResume(t, 64)
+}
+
+// TestCrashRecoveryGF163 is the acceptance-scale run on the NIST GF(2^163)
+// pentanomial field.
+func TestCrashRecoveryGF163(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GF(2^163) crash recovery skipped in -short mode")
+	}
+	crashResume(t, 163)
+}
+
+// TestResumeRequiresCheckpointFlag pins the flag contract.
+func TestResumeRequiresCheckpointFlag(t *testing.T) {
+	err := run([]string{"-resume", "nofile.eqn"}, os.Stdout, os.Stderr)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("got %v, want usage error", err)
+	}
+}
+
+// TestSignalCancellationChecksSnapshot sends SIGTERM (the graceful signal, a
+// handler does run) and requires exit code 3 plus a synced, resumable
+// snapshot — the documented interrupt semantics.
+func TestSignalCancellationChecksSnapshot(t *testing.T) {
+	m := 64
+	netPath := writeNetlist(t, "mult.eqn", "mastrovito", m)
+
+	var got3 bool
+	for attempt := 0; attempt < 5 && !got3; attempt++ {
+		ckpt := t.TempDir()
+		cmd := exec.Command(os.Args[0], "-test.run=TestGfreCrashHelper$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"GFRE_CRASH_HELPER=1",
+			"GFRE_CRASH_ARGS="+strings.Join([]string{
+				"-threads", "1", "-checkpoint", ckpt, netPath,
+			}, crashArgSep))
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		deadline := time.After(30 * time.Second)
+		terminated := false
+	poll:
+		for {
+			select {
+			case <-exited:
+				break poll
+			case <-deadline:
+				cmd.Process.Kill()
+				<-exited
+				t.Fatal("extraction did not checkpoint within 30s")
+			default:
+			}
+			snap, err := gfre.LoadCheckpoint(ckpt)
+			if err == nil && !snap.Complete && snap.DoneCones() >= 1 {
+				cmd.Process.Signal(os.Interrupt)
+				terminated = true
+				break poll
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		if !terminated {
+			continue // finished before we could interrupt; retry
+		}
+		werr := <-exited
+		var ee *exec.ExitError
+		if !errors.As(werr, &ee) {
+			continue // interrupted after success: exit 0, too fast, retry
+		}
+		if code := ee.ExitCode(); code != exitResource {
+			t.Fatalf("interrupted gfre exited %d, want %d", code, exitResource)
+		}
+		got3 = true
+
+		// The handler synced the snapshot; resuming must succeed.
+		var out bytes.Buffer
+		if err := run([]string{"-quiet", "-resume", "-checkpoint", ckpt, netPath}, &out, os.Stderr); err != nil {
+			t.Fatalf("resume after SIGINT failed: %v", err)
+		}
+		want, err := gfre.DefaultPolynomial(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(out.String()); got != want.String() {
+			t.Fatalf("resumed P(x) = %s, want %s", got, want)
+		}
+	}
+	if !got3 {
+		t.Fatal("could not catch the extraction mid-run in 5 attempts")
+	}
+}

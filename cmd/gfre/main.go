@@ -34,8 +34,10 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof: profile endpoints on the default mux
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	gfre "github.com/galoisfield/gfre"
@@ -47,7 +49,7 @@ const (
 	exitOK       = 0 // P(x) recovered (and verified unless -no-verify)
 	exitInternal = 1 // I/O errors, bad ports, anything unclassified
 	exitUsage    = 2 // bad flags / arguments, malformed netlist
-	exitResource = 3 // term budget, cone deadline or run timeout tripped
+	exitResource = 3 // term budget, cone deadline, run timeout, or SIGINT/SIGTERM
 	exitMismatch = 4 // netlist ≢ golden model, or consensus ambiguous
 )
 
@@ -83,7 +85,7 @@ func main() {
 	os.Exit(exitCode(err))
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("gfre", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -108,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget      = fs.Int("budget", 0, "per-cone term budget: abort a cone when its expression holds more resident terms (guards against non-multiplier blowup)")
 		tolerate    = fs.Int("tolerate", 0, "fault-tolerant extraction: recover P(x) by consensus despite up to K failed or tampered output cones")
 		diagnose    = fs.Bool("diagnose", false, "print the fault diagnosis (per-bit verdicts, ranked suspect gates) even when -tolerate is 0")
+
+		checkpointDir = fs.String("checkpoint", "", "persist per-cone progress crash-safely into this directory as the run proceeds")
+		resume        = fs.Bool("resume", false, "resume from the snapshot in -checkpoint: completed cones are reused, only unfinished ones are re-rewritten")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: gfre [flags] netlist.{eqn,blif,v}\n\nflags:\n")
@@ -118,6 +123,8 @@ exit codes:
   1  internal error
   2  usage error or malformed netlist
   3  resource-governance abort (-budget / -cone-timeout / -timeout tripped)
+     or run interrupted by SIGINT/SIGTERM (with -checkpoint the snapshot is
+     synced before exit, so gfre -resume continues where the run stopped)
   4  verification failure: netlist does not match the golden model, or the
      fault-tolerant consensus is ambiguous
 `)
@@ -135,9 +142,19 @@ exit codes:
 	if *infer && (*tolerate > 0 || *diagnose) {
 		return fmt.Errorf("%w: -infer cannot be combined with -tolerate/-diagnose (port inference needs every cone intact)", errUsage)
 	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("%w: -resume requires -checkpoint", errUsage)
+	}
+	if *checkpointDir != "" && *infer {
+		return fmt.Errorf("%w: -checkpoint cannot be combined with -infer (inferred runs rewrite under unnamed ports, so snapshots cannot be bound to them)", errUsage)
+	}
 	path := fs.Arg(0)
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run cooperatively: in-flight cones stop at
+	// the next substitution, the checkpoint (if any) is synced, buffered
+	// telemetry is flushed, and the process exits with code 3.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -163,8 +180,18 @@ exit codes:
 			sinks = append(sinks, gfre.NewNDJSONSink(mf))
 		}
 		rec = gfre.NewRecorder(sinks...)
+		// Closing the recorder flushes every sink's buffer. Deferred (not
+		// called inline at the end of the happy path) so that EVERY exit —
+		// usage errors, parse failures, cancellation — drains the NDJSON
+		// stream; a flush failure surfaces as the run's error when nothing
+		// worse already has.
+		defer func() {
+			if cerr := rec.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 		stopHeap = rec.StartHeapSampler(0)
-		defer stopHeap() // idempotent; normally stopped before rec.Close below
+		defer stopHeap() // idempotent; normally stopped before rec.Close above
 	}
 	if *pprofSrv != "" {
 		if err := servePprof(*pprofSrv, rec, stderr); err != nil {
@@ -232,6 +259,10 @@ exit codes:
 		BudgetTerms:  *budget,
 		Tolerate:     *tolerate,
 		Diagnose:     *diagnose,
+		Resume:       *resume,
+	}
+	if *checkpointDir != "" {
+		opts.Checkpoint = gfre.NewCheckpointManager(*checkpointDir, -1)
 	}
 	start := time.Now()
 	var ext *gfre.Extraction
@@ -246,10 +277,7 @@ exit codes:
 		ext, err = gfre.Extract(n, opts)
 	}
 	elapsed := time.Since(start)
-	stopHeap() // final heap sample, then flush the event stream
-	if cerr := rec.Close(); cerr != nil && err == nil {
-		err = cerr
-	}
+	stopHeap() // final heap sample; the deferred rec.Close flushes the stream
 	if err != nil {
 		// The diagnosis carries whatever was learned before the failure —
 		// per-bit verdicts matter most exactly when extraction aborts.
@@ -283,6 +311,7 @@ exit codes:
 			Verified       bool            `json:"verified"`
 			RuntimeSeconds float64         `json:"runtime_seconds"`
 			Threads        int             `json:"threads"`
+			ReusedCones    int             `json:"reused_cones,omitempty"`
 			Equations      int             `json:"equations"`
 			Phases         []phaseJSON     `json:"phases,omitempty"`
 			Bits           []bitJSON       `json:"bits,omitempty"`
@@ -293,6 +322,7 @@ exit codes:
 			Verified:       ext.Verified,
 			RuntimeSeconds: elapsed.Seconds(),
 			Threads:        ext.Rewrite.Threads,
+			ReusedCones:    ext.Rewrite.Reused,
 			Equations:      st.Equations,
 			Diagnosis:      diag,
 		}
@@ -331,6 +361,9 @@ exit codes:
 		fmt.Fprintf(stdout, "verification:           skipped\n")
 	}
 	fmt.Fprintf(stdout, "extraction time:        %v in %d threads\n", elapsed.Round(time.Millisecond), ext.Rewrite.Threads)
+	if ext.Rewrite.Reused > 0 {
+		fmt.Fprintf(stdout, "checkpoint resume:      %d of %d cones reused\n", ext.Rewrite.Reused, ext.M)
+	}
 	fmt.Fprintf(stdout, "peak expression terms:  %d\n", ext.Rewrite.PeakTerms())
 	if diag != nil {
 		writeDiagnosis(stdout, n, diag)

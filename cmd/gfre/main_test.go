@@ -489,3 +489,41 @@ func TestRunReport(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsFlushedOnErrorExit audits the obs flush contract end to end:
+// even when extraction fails (here a budget abort), every NDJSON record
+// emitted before the failure must be on disk — the deferred Recorder.Close
+// in run() is what drains the sink's buffer on error paths.
+func TestMetricsFlushedOnErrorExit(t *testing.T) {
+	path := writeFile(t, "explode.eqn", explodingNetlist(t, 14))
+	ndjson := filepath.Join(t.TempDir(), "fail.ndjson")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-budget", "256", "-no-verify", "-metrics", ndjson, path}, &out, &errOut)
+	if !errors.Is(err, gfre.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	data, err := os.ReadFile(ndjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("failed run left an empty metrics file — buffered records were lost")
+	}
+	sawParse := false
+	for _, line := range lines {
+		var ev struct {
+			Ev   string `json:"ev"`
+			Name string `json:"name"`
+		}
+		if jerr := json.Unmarshal([]byte(line), &ev); jerr != nil {
+			t.Fatalf("truncated or corrupt NDJSON line %q: %v", line, jerr)
+		}
+		if ev.Ev == "span_end" && ev.Name == "parse" {
+			sawParse = true
+		}
+	}
+	if !sawParse {
+		t.Fatal("metrics from before the failure (parse span) did not survive the error exit")
+	}
+}

@@ -1,0 +1,131 @@
+// Command gfred is the gfre extraction service: an HTTP daemon that accepts
+// multiplier netlists into a bounded durable job queue, reverse engineers
+// their irreducible polynomials under the resource governor, and survives
+// both its own restarts and the jobs' crashes.
+//
+//	gfred -addr :8080 -spool /var/lib/gfred
+//
+// API:
+//
+//	POST /jobs      submit (JSON job spec, or raw netlist with ?format=)
+//	GET  /jobs      list jobs
+//	GET  /jobs/{id} job status and result
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness (503 while draining)
+//	GET  /metrics   JSON metrics snapshot
+//
+// Every accepted job is persisted to the spool before the 202 response, so
+// a daemon crash loses nothing: on the next start the spool is replayed,
+// and jobs that were mid-extraction resume from their checkpoints instead
+// of starting over. SIGTERM drains gracefully — intake stops, running jobs
+// get a grace period, then are cancelled cooperatively with their
+// checkpoints synced. When the queue is full, submissions are shed with
+// 429 and a Retry-After hint.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+	"github.com/galoisfield/gfre/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "gfred:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("gfred", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "HTTP listen address")
+		spool       = fs.String("spool", "gfred-spool", "durable job spool directory (jobs, states, checkpoints)")
+		capacity    = fs.Int("capacity", 64, "queue capacity (queued + running); beyond it submissions get 429")
+		workers     = fs.Int("workers", 1, "concurrent extractions (each is internally parallel)")
+		maxAttempts = fs.Int("max-attempts", 3, "default attempts per job before it fails permanently")
+		retryBase   = fs.Duration("retry-base", time.Second, "base retry backoff (doubles per attempt, with jitter)")
+		retryCap    = fs.Duration("retry-cap", 2*time.Minute, "retry backoff ceiling")
+		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long SIGTERM lets in-flight jobs finish before cancelling them")
+		metrics     = fs.String("metrics", "", "stream telemetry events to this NDJSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var sinks []obs.Sink
+	if *metrics != "" {
+		mf, err := os.Create(*metrics)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		sinks = append(sinks, obs.NewNDJSONSink(mf))
+	}
+	rec := obs.NewRecorder(sinks...)
+	// The deferred close drains buffered telemetry on EVERY exit path —
+	// the same flush contract gfre's CLI honors.
+	defer func() {
+		if cerr := rec.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+
+	q, err := server.NewQueue(server.Config{
+		Dir:         *spool,
+		Capacity:    *capacity,
+		Workers:     *workers,
+		MaxAttempts: *maxAttempts,
+		RetryBase:   *retryBase,
+		RetryCap:    *retryCap,
+		Recorder:    rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewServer(q, rec)}
+	fmt.Fprintf(stderr, "gfred: serving on http://%s (spool %s, capacity %d, %d workers)\n",
+		ln.Addr(), *spool, *capacity, *workers)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stderr, "gfred: %v — draining (grace %v)\n", sig, *drainGrace)
+		// Readiness flips to 503 the moment draining starts; finish or
+		// checkpoint the work, then stop the listener.
+		q.Drain(*drainGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "gfred: drained, %d job(s) left for the next start\n", q.Active())
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}

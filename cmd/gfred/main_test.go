@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/server"
+)
+
+// gfredArgSep separates daemon arguments inside the helper env var (NUL is
+// not legal in environment values).
+const gfredArgSep = "\x1f"
+
+// TestGfredHelper is not a test: re-executed as the gfred daemon by the
+// lifecycle test below so it can be signalled and killed like a real process.
+func TestGfredHelper(t *testing.T) {
+	if os.Getenv("GFRED_HELPER") != "1" {
+		t.Skip("helper process for the lifecycle test")
+	}
+	args := strings.Split(os.Getenv("GFRED_ARGS"), gfredArgSep)
+	if err := run(args, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gfred:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startDaemon re-execs the test binary as gfred on an ephemeral port and
+// returns the base URL parsed from its startup banner.
+func startDaemon(t *testing.T, spool string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestGfredHelper$")
+	cmd.Env = append(os.Environ(),
+		"GFRED_HELPER=1",
+		"GFRED_ARGS="+strings.Join([]string{
+			"-addr", "localhost:0", "-spool", spool, "-drain-grace", "10s",
+		}, gfredArgSep),
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The banner carries the resolved ephemeral address:
+	// "gfred: serving on http://127.0.0.1:PORT (...)"
+	sc := bufio.NewScanner(stderr)
+	var baseURL string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			baseURL = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if baseURL == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("no serving banner from gfred (scan err %v)", sc.Err())
+	}
+	// Keep draining stderr so the daemon never blocks on a full pipe.
+	go io.Copy(io.Discard, stderr) //nolint:errcheck
+	return cmd, baseURL
+}
+
+func postNetlist(t *testing.T, baseURL, text string) *server.JobState {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/jobs", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	st := &server.JobState{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJob(t *testing.T, baseURL, id string) *server.JobState {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %s: %s", id, resp.Status)
+	}
+	st := &server.JobState{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGfredLifecycle is the daemon smoke: start, submit over HTTP, extract,
+// drain on SIGTERM with exit 0, and keep the finished job visible to the
+// next daemon start via the spool.
+func TestGfredLifecycle(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	spool := filepath.Join(t.TempDir(), "spool")
+	cmd, baseURL := startDaemon(t, spool)
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	resp, err := http.Get(baseURL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %s", resp.Status)
+	}
+
+	st := postNetlist(t, baseURL, buf.String())
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.Status.Terminal() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		st = getJob(t, baseURL, st.ID)
+	}
+	if st.Status != server.StatusDone {
+		t.Fatalf("job ended %s: %s", st.Status, st.Error)
+	}
+	if st.Result == nil || st.Result.Polynomial != p.String() {
+		t.Fatalf("result: %+v", st.Result)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gfred exited uncleanly after SIGTERM: %v", err)
+	}
+
+	// The spool outlives the daemon: a restarted instance still serves the
+	// finished job's state and result.
+	cmd2, baseURL2 := startDaemon(t, spool)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		cmd2.Wait()                          //nolint:errcheck
+	}()
+	again := getJob(t, baseURL2, st.ID)
+	if again.Status != server.StatusDone || again.Result == nil || again.Result.Polynomial != p.String() {
+		t.Fatalf("restarted daemon lost the job: %+v", again)
+	}
+}

@@ -35,8 +35,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"github.com/galoisfield/gfre/internal/anf"
+	"github.com/galoisfield/gfre/internal/checkpoint"
 	"github.com/galoisfield/gfre/internal/diffcheck"
 	"github.com/galoisfield/gfre/internal/extract"
 	"github.com/galoisfield/gfre/internal/gen"
@@ -104,6 +106,12 @@ type (
 	ProgressSink = obs.ProgressSink
 	// MemorySink captures events in memory (the test hook).
 	MemorySink = obs.MemorySink
+
+	// CheckpointManager persists per-cone extraction progress crash-safely
+	// and restores it for resumed runs. Pass one via Options.Checkpoint.
+	CheckpointManager = checkpoint.Manager
+	// CheckpointSnapshot is the durable state of one extraction run.
+	CheckpointSnapshot = checkpoint.Snapshot
 )
 
 // Extraction failure classes; test with errors.Is.
@@ -122,6 +130,11 @@ var (
 	ErrConeTimeout     = rewrite.ErrConeTimeout
 	ErrConePanic       = rewrite.ErrConePanic
 	ErrTooManyFailures = rewrite.ErrTooManyFailures
+	// ErrCheckpoint means a snapshot file exists but cannot be trusted
+	// (truncated, checksum mismatch, version skew, foreign netlist);
+	// ErrNoCheckpoint means none exists at all.
+	ErrCheckpoint   = checkpoint.ErrCheckpoint
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
 )
 
 // Technology-mapping styles.
@@ -254,6 +267,19 @@ func NewProgressSink(w io.Writer) *ProgressSink { return obs.NewProgressSink(w) 
 // NewMemorySink captures telemetry events in memory, for tests and
 // programmatic inspection.
 func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// NewCheckpointManager returns a checkpoint manager persisting extraction
+// progress into dir, saving at most once per throttle interval (throttle < 0
+// selects the 250ms default, 0 saves on every completed cone). Assign it to
+// Options.Checkpoint; set Options.Resume to adopt an existing snapshot so
+// only pending cones are re-rewritten.
+func NewCheckpointManager(dir string, throttle time.Duration) *CheckpointManager {
+	return checkpoint.NewManager(dir, throttle)
+}
+
+// LoadCheckpoint reads and validates the snapshot in dir without starting a
+// run — for inspection tools and the service's restart recovery.
+func LoadCheckpoint(dir string) (*CheckpointSnapshot, error) { return checkpoint.Load(dir) }
 
 // Rewrite extracts the canonical ANF of every output bit (Algorithm 1,
 // parallel per Theorem 2) without interpreting the result.

@@ -1,0 +1,417 @@
+// Package checkpoint makes backward rewriting survive process death.
+//
+// Per Theorem 2 the per-output-cone rewrites are independent, so every
+// completed cone is individually meaningful: a crash, OOM kill or operator
+// interrupt halfway through a GF(2^233) extraction loses nothing but the
+// cones still in flight — provided the completed ones were durably recorded.
+// This package is that record: a Snapshot holds the per-cone status and
+// extracted ANF of every output bit, the retry state of the resource
+// governor, and a content hash binding the snapshot to the exact netlist it
+// was computed from.
+//
+// Snapshots are written crash-safely: encode to a temp file in the target
+// directory, fsync, atomically rename over the previous snapshot, fsync the
+// directory. A reader therefore sees either the old snapshot or the new one,
+// never a torn write. The file format is a fixed header (magic, version,
+// payload length, CRC-32 of the payload) followed by a JSON payload whose
+// per-bit expressions are varint-packed and base64-wrapped. Decode rejects
+// truncated, bit-flipped or version-skewed files with ErrCheckpoint — a
+// corrupt checkpoint must surface as a typed error, never as a panic or a
+// silently wrong resume.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/anf"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// Sentinel errors; use errors.Is against them.
+var (
+	// ErrCheckpoint means a snapshot file exists but cannot be trusted:
+	// truncated, checksum mismatch, unsupported version, malformed payload,
+	// or bound to a different netlist than the one being resumed.
+	ErrCheckpoint = errors.New("checkpoint: invalid snapshot")
+	// ErrNoCheckpoint means no snapshot file exists in the directory — a
+	// fresh start, not a failure.
+	ErrNoCheckpoint = errors.New("checkpoint: no snapshot")
+)
+
+const (
+	// magic opens every snapshot file.
+	magic = "GFRESNAP"
+	// Version is the current snapshot format version. Decode accepts only
+	// this version: the format carries extracted expressions, so a lossy
+	// cross-version migration could silently corrupt a resumed P(x).
+	Version = 1
+	// SnapshotFile is the snapshot's file name within its directory.
+	SnapshotFile = "snapshot.gfre"
+	// maxPayload bounds the declared payload size Decode will allocate for.
+	// The largest legitimate snapshots (GF(2^571) Montgomery) stay far below
+	// this; a header claiming more is corruption, not data.
+	maxPayload = 1 << 30
+	headerLen  = len(magic) + 4 + 8 + 4 // magic + version + length + CRC
+)
+
+// Cone is the durable record of one output cone.
+type Cone struct {
+	Bit    int    `json:"bit"`
+	Name   string `json:"name"`
+	Status string `json:"status"` // rewrite.Status; "" = never attempted
+	Err    string `json:"err,omitempty"`
+
+	ConeGates     int   `json:"cone_gates,omitempty"`
+	Substitutions int   `json:"substitutions,omitempty"`
+	PeakTerms     int   `json:"peak_terms,omitempty"`
+	FinalTerms    int   `json:"final_terms,omitempty"`
+	Cancelled     int   `json:"cancelled,omitempty"`
+	RuntimeNS     int64 `json:"runtime_ns,omitempty"`
+
+	// Expr is the varint-packed ANF of a completed cone (see packExpr);
+	// empty for pending or failed cones.
+	Expr string `json:"expr,omitempty"`
+}
+
+// Done reports whether the cone completed with a valid expression.
+func (c Cone) Done() bool { return rewrite.Status(c.Status) == rewrite.StatusOK }
+
+// Snapshot is the durable state of one extraction run.
+type Snapshot struct {
+	// NetlistHash is the hex SHA-256 of the netlist's canonical EQN
+	// serialization; Restore refuses a snapshot whose hash does not match
+	// the netlist being resumed.
+	NetlistHash string `json:"netlist_hash"`
+	// NetlistName is informational (diagnostics only).
+	NetlistName string `json:"netlist_name,omitempty"`
+	// M is the output count the Bits slice is indexed by.
+	M int `json:"m"`
+	// Retries carries the governor's retry counter across restarts.
+	Retries int `json:"retries"`
+	// Bits has exactly M entries, Bits[i].Bit == i.
+	Bits []Cone `json:"bits"`
+	// P is the recovered polynomial once extraction completed ("" before).
+	P string `json:"p,omitempty"`
+	// Complete marks a snapshot whose extraction finished end to end.
+	Complete bool `json:"complete,omitempty"`
+	// SavedUnixNS is the wall-clock time of the last save.
+	SavedUnixNS int64 `json:"saved_unix_ns,omitempty"`
+}
+
+// DoneCones counts the cones that completed with a valid expression.
+func (s *Snapshot) DoneCones() int {
+	n := 0
+	for _, c := range s.Bits {
+		if c.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingCones counts the cones a resumed run still has to rewrite
+// (never attempted, failed, or cancelled).
+func (s *Snapshot) PendingCones() int { return s.M - s.DoneCones() }
+
+// HashNetlist computes the content hash binding snapshots to netlists: the
+// hex SHA-256 of the canonical EQN serialization. Any structural change —
+// a different gate, name, or port order — changes the hash.
+func HashNetlist(n *netlist.Netlist) (string, error) {
+	h := sha256.New()
+	if err := n.WriteEQN(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// packExpr serializes an ANF polynomial: uvarint term count, then per
+// monomial a uvarint variable count followed by the delta-encoded uvarint
+// variables (ascending), base64-wrapped for JSON transport. The canonical
+// Monos order makes the encoding deterministic.
+func packExpr(p anf.Poly) string {
+	monos := p.Monos()
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(monos)))
+	for _, m := range monos {
+		vars := m.Vars()
+		buf = binary.AppendUvarint(buf, uint64(len(vars)))
+		prev := uint64(0)
+		for _, v := range vars {
+			buf = binary.AppendUvarint(buf, uint64(v)-prev)
+			prev = uint64(v)
+		}
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// unpackExpr reverses packExpr, validating structure as it reads.
+func unpackExpr(s string) (anf.Poly, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return anf.Poly{}, fmt.Errorf("%w: expression not base64: %v", ErrCheckpoint, err)
+	}
+	r := bytes.NewReader(raw)
+	nTerms, err := binary.ReadUvarint(r)
+	if err != nil {
+		return anf.Poly{}, fmt.Errorf("%w: truncated expression", ErrCheckpoint)
+	}
+	if nTerms > uint64(len(raw))+1 {
+		// Every term costs at least one byte; a larger claim is corruption.
+		return anf.Poly{}, fmt.Errorf("%w: expression claims %d terms in %d bytes", ErrCheckpoint, nTerms, len(raw))
+	}
+	p := anf.NewPoly()
+	vars := make([]anf.Var, 0, 8)
+	for t := uint64(0); t < nTerms; t++ {
+		nVars, err := binary.ReadUvarint(r)
+		if err != nil {
+			return anf.Poly{}, fmt.Errorf("%w: truncated expression", ErrCheckpoint)
+		}
+		if nVars > uint64(len(raw)) {
+			return anf.Poly{}, fmt.Errorf("%w: monomial claims %d variables", ErrCheckpoint, nVars)
+		}
+		vars = vars[:0]
+		prev := uint64(0)
+		for v := uint64(0); v < nVars; v++ {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				return anf.Poly{}, fmt.Errorf("%w: truncated expression", ErrCheckpoint)
+			}
+			prev += d
+			if prev > 1<<32-1 {
+				return anf.Poly{}, fmt.Errorf("%w: variable id %d overflows", ErrCheckpoint, prev)
+			}
+			vars = append(vars, anf.Var(prev))
+		}
+		m := anf.NewMono(vars...)
+		if p.Contains(m) {
+			return anf.Poly{}, fmt.Errorf("%w: duplicate monomial in expression", ErrCheckpoint)
+		}
+		p.Toggle(m)
+	}
+	if r.Len() != 0 {
+		return anf.Poly{}, fmt.Errorf("%w: %d trailing bytes after expression", ErrCheckpoint, r.Len())
+	}
+	return p, nil
+}
+
+// FromBitResult converts a completed (or failed) rewrite result into its
+// durable form.
+func FromBitResult(br rewrite.BitResult) Cone {
+	c := Cone{
+		Bit:           br.Bit,
+		Name:          br.Name,
+		Status:        string(br.Status),
+		Err:           br.Err,
+		ConeGates:     br.ConeGates,
+		Substitutions: br.Substitutions,
+		PeakTerms:     br.PeakTerms,
+		FinalTerms:    br.FinalTerms,
+		Cancelled:     br.Cancelled,
+		RuntimeNS:     int64(br.Runtime),
+	}
+	if br.Status == rewrite.StatusOK {
+		c.Expr = packExpr(br.Expr)
+	}
+	return c
+}
+
+// BitResult converts a durable cone back into the rewriting engine's form.
+// Only Done cones carry an expression.
+func (c Cone) BitResult() (rewrite.BitResult, error) {
+	br := rewrite.BitResult{
+		BitStats: rewrite.BitStats{
+			Bit:           c.Bit,
+			Name:          c.Name,
+			ConeGates:     c.ConeGates,
+			Substitutions: c.Substitutions,
+			PeakTerms:     c.PeakTerms,
+			FinalTerms:    c.FinalTerms,
+			Cancelled:     c.Cancelled,
+			Runtime:       time.Duration(c.RuntimeNS),
+		},
+		Status: rewrite.Status(c.Status),
+		Err:    c.Err,
+	}
+	if c.Done() {
+		expr, err := unpackExpr(c.Expr)
+		if err != nil {
+			return rewrite.BitResult{}, err
+		}
+		if expr.Len() != c.FinalTerms {
+			return rewrite.BitResult{}, fmt.Errorf("%w: bit %d expression has %d terms, recorded %d",
+				ErrCheckpoint, c.Bit, expr.Len(), c.FinalTerms)
+		}
+		br.Expr = expr
+	}
+	return br, nil
+}
+
+// Encode writes the snapshot to w in the framed on-disk format.
+func Encode(w io.Writer, s *Snapshot) error {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:], magic)
+	binary.BigEndian.PutUint32(hdr[8:], Version)
+	binary.BigEndian.PutUint64(hdr[12:], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[20:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// Decode reads and validates a snapshot. Every way a file can be wrong —
+// short header, bad magic, unsupported version, length or CRC mismatch,
+// malformed JSON, structurally invalid payload — yields an error wrapping
+// ErrCheckpoint.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCheckpoint, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCheckpoint, hdr[:len(magic)])
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrCheckpoint, v, Version)
+	}
+	length := binary.BigEndian.Uint64(hdr[12:])
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: payload claims %d bytes", ErrCheckpoint, length)
+	}
+	payload, err := io.ReadAll(io.LimitReader(r, int64(length)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCheckpoint, err)
+	}
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCheckpoint, len(payload), length)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(hdr[20:]); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (payload %08x, header %08x)", ErrCheckpoint, got, want)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	s := &Snapshot{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCheckpoint, err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// knownStatuses are the cone statuses a snapshot may carry.
+var knownStatuses = map[rewrite.Status]bool{
+	"": true, rewrite.StatusOK: true, rewrite.StatusBudget: true,
+	rewrite.StatusTimeout: true, rewrite.StatusPanic: true,
+	rewrite.StatusCancelled: true, rewrite.StatusError: true,
+}
+
+func (s *Snapshot) validate() error {
+	if s.M < 1 {
+		return fmt.Errorf("%w: m=%d", ErrCheckpoint, s.M)
+	}
+	if len(s.NetlistHash) != hex.EncodedLen(sha256.Size) {
+		return fmt.Errorf("%w: netlist hash has length %d", ErrCheckpoint, len(s.NetlistHash))
+	}
+	if _, err := hex.DecodeString(s.NetlistHash); err != nil {
+		return fmt.Errorf("%w: netlist hash not hex", ErrCheckpoint)
+	}
+	if len(s.Bits) != s.M {
+		return fmt.Errorf("%w: %d bit records for m=%d", ErrCheckpoint, len(s.Bits), s.M)
+	}
+	for i, c := range s.Bits {
+		if c.Bit != i {
+			return fmt.Errorf("%w: bit record %d carries index %d", ErrCheckpoint, i, c.Bit)
+		}
+		if !knownStatuses[rewrite.Status(c.Status)] {
+			return fmt.Errorf("%w: bit %d has unknown status %q", ErrCheckpoint, i, c.Status)
+		}
+		if c.Done() {
+			// Decode the expression eagerly so corruption surfaces here, not
+			// in the middle of a resumed extraction.
+			if _, err := c.BitResult(); err != nil {
+				return err
+			}
+		} else if c.Expr != "" {
+			return fmt.Errorf("%w: bit %d carries an expression but status %q", ErrCheckpoint, i, c.Status)
+		}
+	}
+	return nil
+}
+
+// Save writes the snapshot crash-safely into dir: temp file, fsync, atomic
+// rename over SnapshotFile, fsync of the directory. A concurrent reader (or
+// a post-crash restart) sees either the previous snapshot or this one.
+func Save(dir string, s *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, SnapshotFile+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Encode(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, SnapshotFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory so the rename itself is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms refuse fsync on directories; the rename is still
+	// atomic there, just not yet durable, which is the platform's floor.
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// Load reads the snapshot from dir. A missing file is ErrNoCheckpoint; an
+// unreadable or invalid file is ErrCheckpoint.
+func Load(dir string) (*Snapshot, error) {
+	f, err := os.Open(filepath.Join(dir, SnapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w in %s", ErrNoCheckpoint, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpoint drives Decode over arbitrary bytes. The contract under
+// test is the package's core robustness promise: a snapshot file, however
+// truncated, bit-flipped or version-skewed, either decodes into a snapshot
+// that round-trips losslessly, or fails with an error wrapping
+// ErrCheckpoint — never a panic, never a silently wrong acceptance.
+func FuzzCheckpoint(f *testing.F) {
+	// Seed with a valid snapshot and targeted mutations of it, so the fuzzer
+	// starts at the interesting boundary instead of random noise.
+	valid := encodeSeedSnapshot(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:headerLen])
+	f.Add(valid[:len(valid)-1])
+	flip := append([]byte(nil), valid...)
+	flip[headerLen+2] ^= 0x40
+	f.Add(flip)
+	skew := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(skew[8:], Version+1)
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCheckpoint) {
+				t.Fatalf("Decode returned a non-ErrCheckpoint error: %v", err)
+			}
+			return
+		}
+		// Accepted input: the snapshot must be internally consistent and
+		// survive a re-encode/re-decode cycle unchanged.
+		if s.M != len(s.Bits) {
+			t.Fatalf("accepted snapshot with m=%d but %d bits", s.M, len(s.Bits))
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			t.Fatalf("re-encoding an accepted snapshot: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding an accepted snapshot: %v", err)
+		}
+		if s2.NetlistHash != s.NetlistHash || s2.M != s.M || s2.Retries != s.Retries ||
+			s2.P != s.P || s2.Complete != s.Complete {
+			t.Fatal("snapshot changed across encode/decode")
+		}
+		for i := range s.Bits {
+			if s2.Bits[i] != s.Bits[i] {
+				t.Fatalf("bit %d changed across encode/decode", i)
+			}
+		}
+	})
+}
+
+// encodeSeedSnapshot builds a small valid snapshot without touching the
+// netlist generator (the fuzz engine re-runs the seed function often).
+func encodeSeedSnapshot(f *testing.F) []byte {
+	f.Helper()
+	hash := make([]byte, 64)
+	for i := range hash {
+		hash[i] = "0123456789abcdef"[i%16]
+	}
+	s := &Snapshot{
+		NetlistHash: string(hash),
+		NetlistName: "seed",
+		M:           2,
+		Retries:     1,
+		Bits: []Cone{
+			{Bit: 0, Name: "z0"},
+			{Bit: 1, Name: "z1"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

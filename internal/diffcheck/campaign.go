@@ -48,6 +48,10 @@ type Config struct {
 	// max(Inject, 1) XOR→OR trojans in distinct cones of a matrix-form
 	// multiplier, and asserts P(x) recovery plus trojan localization.
 	Diagnose bool
+	// Resume turns every multiplier case into a KindResume case: extraction
+	// is hard-cancelled at a random cone boundary and resumed from its
+	// checkpoint, asserting P(x) recovery and exact cone reuse.
+	Resume bool
 
 	// SimTrials is the 64-vector word count per simulation oracle (default 2).
 	SimTrials int
@@ -114,6 +118,31 @@ func NewCase(idx int, cfg Config) Case {
 	}
 	if cfg.Adversarial > 0 && idx%cfg.Adversarial == cfg.Adversarial-1 {
 		c.Kind = KindAdversarial
+		return c
+	}
+	if cfg.Resume {
+		// Resume cases bypass optimization/format/scramble stages: the
+		// checkpoint binds to the generated netlist, and the oracle under
+		// test is the interrupt→resume path, not the synthesis pipeline.
+		c.Kind = KindResume
+		c.M = cfg.MinM + r.Intn(cfg.MaxM-cfg.MinM+1)
+		p, err := gf2poly.RandomIrreducible(r, c.M)
+		if err != nil {
+			p = gf2poly.MustParse("x^8+x^4+x^3+x+1")
+			c.M = 8
+		}
+		c.P = p
+		c.Arch = cfg.Archs[r.Intn(len(cfg.Archs))]
+		if c.Arch == ArchDigitSerial {
+			max := c.M - 1
+			if max > 8 {
+				max = 8
+			}
+			if max < 1 {
+				max = 1
+			}
+			c.Digit = 1 + r.Intn(max)
+		}
 		return c
 	}
 	if cfg.Diagnose {
@@ -217,6 +246,12 @@ type Summary struct {
 	Diagnosed int
 	LocHits   int
 	LocRanks  []int
+
+	// Resume aggregates of a resume campaign (Config.Resume): Resumed
+	// counts KindResume cases, ReusedCones the total cones adopted from
+	// checkpoints across them.
+	Resumed     int
+	ReusedCones int
 }
 
 // LocPrecision is LocHits / Diagnosed, the fraction of diagnosis cases
@@ -301,6 +336,9 @@ func RunCampaign(cfg Config) (*Summary, error) {
 			v["loc_hit"] = hit
 			v["loc_rank"] = int64(res.LocRank)
 		}
+		if res.Resumed {
+			v["reused"] = int64(res.Reused)
+		}
 		rec.Emit(ev, res.Case.Label(), v)
 		rec.Metrics().Counter("diffcheck_" + string(res.Status)).Inc()
 	}
@@ -321,6 +359,12 @@ func RunCampaign(cfg Config) (*Summary, error) {
 			}
 			if res.LocRank >= 0 {
 				sum.LocRanks = append(sum.LocRanks, res.LocRank)
+			}
+		case KindResume:
+			key = "resume"
+			if res.Resumed {
+				sum.Resumed++
+				sum.ReusedCones += res.Reused
 			}
 		}
 		sum.ByArch[key]++

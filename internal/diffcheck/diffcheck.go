@@ -98,6 +98,11 @@ const (
 	// recovers P(x) AND localizes every planted gate (suspect inside its
 	// fanout cone).
 	KindDiagnose Kind = "diagnose"
+	// KindResume hard-cancels an extraction at a random cone boundary, then
+	// resumes it from the on-disk checkpoint and asserts both the recovered
+	// P(x) and the cone-reuse count match the snapshot (the crash-safety
+	// oracle of package checkpoint).
+	KindResume Kind = "resume"
 )
 
 // Case is one deterministic differential test: everything Run does is a
@@ -135,6 +140,9 @@ func (c Case) Label() string {
 	}
 	if c.Kind == KindDiagnose {
 		return fmt.Sprintf("diagnose/%s/m=%d/k=%d", c.Arch, c.M, c.Inject)
+	}
+	if c.Kind == KindResume {
+		return fmt.Sprintf("resume/%s/m=%d", c.Arch, c.M)
 	}
 	parts := []string{string(c.Arch), fmt.Sprintf("m=%d", c.M)}
 	if c.Arch == ArchDigitSerial {
@@ -197,6 +205,10 @@ type Result struct {
 	Diagnosed bool // the case ran the fault-tolerant diagnosis pipeline
 	LocHit    bool // every planted gate had a suspect in its fanout cone
 	LocRank   int  // best (lowest) suspect rank hitting a planted cone; -1 when none
+
+	// Resume-case outcome (KindResume only).
+	Resumed bool // the case ran the interrupt→resume pipeline
+	Reused  int  // cones the resumed run adopted from the checkpoint
 }
 
 // Binding names the multiplier ports of a netlist: operand input names (LSB
@@ -290,6 +302,9 @@ func Run(c Case) (res Result) {
 	}
 	if c.Kind == KindDiagnose {
 		return runDiagnose(c, &stage, fail)
+	}
+	if c.Kind == KindResume {
+		return runResume(c, &stage, fail)
 	}
 
 	stage = "gen"

@@ -128,7 +128,7 @@ func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error)
 		return nil, diag, err
 	}
 
-	rw, rwErr := rewrite.Outputs(n, opts.governedRewriteOptions(true))
+	rw, rwErr := rewriteCheckpointed(n, opts, true)
 	if rw != nil {
 		diag.Bits = bitDiagnoses(rw)
 		diag.FailedCones = append([]int(nil), rw.Failed...)
@@ -161,12 +161,18 @@ func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error)
 	diag.Faults = len(rw.Failed) + len(tampered)
 	if diag.Faults == 0 {
 		ext.Verified = true
+		if err := finalizeCheckpoint(opts, ext); err != nil {
+			return ext, diag, err
+		}
 		return ext, diag, nil
 	}
 
 	span = rec.StartSpan("localize", map[string]int64{"deviating": int64(diag.Faults)})
 	diag.Suspects = localize(n, ext, diag)
 	span.End()
+	if err := finalizeCheckpoint(opts, ext); err != nil {
+		return ext, diag, err
+	}
 	return ext, diag, nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/galoisfield/gfre/internal/anf"
+	"github.com/galoisfield/gfre/internal/checkpoint"
 	"github.com/galoisfield/gfre/internal/gf2poly"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/obs"
@@ -88,6 +89,17 @@ type Options struct {
 	// Diagnose requests a full Diagnosis (per-bit states plus the ranked
 	// suspect-gate set) even when Tolerate is 0.
 	Diagnose bool
+
+	// Checkpoint, when non-nil, persists per-cone rewriting progress into
+	// the manager's directory as the run proceeds, so a crash or interrupt
+	// loses at most the in-flight cones. See package checkpoint.
+	Checkpoint *checkpoint.Manager
+	// Resume restores completed cones from the manager's snapshot (content
+	// hash validated against the netlist) before rewriting starts; only
+	// pending or failed cones are re-rewritten, and the reused count is
+	// surfaced in Extraction.Rewrite.Reused. Without a snapshot on disk
+	// the run simply starts cold.
+	Resume bool
 }
 
 // governedRewriteOptions translates the extraction options into the rewrite
@@ -206,7 +218,7 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 		return nil, err
 	}
 
-	rw, err := rewrite.Outputs(n, opts.governedRewriteOptions(false))
+	rw, err := rewriteCheckpointed(n, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +233,9 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 	span.End()
 	if err != nil {
 		return nil, err
+	}
+	if err := finalizeCheckpoint(opts, ext); err != nil {
+		return ext, err
 	}
 
 	if !opts.SkipVerify {
@@ -397,7 +412,7 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if err != nil {
 		return nil, err
 	}
-	rw, err := rewrite.Outputs(n, opts.governedRewriteOptions(false))
+	rw, err := rewriteCheckpointed(n, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -406,5 +421,8 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 		return ext, err
 	}
 	ext.Verified = true
+	if err := finalizeCheckpoint(opts, ext); err != nil {
+		return ext, err
+	}
 	return ext, nil
 }

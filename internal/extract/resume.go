@@ -1,0 +1,56 @@
+package extract
+
+import (
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// rewriteCheckpointed is the Snapshot/Restore seam between extraction and
+// the rewriting engine. Without a checkpoint manager it is exactly
+// rewrite.Outputs under the governed options. With one:
+//
+//   - Resume loads the directory's snapshot (validating the netlist content
+//     hash) and feeds its completed cones to rewrite.Options.Prior, so only
+//     pending or failed cones are re-rewritten;
+//   - without Resume a fresh snapshot is begun, replacing any stale one at
+//     the first cone completion;
+//   - every freshly computed cone — completed or failed — lands in the
+//     snapshot via the OnBitDone hook as the run progresses;
+//   - whatever way the run ends (success, governed abort, cancellation),
+//     Sync flushes the last throttle window, so the snapshot on disk is
+//     never more than the in-flight cones behind the run.
+func rewriteCheckpointed(n *netlist.Netlist, opts Options, keepPartial bool) (*rewrite.Result, error) {
+	ro := opts.governedRewriteOptions(keepPartial)
+	ckpt := opts.Checkpoint
+	if ckpt != nil {
+		if opts.Resume {
+			prior, err := ckpt.Restore(n)
+			if err != nil {
+				return nil, err
+			}
+			ro.Prior = prior
+		} else if err := ckpt.Begin(n); err != nil {
+			return nil, err
+		}
+		ro.OnBitDone = ckpt.Record
+	}
+	rw, err := rewrite.Outputs(n, ro)
+	if ckpt != nil {
+		if rw != nil {
+			ckpt.AddRetries(rw.Retries)
+		}
+		if serr := ckpt.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return rw, err
+}
+
+// finalizeCheckpoint records the recovered polynomial in the snapshot once
+// extraction has it; nil-safe on every argument.
+func finalizeCheckpoint(opts Options, ext *Extraction) error {
+	if opts.Checkpoint == nil || ext == nil {
+		return nil
+	}
+	return opts.Checkpoint.Finalize(ext.P)
+}

@@ -1,0 +1,169 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/checkpoint"
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+func TestExtractCheckpointLifecycle(t *testing.T) {
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mgr := checkpoint.NewManager(dir, 0)
+
+	ext, err := IrreduciblePolynomial(n, Options{Checkpoint: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.P.Equal(p) {
+		t.Fatalf("recovered %v, want %v", ext.P, p)
+	}
+	snap, err := checkpoint.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Complete || snap.P != p.String() {
+		t.Fatalf("snapshot after success: complete=%v p=%q", snap.Complete, snap.P)
+	}
+	if snap.DoneCones() != 16 {
+		t.Fatalf("snapshot has %d done cones, want 16", snap.DoneCones())
+	}
+
+	// A restarted process resuming the complete snapshot reuses every cone.
+	ext2, err := IrreduciblePolynomial(n, Options{
+		Checkpoint: checkpoint.NewManager(dir, 0), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext2.Rewrite.Reused != 16 {
+		t.Fatalf("resumed run reused %d cones, want 16", ext2.Rewrite.Reused)
+	}
+	if !ext2.P.Equal(p) {
+		t.Fatalf("resumed run recovered %v, want %v", ext2.P, p)
+	}
+}
+
+func TestExtractResumeFromPartialSnapshot(t *testing.T) {
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a killed run: rewrite cold, then checkpoint only the first
+	// seven cones — exactly what a mid-run snapshot on disk looks like.
+	cold, err := rewrite.Outputs(n, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mgr := checkpoint.NewManager(dir, 0)
+	if err := mgr.Begin(n); err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range cold.Bits[:7] {
+		mgr.Record(br)
+	}
+	if err := mgr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	ext, err := IrreduciblePolynomial(n, Options{
+		Checkpoint: checkpoint.NewManager(dir, 0), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Rewrite.Reused != 7 {
+		t.Fatalf("reused %d cones, want 7", ext.Rewrite.Reused)
+	}
+	if !ext.P.Equal(p) {
+		t.Fatalf("resumed extraction recovered %v, want %v", ext.P, p)
+	}
+	if !ext.Verified {
+		t.Fatal("resumed extraction skipped verification")
+	}
+}
+
+func TestExtractResumeRejectsForeignSnapshot(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mast, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mont, err := gen.Montgomery(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mgr := checkpoint.NewManager(dir, 0)
+	if err := mgr.Begin(mast); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = IrreduciblePolynomial(mont, Options{
+		Checkpoint: checkpoint.NewManager(dir, 0), Resume: true,
+	})
+	if !errors.Is(err, checkpoint.ErrCheckpoint) {
+		t.Fatalf("foreign snapshot: got %v, want ErrCheckpoint", err)
+	}
+}
+
+func TestExtractCancellationLeavesResumableSnapshot(t *testing.T) {
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run: every cone aborts, none complete
+	dir := t.TempDir()
+	_, err = IrreduciblePolynomial(n, Options{
+		Checkpoint: checkpoint.NewManager(dir, 0), Ctx: ctx,
+	})
+	if err == nil {
+		t.Fatal("cancelled extraction succeeded")
+	}
+	// The snapshot must exist and be loadable — the resume path of a run
+	// interrupted before any cone finished is simply a cold start.
+	snap, err := checkpoint.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Complete {
+		t.Fatal("interrupted snapshot marked complete")
+	}
+	ext, err := IrreduciblePolynomial(n, Options{
+		Checkpoint: checkpoint.NewManager(dir, 0), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.P.Equal(p) {
+		t.Fatalf("post-cancel resume recovered %v, want %v", ext.P, p)
+	}
+}

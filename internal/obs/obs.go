@@ -74,9 +74,19 @@ const (
 
 // Sink consumes telemetry events. Emit must be safe for concurrent use;
 // the worker pool calls it from every rewriting goroutine.
+//
+// The flush contract: a sink may buffer (NDJSONSink does, behind a
+// bufio.Writer), so emitted events are NOT durable until Flush returns.
+// Recorder.Close flushes every sink exactly for this reason — a process
+// that exits without calling it silently truncates its telemetry stream.
+// Both gfre and gfred therefore defer Recorder.Close at the top of run(),
+// before any code that can fail, so records written ahead of an error,
+// a signal, or a resource abort still reach disk.
 type Sink interface {
 	Emit(Event)
-	// Flush is called by Recorder.Close after the last event.
+	// Flush drains any buffered events and reports the first write or
+	// encoding error. It must be idempotent: Recorder.Close may run more
+	// than once (deferred close plus an explicit one).
 	Flush() error
 }
 
@@ -304,7 +314,9 @@ func (r *Recorder) StartHeapSampler(interval time.Duration) (stop func()) {
 	}
 }
 
-// Close flushes every sink (first flush error wins).
+// Close flushes every sink (first flush error wins). It is idempotent and
+// nil-safe, and it is the durability point for buffered sinks: defer it on
+// every exit path (see the Sink flush contract).
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil

@@ -339,3 +339,56 @@ func TestConcurrency(t *testing.T) {
 		t.Fatalf("bits_done = %d, want %d", got, 8*4)
 	}
 }
+
+// TestNDJSONBufferedUntilClose audits the flush contract: events sit in the
+// sink's buffer — invisible to the underlying writer — until Recorder.Close
+// drains them. An exit path that skips Close would lose every one of them.
+func TestNDJSONBufferedUntilClose(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewNDJSONSink(&buf))
+	rec.StartSpan("parse", nil).End()
+	rec.BitFinish(BitStats{Bit: 0, Name: "z0"})
+
+	if buf.Len() != 0 {
+		// Not a failure of durability, but the premise of the audit: small
+		// event streams must still be in the bufio buffer here.
+		t.Fatalf("events reached the writer before Close (%d bytes) — buffer size changed?", buf.Len())
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("after Close got %d records, want 3", lines)
+	}
+}
+
+// TestRecorderCloseIdempotent covers the deferred-close-plus-explicit-close
+// pattern the CLIs use: a second Close must not error or duplicate output.
+func TestRecorderCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(NewNDJSONSink(&buf))
+	rec.StartSpan("parse", nil).End()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatalf("second Close wrote %d extra bytes", buf.Len()-n)
+	}
+	var nilRec *Recorder
+	if err := nilRec.Close(); err != nil {
+		t.Fatal("nil recorder Close must be a no-op")
+	}
+}

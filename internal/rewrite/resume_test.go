@@ -1,0 +1,120 @@
+package rewrite
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+func TestPriorReusesCompletedCones(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Outputs(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Reused != 0 {
+		t.Fatalf("cold run reused %d cones", cold.Reused)
+	}
+
+	// Resume with half the cones checkpointed: those come back verbatim,
+	// the rest are recomputed, the combined result matches the cold run.
+	prior := append([]BitResult(nil), cold.Bits[:4]...)
+	warm, err := Outputs(n, Options{Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Reused != 4 {
+		t.Fatalf("reused %d cones, want 4", warm.Reused)
+	}
+	for i := range cold.Bits {
+		if !warm.Bits[i].Expr.Equal(cold.Bits[i].Expr) {
+			t.Fatalf("bit %d differs between cold and resumed run", i)
+		}
+	}
+	// Adopted verbatim means the cost counters are the prior's, too.
+	for i := 0; i < 4; i++ {
+		if warm.Bits[i].Substitutions != cold.Bits[i].Substitutions {
+			t.Fatalf("bit %d was re-rewritten despite a valid prior", i)
+		}
+	}
+}
+
+func TestPriorIgnoresStaleEntries(t *testing.T) {
+	p, err := polytab.Default(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Outputs(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := []BitResult{
+		func() BitResult { b := cold.Bits[0]; b.Status = StatusBudget; return b }(), // failed cone
+		func() BitResult { b := cold.Bits[1]; b.Bit = 17; return b }(),              // out of range
+		func() BitResult { b := cold.Bits[2]; b.Name = "zz"; return b }(),           // renamed output
+	}
+	warm, err := Outputs(n, Options{Prior: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Reused != 0 {
+		t.Fatalf("stale priors were adopted: reused=%d", warm.Reused)
+	}
+	for i := range cold.Bits {
+		if !warm.Bits[i].Expr.Equal(cold.Bits[i].Expr) {
+			t.Fatalf("bit %d wrong after ignoring stale priors", i)
+		}
+	}
+}
+
+func TestOnBitDoneSeesFreshConesOnly(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Outputs(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := map[int]int{}
+	_, err = Outputs(n, Options{
+		Prior: cold.Bits[:3],
+		OnBitDone: func(br BitResult) {
+			mu.Lock()
+			seen[br.Bit]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 3; bit++ {
+		if seen[bit] != 0 {
+			t.Fatalf("OnBitDone fired for reused bit %d", bit)
+		}
+	}
+	for bit := 3; bit < 8; bit++ {
+		if seen[bit] != 1 {
+			t.Fatalf("OnBitDone fired %d times for fresh bit %d, want 1", seen[bit], bit)
+		}
+	}
+}

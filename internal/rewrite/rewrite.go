@@ -64,6 +64,20 @@ type Options struct {
 	// KeepPartial; one failure beyond it fails the run with
 	// ErrTooManyFailures (wrapping the last cone error). 0 = unlimited.
 	MaxFailures int
+
+	// Prior restores completed cones from an earlier (checkpointed) run:
+	// entries with Status ok whose Bit/Name match an output are adopted
+	// verbatim and never re-rewritten; everything else is rewritten as
+	// usual. Result.Reused counts the adopted cones. Entries that do not
+	// match the netlist (stale bit index or renamed output) are ignored —
+	// callers gate on a content hash, this is defense in depth.
+	Prior []BitResult
+	// OnBitDone, when non-nil, observes every freshly computed terminal
+	// BitResult — completed or failed — right after the worker stores it.
+	// It is invoked concurrently from the worker pool (the checkpoint
+	// manager serializes internally) and is NOT called for Prior-reused
+	// cones, which the caller already has.
+	OnBitDone func(BitResult)
 }
 
 // BitStats records the per-output-bit cost counters that Figure 4 and the
@@ -101,6 +115,9 @@ type Result struct {
 	// Retries counts budget-aborted cones that were re-attempted under the
 	// alternative substitution order.
 	Retries int
+	// Reused counts cones adopted from Options.Prior instead of being
+	// rewritten — the quantity a resumed run saves over a cold one.
+	Reused int
 }
 
 // TotalSubstitutions sums the rewriting iterations over all bits.
@@ -235,6 +252,26 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		"bits": int64(len(outs)), "threads": int64(threads),
 	})
 
+	// Adopt checkpointed cones before any worker starts: a reused bit is
+	// final state, not work. Name matching guards against stale snapshots
+	// (callers additionally gate on a netlist content hash).
+	reused := make([]bool, len(outs))
+	for _, pb := range opts.Prior {
+		if pb.Status != StatusOK || pb.Bit < 0 || pb.Bit >= len(outs) ||
+			pb.Name != names[pb.Bit] || reused[pb.Bit] {
+			continue
+		}
+		res.Bits[pb.Bit] = pb
+		reused[pb.Bit] = true
+		res.Reused++
+		rec.Emit("bit_reused", pb.Name, map[string]int64{
+			"bit": int64(pb.Bit), "final": int64(pb.FinalTerms),
+		})
+	}
+	if res.Reused > 0 {
+		rec.Metrics().Counter("bits_reused").Add(int64(res.Reused))
+	}
+
 	var (
 		failures  atomic.Int64
 		retries   atomic.Int64
@@ -275,6 +312,9 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 				if err == nil {
 					br.Status = StatusOK
 					res.Bits[bit] = br
+					if opts.OnBitDone != nil {
+						opts.OnBitDone(br)
+					}
 					rec.BitFinish(obs.BitStats{
 						Bit: br.Bit, Name: br.Name, ConeGates: br.ConeGates,
 						Substitutions: br.Substitutions, PeakTerms: br.PeakTerms,
@@ -291,6 +331,9 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 				}
 				br.Err = err.Error()
 				res.Bits[bit] = br
+				if opts.OnBitDone != nil {
+					opts.OnBitDone(br)
+				}
 				h.countAbort(br)
 				if br.Status == StatusCancelled {
 					// Collateral of someone else's failure (or the
@@ -309,7 +352,9 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 		}()
 	}
 	for bit := range outs {
-		jobs <- bit
+		if !reused[bit] {
+			jobs <- bit
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,0 +1,494 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/checkpoint"
+	"github.com/galoisfield/gfre/internal/extract"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// Queue failure classes; test with errors.Is.
+var (
+	// ErrQueueFull means the bounded queue is at capacity — the client
+	// should shed load and retry later (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrDraining means the daemon is shutting down and no longer accepts
+	// jobs (HTTP 503).
+	ErrDraining = errors.New("server: draining")
+	// ErrUnknownJob means no job with that ID exists in the spool.
+	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrBadSpec tags submissions the queue refuses outright (empty or
+	// unparseable netlist, unknown format) — these never enter the spool.
+	ErrBadSpec = errors.New("server: bad job spec")
+)
+
+// Config parameterizes a Queue.
+type Config struct {
+	// Dir is the spool directory (created if missing).
+	Dir string
+	// Capacity bounds queued + running + backing-off jobs; submissions
+	// beyond it are rejected with ErrQueueFull. Default 64.
+	Capacity int
+	// Workers is the number of concurrent extractions. Default 1 — cone
+	// rewriting is already parallel inside a job.
+	Workers int
+	// MaxAttempts is the default per-job attempt bound (spec override
+	// wins). Default 3.
+	MaxAttempts int
+	// RetryBase/RetryCap shape the exponential backoff between attempts.
+	// Defaults 1s / 2m.
+	RetryBase, RetryCap time.Duration
+	// CheckpointThrottle is passed to each job's checkpoint manager
+	// (0 saves on every cone; <0 selects the package default).
+	CheckpointThrottle time.Duration
+	// Recorder receives queue metrics (jobs_* counters, queue_depth and
+	// jobs_running gauges) and per-job telemetry. nil disables.
+	Recorder *obs.Recorder
+	// RetrySeed seeds the backoff jitter (0 = wall clock).
+	RetrySeed int64
+}
+
+type jobEntry struct {
+	state *JobState
+	// retryTimer re-enqueues a backed-off job; stopped on drain.
+	retryTimer *time.Timer
+}
+
+// Queue is a bounded durable job queue: every accepted job is on disk
+// before Submit returns, and the spool replays across daemon restarts.
+type Queue struct {
+	cfg Config
+	rec *obs.Recorder
+
+	runCtx    context.Context // cancelled to abort in-flight extractions
+	cancelRun context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	runnable chan string
+	draining bool
+	rng      *rand.Rand
+
+	wg sync.WaitGroup
+}
+
+// NewQueue creates the spool directory, replays any jobs a previous daemon
+// left behind, and starts the worker pool.
+func NewQueue(cfg Config) (*Queue, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Second
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 2 * time.Minute
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:       cfg,
+		rec:       cfg.Recorder,
+		runCtx:    ctx,
+		cancelRun: cancel,
+		jobs:      make(map[string]*jobEntry),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+	// The channel must hold every job that can ever be runnable at once, so
+	// sends under mu never block: live capacity plus whatever a previous
+	// daemon (possibly configured larger) left in the spool.
+	spooled, err := listSpool(cfg.Dir)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	q.runnable = make(chan string, cfg.Capacity+len(spooled))
+	if err := q.recover(spooled); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// recover replays the spool: terminal jobs are kept for status queries,
+// interrupted ones (queued, running, or mid-backoff when the daemon died)
+// are re-enqueued — a job that was running resumes from its checkpoint.
+func (q *Queue) recover(ids []string) error {
+	now := time.Now()
+	for _, id := range ids {
+		st, err := loadState(q.cfg.Dir, id)
+		if errors.Is(err, os.ErrNotExist) {
+			// Crashed between spec and state write: the job was never
+			// acknowledged, but the spec is durable — adopt it.
+			st = &JobState{ID: id, Status: StatusQueued,
+				MaxAttempts: q.cfg.MaxAttempts, SubmittedUnixNS: now.UnixNano()}
+		} else if err != nil {
+			q.emit("spool_corrupt", id, nil)
+			continue // quarantine: leave the files for the operator
+		}
+		entry := &jobEntry{state: st}
+		q.jobs[id] = entry
+		if st.Status.Terminal() {
+			continue
+		}
+		q.counter("jobs_recovered").Inc()
+		if st.Status == StatusRunning {
+			// Interrupted mid-extraction; its checkpoint directory holds the
+			// completed cones and the resumed run reuses them.
+			st.Status = StatusQueued
+			saveState(q.cfg.Dir, st) //nolint:errcheck — re-saved on next transition
+		}
+		if wait := time.Until(time.Unix(0, st.NextRetryUnixNS)); st.NextRetryUnixNS > 0 && wait > 0 {
+			q.scheduleRetryLocked(entry, wait)
+		} else {
+			q.runnable <- id
+		}
+		q.gauge("queue_depth").Add(1)
+	}
+	return nil
+}
+
+// Submit validates, persists and enqueues a job. The spec is on disk before
+// Submit returns — an accepted job survives any subsequent crash.
+func (q *Queue) Submit(spec *JobSpec) (*JobState, error) {
+	if strings.TrimSpace(spec.Netlist) == "" {
+		return nil, fmt.Errorf("%w: empty netlist", ErrBadSpec)
+	}
+	// Parse eagerly so malformed uploads fail the submission (HTTP 400),
+	// not the first extraction attempt.
+	if _, err := parseNetlist(spec, "submit"); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		q.counter("jobs_rejected").Inc()
+		return nil, ErrDraining
+	}
+	if q.activeLocked() >= q.cfg.Capacity {
+		q.counter("jobs_rejected").Inc()
+		return nil, ErrQueueFull
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	maxAttempts := spec.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = q.cfg.MaxAttempts
+	}
+	st := &JobState{
+		ID: id, Name: spec.Name, Status: StatusQueued,
+		MaxAttempts: maxAttempts, SubmittedUnixNS: time.Now().UnixNano(),
+	}
+	// Durability order: spec first, then state, then the in-memory enqueue.
+	if err := saveSpec(q.cfg.Dir, id, spec); err != nil {
+		return nil, err
+	}
+	if err := saveState(q.cfg.Dir, st); err != nil {
+		return nil, err
+	}
+	q.jobs[id] = &jobEntry{state: st}
+	q.runnable <- id
+	q.counter("jobs_submitted").Inc()
+	q.gauge("queue_depth").Add(1)
+	q.emit("job_submitted", id, nil)
+	cp := *st
+	return &cp, nil
+}
+
+// Get returns a copy of the job's current state.
+func (q *Queue) Get(id string) (*JobState, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	entry, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	cp := *entry.state
+	return &cp, nil
+}
+
+// List returns a copy of every known job state, newest first.
+func (q *Queue) List() []*JobState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*JobState, 0, len(q.jobs))
+	for _, e := range q.jobs {
+		cp := *e.state
+		out = append(out, &cp)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].SubmittedUnixNS > out[j-1].SubmittedUnixNS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Active counts the jobs not yet in a terminal state.
+func (q *Queue) Active() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.activeLocked()
+}
+
+func (q *Queue) activeLocked() int {
+	n := 0
+	for _, e := range q.jobs {
+		if !e.state.Status.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Draining reports whether the queue has stopped accepting jobs.
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}
+
+// Drain shuts the queue down gracefully: intake stops immediately, then
+// in-flight and queued jobs get up to grace to finish; whatever is still
+// unfinished is cancelled cooperatively — the governed cancellation path
+// syncs each job's checkpoint, so the next daemon start resumes it.
+// Idempotent: a repeated Drain (second SIGTERM) just waits for the first.
+func (q *Queue) Drain(grace time.Duration) {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.draining = true
+	for _, e := range q.jobs {
+		// Backed-off retries won't get to run; hand them to the next start.
+		if e.retryTimer != nil {
+			e.retryTimer.Stop()
+			e.retryTimer = nil
+		}
+	}
+	q.mu.Unlock()
+	q.emit("drain_begin", "", map[string]int64{"grace_ms": grace.Milliseconds()})
+
+	deadline := time.Now().Add(grace)
+	for q.Active() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	q.cancelRun()
+	close(q.runnable)
+	q.wg.Wait()
+	q.emit("drain_end", "", map[string]int64{"active_left": int64(q.Active())})
+}
+
+// worker pulls runnable job IDs until the queue closes.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for id := range q.runnable {
+		if q.runCtx.Err() != nil {
+			// Drained mid-loop; leave the job queued for the next start.
+			continue
+		}
+		q.runJob(id)
+	}
+}
+
+// scheduleRetryLocked arms the re-enqueue timer for a backed-off job; the
+// caller holds q.mu.
+func (q *Queue) scheduleRetryLocked(entry *jobEntry, wait time.Duration) {
+	id := entry.state.ID
+	entry.retryTimer = time.AfterFunc(wait, func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.draining || entry.retryTimer == nil {
+			return
+		}
+		entry.retryTimer = nil
+		q.runnable <- id
+	})
+}
+
+// runJob executes one attempt of one job.
+func (q *Queue) runJob(id string) {
+	q.mu.Lock()
+	entry, ok := q.jobs[id]
+	if !ok || entry.state.Status != StatusQueued {
+		q.mu.Unlock()
+		return
+	}
+	st := entry.state
+	st.Status = StatusRunning
+	st.Attempts++
+	st.StartedUnixNS = time.Now().UnixNano()
+	st.NextRetryUnixNS = 0
+	saveState(q.cfg.Dir, st) //nolint:errcheck — worst case the attempt repeats
+	q.gauge("jobs_running").Add(1)
+	q.mu.Unlock()
+	q.emit("job_start", id, map[string]int64{"attempt": int64(st.Attempts)})
+
+	result, err := q.extract(id)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.gauge("jobs_running").Add(-1)
+	switch {
+	case err == nil:
+		st.Status = StatusDone
+		st.Result = result
+		st.Error = ""
+		st.FinishedUnixNS = time.Now().UnixNano()
+		q.counter("jobs_done").Inc()
+		q.gauge("queue_depth").Add(-1)
+		q.emit("job_done", id, map[string]int64{"attempt": int64(st.Attempts)})
+
+	case q.runCtx.Err() != nil:
+		// Drain cancelled the attempt, not the job: back to queued so the
+		// next daemon start resumes from the synced checkpoint. The attempt
+		// is not charged against the budget.
+		st.Status = StatusQueued
+		st.Attempts--
+		q.emit("job_interrupted", id, nil)
+
+	case permanentError(err) || st.Attempts >= st.MaxAttempts:
+		st.Status = StatusFailed
+		st.Error = err.Error()
+		st.FinishedUnixNS = time.Now().UnixNano()
+		q.counter("jobs_failed").Inc()
+		q.gauge("queue_depth").Add(-1)
+		q.emit("job_failed", id, map[string]int64{"attempt": int64(st.Attempts)})
+
+	default:
+		// Retryable: exponential backoff with jitter. A corrupt checkpoint
+		// is retryable exactly once the snapshot is wiped — re-running on
+		// top of it would fail identically forever.
+		if errors.Is(err, checkpoint.ErrCheckpoint) {
+			os.RemoveAll(q.ckptDir(id)) //nolint:errcheck — next attempt starts cold either way
+		}
+		wait := backoff(q.cfg.RetryBase, q.cfg.RetryCap, st.Attempts, q.rng.Float64())
+		st.Status = StatusQueued
+		st.Error = err.Error()
+		st.NextRetryUnixNS = time.Now().Add(wait).UnixNano()
+		q.counter("jobs_retried").Inc()
+		q.emit("job_retry", id, map[string]int64{
+			"attempt": int64(st.Attempts), "backoff_ms": wait.Milliseconds(),
+		})
+		if !q.draining {
+			q.scheduleRetryLocked(entry, wait)
+		}
+	}
+	saveState(q.cfg.Dir, st) //nolint:errcheck — state rewrites on every later transition
+}
+
+// ckptDir is the job's checkpoint directory inside the spool.
+func (q *Queue) ckptDir(id string) string {
+	return filepath.Join(q.cfg.Dir, id+ckptSuffix)
+}
+
+// extract runs one governed, checkpointed extraction attempt.
+func (q *Queue) extract(id string) (*JobResult, error) {
+	spec, err := loadSpec(q.cfg.Dir, id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseNetlist(spec, id)
+	if err != nil {
+		return nil, err
+	}
+	opts := extract.Options{
+		Threads:      spec.Threads,
+		PrefixA:      spec.PrefixA,
+		PrefixB:      spec.PrefixB,
+		SkipVerify:   spec.SkipVerify,
+		Tolerate:     spec.Tolerate,
+		BudgetTerms:  spec.BudgetTerms,
+		ConeDeadline: time.Duration(spec.ConeDeadlineMS) * time.Millisecond,
+		Ctx:          q.runCtx,
+		Recorder:     q.rec,
+		// Resume is unconditional: with no snapshot on disk it is a cold
+		// start, and after a crash or drain it reuses the completed cones.
+		Checkpoint: checkpoint.NewManager(q.ckptDir(id), q.cfg.CheckpointThrottle),
+		Resume:     true,
+	}
+	start := time.Now()
+	var ext *extract.Extraction
+	if spec.Tolerate > 0 {
+		ext, _, err = extract.Diagnose(n, opts)
+	} else {
+		ext, err = extract.IrreduciblePolynomial(n, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Polynomial:     ext.P.String(),
+		M:              ext.M,
+		Verified:       ext.Verified,
+		ReusedCones:    ext.Rewrite.Reused,
+		Retries:        ext.Rewrite.Retries,
+		RuntimeSeconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// parseNetlist builds the netlist from a spec.
+func parseNetlist(spec *JobSpec, name string) (*netlist.Netlist, error) {
+	if spec.Name != "" {
+		name = spec.Name
+	}
+	r := strings.NewReader(spec.Netlist)
+	switch spec.Format {
+	case "", "eqn":
+		return netlist.ReadEQN(r, name)
+	case "blif":
+		return netlist.ReadBLIF(r)
+	case "verilog":
+		return netlist.ReadVerilog(r)
+	default:
+		return nil, fmt.Errorf("unknown netlist format %q", spec.Format)
+	}
+}
+
+// permanentError classifies failures no retry can fix: the input itself is
+// wrong (unparseable, not a field multiplier, tampered beyond tolerance),
+// so re-running burns cycles to reach the same verdict.
+func permanentError(err error) bool {
+	return errors.Is(err, netlist.ErrParse) ||
+		errors.Is(err, extract.ErrNotMultiplier) ||
+		errors.Is(err, extract.ErrNotIrreducible) ||
+		errors.Is(err, extract.ErrMismatch) ||
+		errors.Is(err, extract.ErrBadPorts) ||
+		errors.Is(err, extract.ErrConsensus)
+}
+
+// counter/gauge/emit are nil-safe metric helpers.
+func (q *Queue) counter(name string) *obs.Counter         { return q.rec.Metrics().Counter(name) }
+func (q *Queue) gauge(name string) *obs.Gauge             { return q.rec.Metrics().Gauge(name) }
+func (q *Queue) emit(ev, name string, v map[string]int64) { q.rec.Emit(ev, name, v) }

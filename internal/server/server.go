@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// maxUploadBytes bounds a job submission body. The largest generated
+// benchmarks (GF(2^571) Montgomery EQN) are tens of megabytes; anything
+// past this is abuse, not a netlist.
+const maxUploadBytes = 256 << 20
+
+// Server is the gfred HTTP API over a Queue.
+//
+//	POST /jobs      submit a job (JSON JobSpec, or a raw netlist body)
+//	GET  /jobs      list known jobs, newest first
+//	GET  /jobs/{id} one job's state (includes the result when done)
+//	GET  /healthz   liveness: 200 while the process serves
+//	GET  /readyz    readiness: 200 while accepting jobs, 503 when draining
+//	GET  /metrics   JSON snapshot of the metrics registry
+type Server struct {
+	queue *Queue
+	rec   *obs.Recorder
+	mux   *http.ServeMux
+}
+
+// NewServer wires the API around a queue. rec backs GET /metrics; use the
+// same recorder the queue was configured with.
+func NewServer(q *Queue, rec *obs.Recorder) *Server {
+	s := &Server{queue: q, rec: rec, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleSubmit accepts a job: a JSON JobSpec body (Content-Type
+// application/json) or a raw netlist body (any other type; format from the
+// ?format= query parameter, extraction knobs at their defaults).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxUploadBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxUploadBytes)
+		return
+	}
+	spec := &JobSpec{}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, spec); err != nil {
+			httpError(w, http.StatusBadRequest, "job spec: %v", err)
+			return
+		}
+	} else {
+		spec.Netlist = string(body)
+		spec.Format = r.URL.Query().Get("format")
+	}
+	st, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Shed load: tell the client when a slot plausibly frees up.
+		w.Header().Set("Retry-After", "15")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrBadSpec):
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n") //nolint:errcheck — best-effort health body
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.queue.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n") //nolint:errcheck — best-effort readiness body
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.rec.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck — client went away, nothing to do
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// newTestServer wires a queue and its HTTP API for handler tests.
+func newTestServer(t *testing.T, cfg Config) (*Queue, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.RetrySeed == 0 {
+		cfg.RetrySeed = 1
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.NewRecorder()
+		cfg.Recorder = rec
+	}
+	q, err := NewQueue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(q, rec))
+	t.Cleanup(func() {
+		ts.Close()
+		q.Drain(5 * time.Second)
+	})
+	return q, ts
+}
+
+func decodeState(t *testing.T, resp *http.Response) *JobState {
+	t.Helper()
+	defer resp.Body.Close()
+	st := &JobState{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// pollDone polls GET /jobs/{id} until the job is terminal.
+func pollDone(t *testing.T, ts *httptest.Server, id string) *JobState {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeState(t, resp)
+		if st.Status.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in 30s")
+	return nil
+}
+
+func TestHTTPSubmitJSONAndPoll(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	spec, err := json.Marshal(&JobSpec{Netlist: eqnText(t, 8), Name: "gf8-api"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/jobs/") {
+		t.Fatalf("Location header: %q", loc)
+	}
+	st := decodeState(t, resp)
+	if st.ID == "" || st.Status != StatusQueued {
+		t.Fatalf("ack state: %+v", st)
+	}
+
+	final := pollDone(t, ts, st.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", final.Status, final.Error)
+	}
+	p, _ := polytab.Default(8)
+	if final.Result == nil || final.Result.Polynomial != p.String() || !final.Result.Verified {
+		t.Fatalf("result: %+v", final.Result)
+	}
+}
+
+func TestHTTPSubmitRawBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/jobs?format=eqn", "text/plain", strings.NewReader(eqnText(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("raw submit: %s", resp.Status)
+	}
+	st := decodeState(t, resp)
+	if final := pollDone(t, ts, st.ID); final.Status != StatusDone {
+		t.Fatalf("raw-body job ended %s: %s", final.Status, final.Error)
+	}
+}
+
+func TestHTTPSubmitBadSpec(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage netlist: %s, want 400", resp.Status)
+	}
+
+	resp, err = http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %s, want 400", resp.Status)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	// Deterministic occupancy: a budget-starved job fails its first attempt
+	// in milliseconds, then parks in an hour-long retry backoff — holding
+	// the queue's single slot without racing the test's HTTP requests.
+	q, ts := newTestServer(t, Config{Capacity: 1, RetryBase: time.Hour, MaxAttempts: 3})
+
+	spec, err := json.Marshal(&JobSpec{Netlist: eqnText(t, 8), BudgetTerms: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %s", resp.Status)
+	}
+	st := decodeState(t, resp)
+	waitBackoff(t, q, st.ID)
+
+	resp, err = http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader(eqnText(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+}
+
+func TestHTTPGetUnknownJob404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/jobs/ffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %s, want 404", resp.Status)
+	}
+}
+
+func TestHTTPListJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader(eqnText(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeState(t, resp)
+	pollDone(t, ts, st.ID)
+
+	resp, err = http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []*JobState
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list: %+v", list)
+	}
+}
+
+func TestHTTPHealthAndReadiness(t *testing.T) {
+	q, ts := newTestServer(t, Config{})
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s, want 200", path, resp.Status)
+		}
+	}
+
+	// Draining flips readiness to 503 while liveness stays 200, and new
+	// submissions are refused with 503.
+	q.Drain(time.Second)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %s, want 503", resp.Status)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %s, want 200", resp.Status)
+	}
+	resp, err = http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader(eqnText(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %s, want 503", resp.Status)
+	}
+}
+
+func TestHTTPMetricsSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader(eqnText(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeState(t, resp)
+	pollDone(t, ts, st.ID)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s", resp.Status)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics body is not JSON: %v", err)
+	}
+}
