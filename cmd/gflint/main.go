@@ -1,0 +1,120 @@
+// Command gflint statically analyzes gate-level netlists before they reach
+// the extraction pipeline: combinational cycles (with a witness path),
+// multi-driven and undriven signals, dead logic, multiplier I/O shape and
+// naming conventions, architecture fingerprinting, and a per-output
+// cone-cost prediction that sizes the rewriting governor's budget and
+// deadline.
+//
+// Usage:
+//
+//	gflint design.eqn                  # human-readable report
+//	gflint -json a.eqn b.blif          # machine-readable report array
+//	gflint -sarif testdata/*.eqn       # SARIF 2.1.0 for code-scanning UIs
+//	gflint -multiplier design.eqn      # require GF(2^m) multiplier shape
+//	gflint -strict design.eqn          # warnings also fail the run
+//	gflint -rules                      # list the rule registry
+//
+// Exit status: 0 when every file is clean, 1 when any error-level finding
+// exists (with -strict, warnings count too), 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/galoisfield/gfre/internal/netlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut    = fs.Bool("json", false, "emit a JSON array of reports")
+		sarifOut   = fs.Bool("sarif", false, "emit a SARIF 2.1.0 log")
+		format     = fs.String("format", "", "netlist format: eqn, blif or verilog (default: by extension/content)")
+		multiplier = fs.Bool("multiplier", false, "require GF(2^m) multiplier I/O shape (escalates io-shape to error)")
+		strict     = fs.Bool("strict", false, "treat warnings as failures for the exit status")
+		disable    = fs.String("disable", "", "comma-separated rule names to skip")
+		listRules  = fs.Bool("rules", false, "list registered rules and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gflint [flags] netlist...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range netlint.Rules() {
+			kind := "dag"
+			if r.Source {
+				kind = "source"
+			}
+			fmt.Fprintf(stdout, "%-14s %-6s %-5s %s\n", r.Name, kind, r.Default, r.Doc)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "gflint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	opts := netlint.Options{RequireMultiplier: *multiplier}
+	if *disable != "" {
+		for _, name := range strings.Split(*disable, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Disabled = append(opts.Disabled, name)
+			}
+		}
+	}
+
+	var reports []*netlint.Report
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "gflint: %v\n", err)
+			return 2
+		}
+		reports = append(reports, netlint.AnalyzeSource(data, path, *format, opts))
+	}
+
+	switch {
+	case *sarifOut:
+		if err := netlint.WriteSARIF(stdout, reports...); err != nil {
+			fmt.Fprintf(stderr, "gflint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(stderr, "gflint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, rep := range reports {
+			rep.WriteText(stdout)
+		}
+	}
+
+	for _, rep := range reports {
+		if rep.HasErrors() {
+			return 1
+		}
+		if *strict && rep.MaxSeverity() == netlint.SevWarn {
+			return 1
+		}
+	}
+	return 0
+}

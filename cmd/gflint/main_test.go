@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtures resolves a path under the repo-level testdata directory.
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"..", "..", "testdata"}, parts...)...)
+}
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCyclicFixtureFlagged(t *testing.T) {
+	code, out, _ := runLint(t, fixture("lint", "cyclic8.eqn"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	// Actionable witness: the cycle members, joined as a path.
+	for _, want := range []string{"cycle", "u", "v", "w", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiDrivenFixtureFlagged(t *testing.T) {
+	code, out, _ := runLint(t, fixture("lint", "multidriven8.eqn"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "multi-driven") || !strings.Contains(out, `"s"`) ||
+		!strings.Contains(out, "lines 8 and 10") {
+		t.Errorf("witness not actionable:\n%s", out)
+	}
+}
+
+func TestDeadGateFixtureFlagged(t *testing.T) {
+	code, out, _ := runLint(t, fixture("lint", "deadgate8.eqn"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (dead gates warn, not error)\n%s", code, out)
+	}
+	for _, want := range []string{"dead-gate", "dead1", "dead2", "unused-input", "b3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// -strict escalates the warnings to a failing exit.
+	code, _, _ = runLint(t, "-strict", fixture("lint", "deadgate8.eqn"))
+	if code != 1 {
+		t.Errorf("-strict exit = %d, want 1", code)
+	}
+}
+
+func TestCleanDesignsZeroErrors(t *testing.T) {
+	clean := []string{
+		fixture("mastrovito16.eqn"),
+		fixture("montgomery12.blif"),
+		fixture("karatsuba16_syn.v"),
+		fixture("scrambled16.eqn"),
+		fixture("digitserial8_mapped.eqn"),
+		fixture("trojan8.eqn"),
+	}
+	code, out, errOut := runLint(t, clean...)
+	if code != 0 {
+		t.Fatalf("clean designs exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-json", "-multiplier", fixture("mastrovito16.eqn"))
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	var reports []struct {
+		Design      string `json:"design"`
+		Fingerprint struct {
+			Class string `json:"class"`
+		} `json:"fingerprint"`
+		SuggestedBudgetTerms int `json:"suggested_budget_terms"`
+	}
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 1 || reports[0].Fingerprint.Class != "mastrovito" || reports[0].SuggestedBudgetTerms <= 0 {
+		t.Errorf("report = %+v", reports)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-sarif",
+		fixture("lint", "cyclic8.eqn"), fixture("lint", "deadgate8.eqn"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (cyclic fixture has errors)", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("bad SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("SARIF shape = %+v", log)
+	}
+	hasError := false
+	for _, r := range log.Runs[0].Results {
+		if r.Level == "error" && r.RuleID == "cycle" {
+			hasError = true
+		}
+	}
+	if !hasError {
+		t.Errorf("SARIF missing the cycle error: %+v", log.Runs[0].Results)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, "does-not-exist.eqn"); code != 2 {
+		t.Errorf("missing-file exit = %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, "-json", "-sarif", "x.eqn"); code != 2 {
+		t.Errorf("conflicting renderers exit = %d, want 2", code)
+	}
+}
+
+func TestRulesListing(t *testing.T) {
+	code, out, _ := runLint(t, "-rules")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, rule := range []string{"cycle", "multi-driven", "undriven", "dead-gate", "fingerprint", "cone-cost"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("rule listing missing %q:\n%s", rule, out)
+		}
+	}
+}

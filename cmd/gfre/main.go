@@ -64,7 +64,8 @@ func exitCode(err error) int {
 	switch {
 	case err == nil:
 		return exitOK
-	case errors.Is(err, errUsage), errors.Is(err, flag.ErrHelp), errors.Is(err, gfre.ErrParse):
+	case errors.Is(err, errUsage), errors.Is(err, flag.ErrHelp), errors.Is(err, gfre.ErrParse),
+		errors.Is(err, gfre.ErrLintFindings):
 		return exitUsage
 	case errors.Is(err, gfre.ErrBudgetExceeded), errors.Is(err, gfre.ErrConeTimeout),
 		errors.Is(err, gfre.ErrTooManyFailures),
@@ -113,6 +114,8 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 
 		checkpointDir = fs.String("checkpoint", "", "persist per-cone progress crash-safely into this directory as the run proceeds")
 		resume        = fs.Bool("resume", false, "resume from the snapshot in -checkpoint: completed cones are reused, only unfinished ones are re-rewritten")
+
+		preflight = fs.Bool("preflight", true, "lint the netlist before rewriting: structural defects abort with exit code 2, and the cone-cost predictor fills -budget/-cone-timeout when unset")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: gfre [flags] netlist.{eqn,blif,v}\n\nflags:\n")
@@ -260,6 +263,7 @@ exit codes:
 		Tolerate:     *tolerate,
 		Diagnose:     *diagnose,
 		Resume:       *resume,
+		Preflight:    *preflight,
 	}
 	if *checkpointDir != "" {
 		opts.Checkpoint = gfre.NewCheckpointManager(*checkpointDir, -1)
@@ -279,6 +283,11 @@ exit codes:
 	elapsed := time.Since(start)
 	stopHeap() // final heap sample; the deferred rec.Close flushes the stream
 	if err != nil {
+		// The preflight findings explain *why* the netlist was rejected;
+		// render them before the bare error line.
+		if ext != nil && ext.Lint != nil && ext.Lint.HasErrors() && !*quiet && !*jsonOut {
+			ext.Lint.WriteText(stdout)
+		}
 		// The diagnosis carries whatever was learned before the failure —
 		// per-bit verdicts matter most exactly when extraction aborts.
 		if diag != nil && !*quiet && !*jsonOut {
@@ -305,6 +314,15 @@ exit codes:
 			Name    string  `json:"name"`
 			Seconds float64 `json:"seconds"`
 		}
+		type lintJSON struct {
+			Errors               int    `json:"errors"`
+			Warnings             int    `json:"warnings"`
+			Infos                int    `json:"infos"`
+			Fingerprint          string `json:"fingerprint"`
+			PredictedPeakTerms   int    `json:"predicted_peak_terms"`
+			ActualPeakTerms      int    `json:"actual_peak_terms"`
+			SuggestedBudgetTerms int    `json:"suggested_budget_terms"`
+		}
 		report := struct {
 			Polynomial     string          `json:"polynomial"`
 			M              int             `json:"m"`
@@ -313,6 +331,7 @@ exit codes:
 			Threads        int             `json:"threads"`
 			ReusedCones    int             `json:"reused_cones,omitempty"`
 			Equations      int             `json:"equations"`
+			Lint           *lintJSON       `json:"lint,omitempty"`
 			Phases         []phaseJSON     `json:"phases,omitempty"`
 			Bits           []bitJSON       `json:"bits,omitempty"`
 			Diagnosis      *gfre.Diagnosis `json:"diagnosis,omitempty"`
@@ -325,6 +344,20 @@ exit codes:
 			ReusedCones:    ext.Rewrite.Reused,
 			Equations:      st.Equations,
 			Diagnosis:      diag,
+		}
+		// Lint block: findings tally plus predicted-vs-actual cone cost, so
+		// the telemetry pipeline can track predictor accuracy over time.
+		if l := ext.Lint; l != nil {
+			counts := l.Counts()
+			report.Lint = &lintJSON{
+				Errors:               counts[gfre.LintError],
+				Warnings:             counts[gfre.LintWarn],
+				Infos:                counts[gfre.LintInfo],
+				Fingerprint:          l.Fingerprint.Class,
+				PredictedPeakTerms:   l.MaxPredictedPeak(),
+				ActualPeakTerms:      ext.Rewrite.PeakTerms(),
+				SuggestedBudgetTerms: l.SuggestedBudgetTerms,
+			}
 		}
 		// Phase-timing breakdown from the recorder, so scripted runs get
 		// the spans without parsing the NDJSON stream.
@@ -365,6 +398,12 @@ exit codes:
 		fmt.Fprintf(stdout, "checkpoint resume:      %d of %d cones reused\n", ext.Rewrite.Reused, ext.M)
 	}
 	fmt.Fprintf(stdout, "peak expression terms:  %d\n", ext.Rewrite.PeakTerms())
+	if l := ext.Lint; l != nil {
+		counts := l.Counts()
+		fmt.Fprintf(stdout, "preflight lint:         %d warning(s), %d info; %s architecture; predicted peak %d vs actual %d terms\n",
+			counts[gfre.LintWarn], counts[gfre.LintInfo], l.Fingerprint.Class,
+			l.MaxPredictedPeak(), ext.Rewrite.PeakTerms())
+	}
 	if diag != nil {
 		writeDiagnosis(stdout, n, diag)
 	}

@@ -1,0 +1,402 @@
+// gfvet is the repository's custom static checker: a small multichecker in
+// the spirit of go/analysis (implemented on the standard library only, so it
+// builds in a hermetic environment) with two repo-specific analyzers:
+//
+//	errwrap — typed-error discipline in the parse and checkpoint paths.
+//	  In internal/netlist, an error value interpolated into fmt.Errorf must
+//	  use the %w verb: the readers funnel every failure through parseError,
+//	  which tags the chain with ErrParse, and a %v/%s interpolation severs
+//	  that chain so errors.Is(err, ErrParse) silently stops matching.
+//	  In internal/checkpoint, every fmt.Errorf must wrap one of the package
+//	  sentinels (ErrCheckpoint, ErrNoCheckpoint, ...) with %w — corruption
+//	  handling dispatches on errors.Is, and an untyped error turns "wipe the
+//	  snapshot and retry" into a permanent failure.
+//
+//	nilrecv — nil-receiver safety in internal/obs. The telemetry handles
+//	  (Recorder, Span, Counter, Gauge, Histogram, Registry) are documented
+//	  as no-ops on nil so instrumented hot paths never guard on recorder
+//	  presence; every exported pointer-receiver method on them must check
+//	  the receiver against nil before touching a field, or consist solely
+//	  of delegation to another method on the same (nil-safe) receiver.
+//
+// Usage: gfvet [-errwrap=false] [-nilrecv=false] [path ...]
+// Paths default to "." and are walked recursively; findings print as
+// file:line: [analyzer] message and any finding exits 1, like go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("gfvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	errwrap := flags.Bool("errwrap", true, "check typed-error discipline in netlist/checkpoint packages")
+	nilrecv := flags.Bool("nilrecv", true, "check nil-receiver safety of obs telemetry handles")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	roots := flags.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	// Accept go-tool package patterns like ./... — the walk below is already
+	// recursive, so the pattern reduces to its directory prefix.
+	for i, root := range roots {
+		if strings.HasSuffix(root, "...") {
+			root = strings.TrimSuffix(root, "...")
+			root = strings.TrimSuffix(root, string(filepath.Separator))
+			root = strings.TrimSuffix(root, "/")
+			if root == "" {
+				root = "."
+			}
+			roots[i] = root
+		}
+	}
+
+	var findings []finding
+	fset := token.NewFileSet()
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || name == ".git" || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("parsing %s: %w", path, err)
+			}
+			dir := filepath.Base(filepath.Dir(path))
+			if *errwrap && (dir == "netlist" || dir == "checkpoint") {
+				findings = append(findings, checkErrWrap(fset, file, dir)...)
+			}
+			if *nilrecv && dir == "obs" {
+				findings = append(findings, checkNilRecv(fset, file)...)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gfvet: %v\n", err)
+			return 2
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos.Filename != findings[j].pos.Filename {
+			return findings[i].pos.Filename < findings[j].pos.Filename
+		}
+		return findings[i].pos.Line < findings[j].pos.Line
+	})
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", f.pos.Filename, f.pos.Line, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type finding struct {
+	analyzer string
+	pos      token.Position
+	msg      string
+}
+
+// ---------------------------------------------------------------- errwrap --
+
+// checkErrWrap inspects every fmt.Errorf call in a netlist or checkpoint
+// file. pkg selects the rule flavor: "netlist" demands %w for interpolated
+// error values, "checkpoint" additionally demands that every call wraps a
+// package sentinel.
+func checkErrWrap(fset *token.FileSet, file *ast.File, pkg string) []finding {
+	var out []finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, finding{
+			analyzer: "errwrap",
+			pos:      fset.Position(pos),
+			msg:      fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(file, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || !isPkgCall(call, "fmt", "Errorf") || len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true // non-literal format: out of scope
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := scanVerbs(format)
+		hasW := false
+		for _, v := range verbs {
+			if v == 'w' {
+				hasW = true
+			}
+		}
+
+		// Rule 1 (both packages): an error value formatted with %v/%s in a
+		// call without %w severs the sentinel chain.
+		for i, v := range verbs {
+			argIdx := i + 1 // call.Args[0] is the format string
+			if argIdx >= len(call.Args) {
+				break
+			}
+			if (v == 'v' || v == 's') && !hasW && isErrorLike(call.Args[argIdx]) {
+				report(call.Pos(),
+					"error value %s formatted with %%%c; wrap it with %%w so errors.Is keeps matching the %s sentinel",
+					exprName(call.Args[argIdx]), v, sentinelName(pkg))
+			}
+		}
+
+		// Rule 2 (checkpoint only): every constructed error must carry a
+		// sentinel. The netlist readers instead tag at the boundary via
+		// parseError, so plain message-only Errorf calls are fine there.
+		if pkg == "checkpoint" {
+			ok := false
+			for i, v := range verbs {
+				argIdx := i + 1
+				if v == 'w' && argIdx < len(call.Args) && isSentinel(call.Args[argIdx]) {
+					ok = true
+				}
+			}
+			if !ok {
+				report(call.Pos(),
+					"fmt.Errorf in package checkpoint must wrap a sentinel (e.g. %%w with ErrCheckpoint); corruption recovery dispatches on errors.Is")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func sentinelName(pkg string) string {
+	if pkg == "checkpoint" {
+		return "ErrCheckpoint"
+	}
+	return "ErrParse"
+}
+
+// scanVerbs returns the verb letter of each argument-consuming printf verb
+// in order. Flags, width and precision are skipped; %% consumes nothing.
+func scanVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.IndexByte("+-# 0123456789.[]*", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) && format[i] != '%' {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// isErrorLike reports whether the expression is, by naming convention, an
+// error value: the identifier err (with optional digit suffixes), an
+// xxxErr/errXxx identifier, a selector ending in .err/.Err, or a call to a
+// method named Error-ish. Without go/types this is a heuristic, but the repo
+// names error values uniformly.
+func isErrorLike(e ast.Expr) bool {
+	name := exprName(e)
+	if name == "" {
+		return false
+	}
+	last := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		last = name[i+1:]
+	}
+	lower := strings.ToLower(last)
+	return lower == "err" || strings.HasPrefix(lower, "err") && !strings.HasPrefix(last, "Err") ||
+		strings.HasSuffix(lower, "err") && len(lower) > 3
+}
+
+// isSentinel reports whether the expression names an exported sentinel
+// (ErrCheckpoint, ErrNoCheckpoint, netlist.ErrParse, ...).
+func isSentinel(e ast.Expr) bool {
+	name := exprName(e)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.HasPrefix(name, "Err") && len(name) > 3
+}
+
+func exprName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		if base := exprName(v.X); base != "" {
+			return base + "." + v.Sel.Name
+		}
+		return v.Sel.Name
+	}
+	return ""
+}
+
+func isPkgCall(call *ast.CallExpr, pkg, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == fn
+}
+
+// ---------------------------------------------------------------- nilrecv --
+
+// nilSafeTypes are the obs handle types documented as no-ops on a nil
+// receiver. Sinks are deliberately absent: AttachSink rejects nil sinks, so
+// their methods never see one.
+var nilSafeTypes = map[string]bool{
+	"Recorder":  true,
+	"Span":      true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Registry":  true,
+}
+
+// checkNilRecv verifies that every exported pointer-receiver method on a
+// nil-safe obs type either starts with a nil-receiver guard or is pure
+// delegation to another method on the same receiver (which carries the
+// guard itself).
+func checkNilRecv(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || !fn.Name.IsExported() {
+			continue
+		}
+		star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		typeName := ""
+		if id, ok := star.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+		if !nilSafeTypes[typeName] {
+			continue
+		}
+		if len(fn.Recv.List[0].Names) == 0 {
+			continue // unnamed receiver: the body cannot dereference it
+		}
+		recv := fn.Recv.List[0].Names[0].Name
+		if fn.Body == nil || len(fn.Body.List) == 0 {
+			continue
+		}
+		if hasNilGuard(fn.Body.List[0], recv) || isDelegation(fn.Body.List, recv) {
+			continue
+		}
+		out = append(out, finding{
+			analyzer: "nilrecv",
+			pos:      fset.Position(fn.Pos()),
+			msg: fmt.Sprintf("(*%s).%s must start with `if %s == nil` (or delegate to a nil-safe method); obs handles are documented as no-ops on nil",
+				typeName, fn.Name.Name, recv),
+		})
+	}
+	return out
+}
+
+// hasNilGuard reports whether stmt is `if recv == nil { ... }`, possibly as
+// one operand of a || chain (`if r == nil || s == nil`).
+func hasNilGuard(stmt ast.Stmt, recv string) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	var check func(e ast.Expr) bool
+	check = func(e ast.Expr) bool {
+		bin, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if bin.Op == token.LOR {
+			return check(bin.X) || check(bin.Y)
+		}
+		if bin.Op != token.EQL {
+			return false
+		}
+		return isIdentNamed(bin.X, recv) && isNilIdent(bin.Y) ||
+			isNilIdent(bin.X) && isIdentNamed(bin.Y, recv)
+	}
+	return check(ifStmt.Cond)
+}
+
+// isDelegation reports whether the body is a single statement whose only
+// action is calling a method chain rooted at the receiver, e.g.
+// `c.Add(1)` or `return r.Metrics().Snapshot()`.
+func isDelegation(body []ast.Stmt, recv string) bool {
+	if len(body) != 1 {
+		return false
+	}
+	var call ast.Expr
+	switch s := body[0].(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	return chainRoot(call) == recv
+}
+
+// chainRoot unwinds a call/selector chain (r.Metrics().Snapshot()) to the
+// name of the identifier it starts from.
+func chainRoot(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.CallExpr:
+			e = v.Fun
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool { return isIdentNamed(e, "nil") }

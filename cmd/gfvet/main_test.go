@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write places src at dir/rel, creating parents.
+func write(t *testing.T, dir, rel, src string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runVet(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	if stderr.Len() > 0 {
+		t.Logf("stderr: %s", stderr.String())
+	}
+	return stdout.String(), code
+}
+
+func TestErrWrapFlagsSeveredChain(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "netlist/bad.go", `package netlist
+
+import "fmt"
+
+func f(err error) error {
+	return fmt.Errorf("reading: %v", err)
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "errwrap") || !strings.Contains(out, "%v") {
+		t.Fatalf("missing errwrap finding:\n%s", out)
+	}
+}
+
+func TestErrWrapAcceptsWrappedChain(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "netlist/good.go", `package netlist
+
+import "fmt"
+
+func f(err error) error {
+	return fmt.Errorf("eqn: %w", err)
+}
+
+func g(line int) error {
+	return fmt.Errorf("eqn: line %d: bad token", line)
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestErrWrapCheckpointRequiresSentinel(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "checkpoint/bad.go", `package checkpoint
+
+import "fmt"
+
+func f(n int) error {
+	return fmt.Errorf("snapshot claims %d bytes", n)
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "must wrap a sentinel") {
+		t.Fatalf("missing sentinel finding:\n%s", out)
+	}
+
+	dir2 := t.TempDir()
+	write(t, dir2, "checkpoint/good.go", `package checkpoint
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCheckpoint = errors.New("checkpoint: unusable snapshot")
+
+func f(n int) error {
+	return fmt.Errorf("%w: snapshot claims %d bytes", ErrCheckpoint, n)
+}
+`)
+	if out, code := runVet(t, dir2); code != 0 {
+		t.Fatalf("clean checkpoint file flagged (exit %d):\n%s", code, out)
+	}
+}
+
+func TestNilRecvFlagsUnguardedMethod(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "obs/bad.go", `package obs
+
+type Counter struct{ v int64 }
+
+// Add lacks the nil guard: deref panics on the documented nil handle.
+func (c *Counter) Add(n int64) {
+	c.v += n
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "nilrecv") || !strings.Contains(out, "(*Counter).Add") {
+		t.Fatalf("missing nilrecv finding:\n%s", out)
+	}
+}
+
+func TestNilRecvAcceptsGuardAndDelegation(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "obs/good.go", `package obs
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc is pure delegation: Add carries the guard.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value guards inside an || chain.
+type Registry struct{ n int }
+
+func (r *Registry) Len(strict bool) int {
+	if r == nil || !strict {
+		return 0
+	}
+	return r.n
+}
+
+// raise is unexported: internal callers guarantee non-nil.
+func (c *Counter) raise(n int64) { c.v = n }
+
+// Other types are out of scope.
+type Event struct{ n int }
+
+func (e *Event) Bump() { e.n++ }
+`)
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+// TestRepoIsClean runs both analyzers over the actual repository: the
+// disciplines gfvet enforces must hold on the code as committed.
+func TestRepoIsClean(t *testing.T) {
+	out, code := runVet(t, "../..")
+	if code != 0 {
+		t.Fatalf("gfvet found violations in the repo (exit %d):\n%s", code, out)
+	}
+}
+
+// TestPackagePatternArg accepts the go-tool ./... spelling CI uses.
+func TestPackagePatternArg(t *testing.T) {
+	out, code := runVet(t, "../../...")
+	if code != 0 {
+		t.Fatalf("gfvet ../../... exit %d:\n%s", code, out)
+	}
+}
+
+func TestAnalyzerFlagsDisable(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "netlist/bad.go", `package netlist
+
+import "fmt"
+
+func f(err error) error { return fmt.Errorf("x: %v", err) }
+`)
+	if out, code := runVet(t, "-errwrap=false", dir); code != 0 {
+		t.Fatalf("disabled analyzer still reported (exit %d):\n%s", code, out)
+	}
+}

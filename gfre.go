@@ -44,6 +44,7 @@ import (
 	"github.com/galoisfield/gfre/internal/gen"
 	"github.com/galoisfield/gfre/internal/gf2m"
 	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlint"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/obs"
 	"github.com/galoisfield/gfre/internal/opt"
@@ -112,6 +113,23 @@ type (
 	CheckpointManager = checkpoint.Manager
 	// CheckpointSnapshot is the durable state of one extraction run.
 	CheckpointSnapshot = checkpoint.Snapshot
+
+	// LintReport is the outcome of the netlint preflight static analysis
+	// (rides on Extraction.Lint when Options.Preflight is set).
+	LintReport = netlint.Report
+	// LintFinding is one static-analysis rule violation or observation.
+	LintFinding = netlint.Finding
+	// LintOptions configures a standalone lint run.
+	LintOptions = netlint.Options
+	// LintSeverity classifies a finding: LintError, LintWarn or LintInfo.
+	LintSeverity = netlint.Severity
+)
+
+// Lint finding severities (keys of LintReport.Counts).
+const (
+	LintError = netlint.SevError
+	LintWarn  = netlint.SevWarn
+	LintInfo  = netlint.SevInfo
 )
 
 // Extraction failure classes; test with errors.Is.
@@ -135,6 +153,9 @@ var (
 	// ErrNoCheckpoint means none exists at all.
 	ErrCheckpoint   = checkpoint.ErrCheckpoint
 	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrLintFindings means the preflight static analysis found error-level
+	// defects and the pipeline refused to start.
+	ErrLintFindings = netlint.ErrFindings
 )
 
 // Technology-mapping styles.
@@ -308,6 +329,20 @@ func ExtractInferred(n *Netlist, opts Options) (*Extraction, *InferredPorts, err
 
 // Verify re-checks an extraction against the golden specification.
 func Verify(n *Netlist, ext *Extraction) error { return extract.Verify(n, ext) }
+
+// Lint statically analyzes a constructed netlist without extracting:
+// dead/constant/redundant logic, multiplier I/O shape and naming,
+// architecture fingerprint, and per-output cone-cost prediction.
+func Lint(n *Netlist, opts LintOptions) *LintReport { return netlint.Analyze(n, opts) }
+
+// LintSource lints raw netlist text. Source-level rules (combinational
+// cycles with witness, multi-driven and undriven signals) run on the text
+// itself — defects the netlist constructors reject outright — followed by
+// the full DAG rule set when the design parses. format is "eqn", "blif",
+// "verilog" or "" to auto-detect.
+func LintSource(data []byte, filename, format string, opts LintOptions) *LintReport {
+	return netlint.AnalyzeSource(data, filename, format, opts)
+}
 
 // ExtractDiagnose is fault-tolerant extraction with localization: up to
 // opts.Tolerate output cones may fail (budget, timeout, panic) or deviate

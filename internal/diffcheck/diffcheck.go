@@ -34,6 +34,7 @@ import (
 	"github.com/galoisfield/gfre/internal/extract"
 	"github.com/galoisfield/gfre/internal/gen"
 	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlint"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/opt"
 	"github.com/galoisfield/gfre/internal/randnet"
@@ -392,6 +393,15 @@ func Run(c Case) (res Result) {
 	}
 	res.Gates = n.NumGates()
 	res.Netlist, res.Binding = n, bd
+
+	// Lint oracle: a healthy generated design — optimized, scrambled and
+	// round-tripped or not — must carry zero error-level findings.
+	// Scrambled port names may demote the naming rules to info severity,
+	// never to error; anything stronger is a generator or pass bug.
+	stage = "lint"
+	if rep := netlint.Analyze(n, netlint.Options{RequireMultiplier: true}); rep.HasErrors() {
+		return fail(rep.Err())
+	}
 
 	// Pipeline oracle: extraction must recover the planted polynomial and
 	// the golden-model verification (inside Extract) must pass.

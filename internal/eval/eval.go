@@ -190,6 +190,10 @@ func runExtraction(label string, n *netlist.Netlist, p gf2poly.Poly, paper Paper
 	opts := extract.Options{
 		Threads: Threads, SkipVerify: true, Recorder: rec,
 		Ctx: cfg.ctx, BudgetTerms: cfg.budgetTerms, ConeDeadline: cfg.coneDeadline,
+		// Preflight lints every benchmark netlist and fills unset budget and
+		// deadline knobs from the cone-cost predictor, so sweep rows fail
+		// fast on defective designs instead of burning their time budget.
+		Preflight: true,
 	}
 	if cfg.checkpointDir != "" {
 		opts.Checkpoint = checkpoint.NewManager(filepath.Join(cfg.checkpointDir, rowSlug(label)), -1)

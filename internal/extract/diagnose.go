@@ -123,6 +123,10 @@ func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error)
 	if m < 2 {
 		return nil, diag, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
+	lint, err := preflight(n, &opts)
+	if err != nil {
+		return &Extraction{M: m, Lint: lint}, diag, err
+	}
 	a, b, err := identifyPorts(n, m, opts.PrefixA, opts.PrefixB)
 	if err != nil {
 		return nil, diag, err
@@ -139,7 +143,7 @@ func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error)
 		// operator which cones died and why.
 		return nil, diag, rwErr
 	}
-	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Diag: diag}
+	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Diag: diag, Lint: lint}
 
 	rec := opts.Recorder
 	span := rec.StartSpan("consensus", map[string]int64{

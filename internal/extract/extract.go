@@ -32,6 +32,7 @@ import (
 	"github.com/galoisfield/gfre/internal/anf"
 	"github.com/galoisfield/gfre/internal/checkpoint"
 	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlint"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/obs"
 	"github.com/galoisfield/gfre/internal/rewrite"
@@ -100,6 +101,14 @@ type Options struct {
 	// surfaced in Extraction.Rewrite.Reused. Without a snapshot on disk
 	// the run simply starts cold.
 	Resume bool
+
+	// Preflight runs the netlint static analyzer before rewriting starts.
+	// Error-level findings (cycle-adjacent damage, impossible I/O shape,
+	// unparseable structure) abort with an error wrapping
+	// netlint.ErrFindings; the report rides back on Extraction.Lint either
+	// way. On a clean pass the cone-cost predictor fills BudgetTerms and
+	// ConeDeadline when the caller left them at zero.
+	Preflight bool
 }
 
 // governedRewriteOptions translates the extraction options into the rewrite
@@ -132,6 +141,9 @@ type Extraction struct {
 	// Diag carries the fault diagnosis when extraction ran with
 	// Options.Tolerate > 0 or Options.Diagnose; nil on the strict path.
 	Diag *Diagnosis
+	// Lint carries the preflight static-analysis report when extraction ran
+	// with Options.Preflight; nil otherwise.
+	Lint *netlint.Report
 }
 
 var portRe = regexp.MustCompile(`^([A-Za-z_]+?)\[?(\d+)\]?$`)
@@ -213,6 +225,10 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 	if m < 2 {
 		return nil, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
+	lint, err := preflight(n, &opts)
+	if err != nil {
+		return &Extraction{M: m, Lint: lint}, err
+	}
 	a, b, err := identifyPorts(n, m, opts.PrefixA, opts.PrefixB)
 	if err != nil {
 		return nil, err
@@ -222,7 +238,7 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 	if err != nil {
 		return nil, err
 	}
-	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw}
+	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Lint: lint}
 
 	// Note: the out-field product set {a_i·b_j : i+j=m} is invariant under
 	// swapping the two operands (monomials are unordered), so extraction is
@@ -408,6 +424,10 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if !p.Irreducible() {
 		return nil, fmt.Errorf("%w: %v factors as %s", ErrNotIrreducible, p, factorString(p))
 	}
+	lint, err := preflight(n, &opts)
+	if err != nil {
+		return &Extraction{M: m, Lint: lint}, err
+	}
 	a, b, err := identifyPorts(n, m, opts.PrefixA, opts.PrefixB)
 	if err != nil {
 		return nil, err
@@ -416,7 +436,7 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if err != nil {
 		return nil, err
 	}
-	ext := &Extraction{P: p, M: m, AInputs: a, BInputs: b, Rewrite: rw}
+	ext := &Extraction{P: p, M: m, AInputs: a, BInputs: b, Rewrite: rw, Lint: lint}
 	if err := verifyObserved(n, ext, opts.Recorder); err != nil {
 		return ext, err
 	}

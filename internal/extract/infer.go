@@ -224,6 +224,10 @@ func IrreduciblePolynomialInferred(n *netlist.Netlist, opts Options) (*Extractio
 	if m < 2 {
 		return nil, nil, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
+	lint, err := preflight(n, &opts)
+	if err != nil {
+		return &Extraction{M: m, Lint: lint}, nil, err
+	}
 	rw, err := rewrite.Outputs(n, opts.governedRewriteOptions(false))
 	if err != nil {
 		return nil, nil, err
@@ -235,7 +239,7 @@ func IrreduciblePolynomialInferred(n *netlist.Netlist, opts Options) (*Extractio
 		return nil, nil, err
 	}
 	ordered := ip.ReorderBits(rw)
-	ext := &Extraction{M: m, AInputs: ip.A, BInputs: ip.B, Rewrite: ordered}
+	ext := &Extraction{M: m, AInputs: ip.A, BInputs: ip.B, Rewrite: ordered, Lint: lint}
 	span = opts.Recorder.StartSpan("extract", map[string]int64{"m": int64(m)})
 	ext.P, err = FromExpressions(ordered, ip.A, ip.B)
 	span.End()

@@ -1,0 +1,35 @@
+package extract
+
+import (
+	"github.com/galoisfield/gfre/internal/netlint"
+	"github.com/galoisfield/gfre/internal/netlist"
+)
+
+// preflight runs the netlint static analyzer ahead of rewriting when
+// Options.Preflight is set. Error-level findings abort the run (the returned
+// error wraps netlint.ErrFindings, and the report travels back on the
+// Extraction so callers can render the findings). On a clean pass the
+// cone-cost predictor's suggestions fill any governor knob the caller left
+// at zero, so hostile or degenerate designs hit a principled budget instead
+// of running unbounded.
+func preflight(n *netlist.Netlist, opts *Options) (*netlint.Report, error) {
+	if !opts.Preflight {
+		return nil, nil
+	}
+	span := opts.Recorder.StartSpan("preflight", map[string]int64{
+		"gates": int64(n.NumGates()),
+	})
+	rep := netlint.Analyze(n, netlint.Options{RequireMultiplier: true})
+	span.End()
+	if err := rep.Err(); err != nil {
+		return rep, err
+	}
+	budget, deadline := rep.Governor(opts.BudgetTerms, opts.ConeDeadline)
+	if budget > 0 {
+		opts.BudgetTerms = budget
+	}
+	if deadline > 0 {
+		opts.ConeDeadline = deadline
+	}
+	return rep, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/galoisfield/gfre/internal/gf2m"
 	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlint"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/polytab"
 )
@@ -62,6 +63,16 @@ func Report(n *netlist.Netlist, ext *Extraction) string {
 	if rw := ext.Rewrite; rw != nil {
 		fmt.Fprintf(&sb, "rewriting:   %d substitutions, peak %d terms, %v wall (%d threads)\n",
 			rw.TotalSubstitutions(), rw.PeakTerms(), rw.Runtime.Round(time.Millisecond), rw.Threads)
+	}
+	if l := ext.Lint; l != nil {
+		counts := l.Counts()
+		fmt.Fprintf(&sb, "lint:        %d error(s), %d warning(s), %d info; architecture %s (%.2f)\n",
+			counts[netlint.SevError], counts[netlint.SevWarn], counts[netlint.SevInfo],
+			l.Fingerprint.Class, l.Fingerprint.Confidence)
+		if rw := ext.Rewrite; rw != nil && l.MaxPredictedPeak() > 0 {
+			fmt.Fprintf(&sb, "  cone cost: predicted peak %d terms vs actual %d (suggested budget %d)\n",
+				l.MaxPredictedPeak(), rw.PeakTerms(), l.SuggestedBudgetTerms)
+		}
 	}
 	if d := ext.Diag; d != nil {
 		switch {

@@ -1,0 +1,21 @@
+package netlint_test
+
+import (
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlint"
+)
+
+func BenchmarkAnalyze64(b *testing.B) {
+	p, _ := gf2poly.Parse("x^64+x^4+x^3+x+1")
+	n, err := gen.Mastrovito(64, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netlint.Analyze(n, netlint.Options{RequireMultiplier: true})
+	}
+}

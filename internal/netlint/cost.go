@@ -1,0 +1,263 @@
+package netlint
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/netlist"
+)
+
+// ConeCost is the predicted backward-rewriting cost of one output cone.
+type ConeCost struct {
+	// Output is the output bit position; Name its signal name.
+	Output int    `json:"output"`
+	Name   string `json:"name"`
+	// Gates is the fanin-cone size (gates + inputs), Depth its logic depth.
+	Gates int `json:"gates"`
+	Depth int `json:"depth"`
+	// PredictedPeakTerms is a no-cancellation upper bound on the ANF term
+	// count reached while rewriting this cone. Saturates at costCap.
+	PredictedPeakTerms int `json:"predicted_peak_terms"`
+	// Saturated marks cones whose estimate hit costCap: term growth is
+	// effectively unbounded (obfuscated or non-multiplier logic).
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// costCap saturates the term-growth estimate. Anything above this predicts
+// memory exhaustion during rewriting regardless of budget, so finer
+// resolution is pointless.
+const costCap = 1 << 24
+
+// budget derivation constants. Empirically (BENCH_*.json, m=64) the true
+// rewriting peak for clean multipliers sits well below the no-cancellation
+// bound (peak 270 terms vs bound >= m^2/2), and the bound itself is cheap
+// headroom: a 16x multiplier over the predicted peak admits every legitimate
+// design we generate while still stopping doubling-chain blowups within a
+// few extra substitution steps.
+const (
+	budgetSlack   = 16
+	budgetFloor   = 4096
+	budgetCeil    = 1 << 26
+	deadlineFloor = 60 * time.Second
+	// deadlinePerGate scales the per-cone deadline with cone size; 5ms per
+	// cone gate is ~100x observed per-gate substitution cost at m=64, so
+	// clean designs never brush the limit.
+	deadlinePerGate = 5 * time.Millisecond
+)
+
+// satAdd / satMul keep the estimate inside [0, costCap].
+func satAdd(a, b int) int {
+	if s := a + b; s < costCap {
+		return s
+	}
+	return costCap
+}
+
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > costCap/b {
+		return costCap
+	}
+	return a * b
+}
+
+// termBound computes, for every gate, an upper bound on the number of ANF
+// terms its function expands to over the primary inputs, assuming no
+// cancellation. XOR adds term counts, AND multiplies them, OR/complex cells
+// combine both (x+y = x ^ y ^ xy). The bound is monotone in the fanin
+// bounds, so one forward topological sweep settles the DAG.
+func termBound(n *netlist.Netlist) []int {
+	t := make([]int, n.NumGates())
+	for id := 0; id < n.NumGates(); id++ {
+		g := n.Gate(id)
+		f := func(i int) int { return t[g.Fanin[i]] }
+		switch g.Type {
+		case netlist.Input, netlist.Const0, netlist.Const1:
+			t[id] = 1
+		case netlist.Buf:
+			t[id] = f(0)
+		case netlist.Not:
+			t[id] = satAdd(f(0), 1)
+		case netlist.And:
+			t[id] = satMul(f(0), f(1))
+		case netlist.Xor:
+			t[id] = satAdd(f(0), f(1))
+		case netlist.Xnor:
+			t[id] = satAdd(satAdd(f(0), f(1)), 1)
+		case netlist.Or:
+			t[id] = satAdd(satAdd(f(0), f(1)), satMul(f(0), f(1)))
+		case netlist.Nand:
+			t[id] = satAdd(satMul(f(0), f(1)), 1)
+		case netlist.Nor:
+			t[id] = satAdd(satAdd(satAdd(f(0), f(1)), satMul(f(0), f(1))), 1)
+		case netlist.Aoi21: // !(f0·f1 + f2)
+			or := satAdd(satMul(f(0), f(1)), satAdd(f(2), satMul(satMul(f(0), f(1)), f(2))))
+			t[id] = satAdd(or, 1)
+		case netlist.Oai21: // !((f0+f1)·f2)
+			or := satAdd(satAdd(f(0), f(1)), satMul(f(0), f(1)))
+			t[id] = satAdd(satMul(or, f(2)), 1)
+		case netlist.Aoi22: // !(f0·f1 + f2·f3)
+			p, q := satMul(f(0), f(1)), satMul(f(2), f(3))
+			t[id] = satAdd(satAdd(satAdd(p, q), satMul(p, q)), 1)
+		case netlist.Oai22: // !((f0+f1)·(f2+f3))
+			p := satAdd(satAdd(f(0), f(1)), satMul(f(0), f(1)))
+			q := satAdd(satAdd(f(2), f(3)), satMul(f(2), f(3)))
+			t[id] = satAdd(satMul(p, q), 1)
+		case netlist.Mux: // f2 ? f1 : f0  =  f2·f1 ^ f2·f0 ^ f0
+			t[id] = satAdd(satAdd(satMul(f(2), f(1)), satMul(f(2), f(0))), f(0))
+		case netlist.Lut:
+			// Worst case: every minterm survives — product of (fanin bound
+			// + 1) monomial choices, capped.
+			b := 1
+			for i := range g.Fanin {
+				b = satMul(b, satAdd(f(i), 1))
+			}
+			t[id] = b
+		default:
+			t[id] = costCap
+		}
+		if t[id] < 1 {
+			t[id] = 1
+		}
+	}
+	return t
+}
+
+// coneSizes counts each output's transitive fanin (root included). It is
+// netlist.Cone minus the parts the predictor never uses: the per-root map
+// and the ID sort. One stamp array shared across roots keeps the sweep
+// allocation-free after the first cone, which matters because this loop
+// dominates lint time on large multipliers (m^2-gate cones, m roots).
+func coneSizes(n *netlist.Netlist, outs []int) []int {
+	sizes := make([]int, len(outs))
+	stamp := make([]int, n.NumGates())
+	var stack []int
+	for i, root := range outs {
+		mark := i + 1
+		count := 0
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if stamp[id] == mark {
+				continue
+			}
+			stamp[id] = mark
+			count++
+			stack = append(stack, n.Gate(id).Fanin...)
+		}
+		sizes[i] = count
+	}
+	return sizes
+}
+
+// predictCones computes the per-output cost table plus suggested governor
+// defaults, and is also responsible for the blowup-risk finding (emitted by
+// checkConeCost via the shared context). The result is memoized on the
+// context: both the cone-cost rule and the report assembly need it.
+func predictCones(c *Context) (cones []ConeCost, budget int, deadlineMS int64) {
+	if c.conesOnce {
+		return c.cones, c.coneBudget, c.coneDeadlines
+	}
+	c.conesOnce = true
+	defer func() { c.cones, c.coneBudget, c.coneDeadlines = cones, budget, deadlineMS }()
+
+	outs := c.N.Outputs()
+	if len(outs) == 0 {
+		return nil, 0, 0
+	}
+	bounds := termBound(c.N)
+	sizes := coneSizes(c.N, outs)
+	names := c.N.OutputNames()
+	maxPeak, maxGates := 0, 0
+	for i, id := range outs {
+		depth := 0
+		if id < len(c.Levels) {
+			depth = c.Levels[id]
+		}
+		cc := ConeCost{
+			Output:             i,
+			Gates:              sizes[i],
+			Depth:              depth,
+			PredictedPeakTerms: bounds[id],
+			Saturated:          bounds[id] >= costCap,
+		}
+		if i < len(names) {
+			cc.Name = names[i]
+		}
+		cones = append(cones, cc)
+		if cc.PredictedPeakTerms > maxPeak {
+			maxPeak = cc.PredictedPeakTerms
+		}
+		if cc.Gates > maxGates {
+			maxGates = cc.Gates
+		}
+	}
+	// Budget: slack over the worst predicted peak, clamped. A saturated
+	// estimate keeps the cap — the point is to abort, not to admit.
+	budget = maxPeak
+	if budget < costCap {
+		budget = satMul(budget, budgetSlack)
+	}
+	if budget < budgetFloor {
+		budget = budgetFloor
+	}
+	if budget > budgetCeil {
+		budget = budgetCeil
+	}
+	deadline := deadlineFloor + time.Duration(maxGates)*deadlinePerGate
+	return cones, budget, int64(deadline / time.Millisecond)
+}
+
+// checkConeCost renders the cost table into findings: one info summary and,
+// for saturated cones, a blowup-risk warning naming the offenders.
+func checkConeCost(c *Context) []Finding {
+	cones, budget, deadlineMS := predictCones(c)
+	if len(cones) == 0 {
+		return nil
+	}
+	maxPeak, maxGates, maxDepth := 0, 0, 0
+	var saturated []int
+	for _, cc := range cones {
+		if cc.PredictedPeakTerms > maxPeak {
+			maxPeak = cc.PredictedPeakTerms
+		}
+		if cc.Gates > maxGates {
+			maxGates = cc.Gates
+		}
+		if cc.Depth > maxDepth {
+			maxDepth = cc.Depth
+		}
+		if cc.Saturated {
+			saturated = append(saturated, c.N.Outputs()[cc.Output])
+		}
+	}
+	fs := []Finding{{
+		Rule: "cone-cost", Severity: c.severityOf("cone-cost"),
+		Message: fmt.Sprintf("%d output cones: max %d gates, depth %d, predicted peak %d terms; suggested -budget %d, -cone-timeout %s",
+			len(cones), maxGates, maxDepth, maxPeak, budget, time.Duration(deadlineMS)*time.Millisecond),
+	}}
+	if len(saturated) > 0 {
+		fs = append(fs, Finding{
+			Rule: "blowup-risk", Severity: c.severityOf("blowup-risk"), Gates: capGates(saturated),
+			Message: fmt.Sprintf("%d cone(s) exceed the term-growth bound (%d): rewriting will likely exhaust memory without a budget — outputs %s",
+				len(saturated), costCap, nameList(c.N, saturated)),
+		})
+	}
+	return fs
+}
+
+// Governor translates a report's suggestions into rewrite-governor values,
+// filling only knobs the caller left at zero. It returns the suggested
+// budget and deadline to apply (zero where the caller already chose).
+func (r *Report) Governor(haveBudget int, haveDeadline time.Duration) (budget int, deadline time.Duration) {
+	if haveBudget == 0 && r.SuggestedBudgetTerms > 0 {
+		budget = r.SuggestedBudgetTerms
+	}
+	if haveDeadline == 0 && r.SuggestedConeTimeoutMS > 0 {
+		deadline = time.Duration(r.SuggestedConeTimeoutMS) * time.Millisecond
+	}
+	return budget, deadline
+}

@@ -1,0 +1,158 @@
+package netlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteText renders the report for terminals: one line per finding with
+// severity, rule, location and witness, followed by the fingerprint and
+// cost summary.
+func (r *Report) WriteText(w io.Writer) error {
+	name := r.Design
+	if name == "" {
+		name = "(unnamed)"
+	}
+	counts := r.Counts()
+	fmt.Fprintf(w, "%s: %d error(s), %d warning(s), %d info\n",
+		name, counts[SevError], counts[SevWarn], counts[SevInfo])
+	for _, f := range r.Findings {
+		loc := ""
+		if f.Line > 0 {
+			loc = fmt.Sprintf(":%d", f.Line)
+		}
+		fmt.Fprintf(w, "  %-5s %-14s %s%s: %s\n", f.Severity, f.Rule, r.sourceOr(name), loc, f.Message)
+	}
+	if r.Fingerprint.Class != "" {
+		fmt.Fprintf(w, "  fingerprint: %s (%.2f) — %s\n", r.Fingerprint.Class, r.Fingerprint.Confidence, r.Fingerprint.Evidence)
+	}
+	if len(r.Cones) > 0 {
+		fmt.Fprintf(w, "  cones: %d outputs, max predicted peak %d terms; suggested -budget %d -cone-timeout %s\n",
+			len(r.Cones), r.MaxPredictedPeak(), r.SuggestedBudgetTerms,
+			time.Duration(r.SuggestedConeTimeoutMS)*time.Millisecond)
+	}
+	return nil
+}
+
+func (r *Report) sourceOr(fallback string) string {
+	if r.Source != "" {
+		return r.Source
+	}
+	return fallback
+}
+
+// SARIF 2.1.0 subset: enough structure for GitHub code scanning and other
+// SARIF viewers (tool.driver with rule metadata, results with ruleId,
+// level, message and a physical location per finding).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warning"
+	}
+	return "note"
+}
+
+// WriteSARIF renders one or more reports as a single SARIF 2.1.0 log with
+// one run. Reports without a Source fall back to the design name as the
+// artifact URI.
+func WriteSARIF(w io.Writer, reports ...*Report) error {
+	driver := sarifDriver{
+		Name:    "gflint",
+		Version: "1.0.0",
+	}
+	for _, r := range Rules() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifMessage{Text: r.Doc},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, rep := range reports {
+		uri := rep.Source
+		if uri == "" {
+			uri = rep.Design
+		}
+		uri = strings.ReplaceAll(uri, "\\", "/")
+		for _, f := range rep.Findings {
+			res := sarifResult{
+				RuleID:  f.Rule,
+				Level:   sarifLevel(f.Severity),
+				Message: sarifMessage{Text: f.Message},
+			}
+			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: uri}}
+			if f.Line > 0 {
+				phys.Region = &sarifRegion{StartLine: f.Line}
+			}
+			res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+			run.Results = append(run.Results, res)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}

@@ -1,0 +1,117 @@
+package netlist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Degenerate-shape coverage for the traversals netlint builds on: Levels and
+// Cone must stay well-defined on empty netlists, disconnected outputs and
+// orphan islands, and the builder must keep self-loops impossible.
+
+func TestLevelsZeroGateNetlist(t *testing.T) {
+	n := New("empty")
+	levels, depth := n.Levels()
+	if len(levels) != 0 {
+		t.Fatalf("levels = %v, want empty", levels)
+	}
+	if depth != 0 {
+		t.Fatalf("depth = %d, want 0", depth)
+	}
+}
+
+func TestConeOnInputOnlyNetlist(t *testing.T) {
+	n := New("wires")
+	a, err := n.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An output wired straight to an input: its cone is just the input.
+	if err := n.MarkOutput("z", a); err != nil {
+		t.Fatal(err)
+	}
+	if cone := n.Cone(a); !reflect.DeepEqual(cone, []int{a}) {
+		t.Fatalf("cone(%d) = %v, want [%d]", a, cone, a)
+	}
+	levels, depth := n.Levels()
+	if depth != 0 || levels[a] != 0 {
+		t.Fatalf("levels = %v depth = %d, want all zero", levels, depth)
+	}
+}
+
+func TestConeDisconnectedOutputs(t *testing.T) {
+	// Two islands: z0's cone must not leak gates from z1's island and vice
+	// versa, and a gate reachable from no output belongs to neither cone.
+	n := New("islands")
+	a, _ := n.AddInput("a")
+	b, _ := n.AddInput("b")
+	g0, err := n.AddGate(And, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := n.AddGate(Xor, b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan, err := n.AddGate(Not, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("z0", g0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("z1", g1); err != nil {
+		t.Fatal(err)
+	}
+
+	if cone := n.Cone(g0); !reflect.DeepEqual(cone, []int{a, g0}) {
+		t.Fatalf("cone(z0) = %v, want [%d %d]", cone, a, g0)
+	}
+	if cone := n.Cone(g1); !reflect.DeepEqual(cone, []int{b, g1}) {
+		t.Fatalf("cone(z1) = %v, want [%d %d]", cone, b, g1)
+	}
+	for _, root := range []int{g0, g1} {
+		for _, id := range n.Cone(root) {
+			if id == orphan {
+				t.Fatalf("orphan gate %d leaked into cone(%d)", orphan, root)
+			}
+		}
+	}
+	levels, depth := n.Levels()
+	if depth != 1 {
+		t.Fatalf("depth = %d, want 1", depth)
+	}
+	for _, id := range []int{g0, g1, orphan} {
+		if levels[id] != 1 {
+			t.Fatalf("level(%d) = %d, want 1", id, levels[id])
+		}
+	}
+}
+
+func TestAddGateRejectsSelfLoop(t *testing.T) {
+	n := New("loop")
+	a, _ := n.AddInput("a")
+	// The next gate would get ID a+1; feeding it its own ID (or anything
+	// beyond) is a forward reference, which the builder must reject — this
+	// is the invariant that lets netlint skip cycle checks on DAGs.
+	if _, err := n.AddGate(And, a, a+1); err == nil {
+		t.Fatal("self-loop fanin accepted")
+	}
+	if _, err := n.AddGate(And, a, a+100); err == nil {
+		t.Fatal("forward-reference fanin accepted")
+	}
+	if _, err := n.AddGate(And, a, -1); err == nil {
+		t.Fatal("negative fanin accepted")
+	}
+	if got := n.NumGates(); got != 1 {
+		t.Fatalf("rejected gates mutated the netlist: NumGates = %d, want 1", got)
+	}
+}
+
+func TestConeOfInputIsItself(t *testing.T) {
+	n := New("one")
+	a, _ := n.AddInput("a")
+	if cone := n.Cone(a); !reflect.DeepEqual(cone, []int{a}) {
+		t.Fatalf("cone of bare input = %v", cone)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/galoisfield/gfre/internal/checkpoint"
 	"github.com/galoisfield/gfre/internal/extract"
+	"github.com/galoisfield/gfre/internal/netlint"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/obs"
 )
@@ -31,6 +32,23 @@ var (
 	// unparseable netlist, unknown format) — these never enter the spool.
 	ErrBadSpec = errors.New("server: bad job spec")
 )
+
+// LintRejection is returned by Submit when the preflight static analysis
+// finds error-level defects in the uploaded netlist. It matches errors.Is
+// for both ErrBadSpec (the job never entered the spool) and
+// netlint.ErrFindings; the HTTP layer maps it to 422 with the findings in
+// the response body so the client can see the cycle witness or the
+// offending signals instead of a bare status line.
+type LintRejection struct {
+	Report *netlint.Report
+}
+
+func (e *LintRejection) Error() string {
+	counts := e.Report.Counts()
+	return fmt.Sprintf("server: netlist failed preflight lint with %d error finding(s)", counts[netlint.SevError])
+}
+
+func (e *LintRejection) Unwrap() []error { return []error{ErrBadSpec, netlint.ErrFindings} }
 
 // Config parameterizes a Queue.
 type Config struct {
@@ -180,10 +198,27 @@ func (q *Queue) Submit(spec *JobSpec) (*JobState, error) {
 	if strings.TrimSpace(spec.Netlist) == "" {
 		return nil, fmt.Errorf("%w: empty netlist", ErrBadSpec)
 	}
-	// Parse eagerly so malformed uploads fail the submission (HTTP 400),
-	// not the first extraction attempt.
-	if _, err := parseNetlist(spec, "submit"); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	switch spec.Format {
+	case "", "eqn", "blif", "verilog":
+	default:
+		return nil, fmt.Errorf("%w: unknown netlist format %q", ErrBadSpec, spec.Format)
+	}
+	// Lint eagerly so defective uploads fail the submission (HTTP 422 with
+	// the findings in the body), not the first extraction attempt. The
+	// source-level rules diagnose cycles and multi-driven signals with line
+	// numbers the parser's own errors lack, and a clean report implies the
+	// netlist parses — AnalyzeSource runs the real reader on clean source.
+	format := spec.Format
+	if format == "" {
+		format = "eqn"
+	}
+	name := spec.Name
+	if name == "" {
+		name = "submit"
+	}
+	rep := netlint.AnalyzeSource([]byte(spec.Netlist), name, format, netlint.Options{RequireMultiplier: true})
+	if rep.HasErrors() {
+		return nil, &LintRejection{Report: rep}
 	}
 
 	q.mu.Lock()
@@ -431,8 +466,12 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 		Tolerate:     spec.Tolerate,
 		BudgetTerms:  spec.BudgetTerms,
 		ConeDeadline: time.Duration(spec.ConeDeadlineMS) * time.Millisecond,
-		Ctx:          q.runCtx,
-		Recorder:     q.rec,
+		// Re-lint at run time: a job replayed from an old spool never went
+		// through submit-time lint, and the cost predictor fills unset
+		// budget/deadline knobs either way.
+		Preflight: true,
+		Ctx:       q.runCtx,
+		Recorder:  q.rec,
 		// Resume is unconditional: with no snapshot on disk it is a cold
 		// start, and after a crash or drain it reuses the completed cones.
 		Checkpoint: checkpoint.NewManager(q.ckptDir(id), q.cfg.CheckpointThrottle),
@@ -481,6 +520,7 @@ func parseNetlist(spec *JobSpec, name string) (*netlist.Netlist, error) {
 // so re-running burns cycles to reach the same verdict.
 func permanentError(err error) bool {
 	return errors.Is(err, netlist.ErrParse) ||
+		errors.Is(err, netlint.ErrFindings) ||
 		errors.Is(err, extract.ErrNotMultiplier) ||
 		errors.Is(err, extract.ErrNotIrreducible) ||
 		errors.Is(err, extract.ErrMismatch) ||

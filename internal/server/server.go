@@ -70,7 +70,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec.Format = r.URL.Query().Get("format")
 	}
 	st, err := s.queue.Submit(spec)
+	var lintRej *LintRejection
 	switch {
+	case errors.As(err, &lintRej):
+		// Structurally defective netlist: the findings body tells the
+		// client what to fix (cycle witness, multi-driven signals, ...).
+		writeJSON(w, http.StatusUnprocessableEntity, struct {
+			Error    string `json:"error"`
+			Findings any    `json:"findings"`
+		}{Error: lintRej.Error(), Findings: lintRej.Report.Findings})
+		return
 	case errors.Is(err, ErrQueueFull):
 		// Shed load: tell the client when a slot plausibly frees up.
 		w.Header().Set("Retry-After", "15")

@@ -118,13 +118,15 @@ func TestHTTPSubmitRawBody(t *testing.T) {
 func TestHTTPSubmitBadSpec(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
+	// Garbage text fails the preflight lint, not a bare parse error: 422
+	// with the findings in the body.
 	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader("junk"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("garbage netlist: %s, want 400", resp.Status)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage netlist: %s, want 422", resp.Status)
 	}
 
 	resp, err = http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{not json"))
@@ -134,6 +136,46 @@ func TestHTTPSubmitBadSpec(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed JSON: %s, want 400", resp.Status)
+	}
+}
+
+func TestHTTPSubmitLintReject422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// A combinational cycle: the preflight lint rejects it at submit time
+	// with 422 and a findings body naming the cycle witness.
+	cyclic := "INORDER = a0 a1 b0 b1;\nOUTORDER = z0 z1;\n" +
+		"u = a0 * v;\nv = b0 * u;\nz0 = u + a1;\nz1 = v + b1;\n"
+	resp, err := http.Post(ts.URL+"/jobs?format=eqn", "text/plain", strings.NewReader(cyclic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("cyclic netlist: %s, want 422", resp.Status)
+	}
+	var body struct {
+		Error    string `json:"error"`
+		Findings []struct {
+			Rule     string   `json:"rule"`
+			Severity string   `json:"severity"`
+			Signals  []string `json:"signals"`
+		} `json:"findings"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding 422 body: %v", err)
+	}
+	if body.Error == "" || len(body.Findings) == 0 {
+		t.Fatalf("422 body lacks error/findings: %+v", body)
+	}
+	found := false
+	for _, f := range body.Findings {
+		if f.Rule == "cycle" && len(f.Signals) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cycle finding with a witness in 422 body: %+v", body.Findings)
 	}
 }
 
