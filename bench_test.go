@@ -153,7 +153,10 @@ func BenchmarkFigure4(b *testing.B) {
 // pipeline: "norecorder" is the nil-recorder path (every instrumentation
 // site reduced to one predictable branch — expected within 2% of the
 // pre-telemetry pipeline), "recorder" attaches a full recorder with an
-// in-memory sink, i.e. the -json / gfbench configuration, and "governed"
+// in-memory sink, i.e. the -json / gfbench configuration, "journal"
+// attaches the bounded ring-buffer journal that backs gfred's SSE streams
+// (the gfred worker configuration — expected within 3% of "norecorder"),
+// and "governed"
 // turns on the full resource governor (context deadline, per-cone deadline,
 // term budget) on a clean circuit that never trips any limit — expected
 // within 2% of "norecorder", since governance on the happy path is one
@@ -180,6 +183,19 @@ func BenchmarkExtract(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rec := gfre.NewRecorder(gfre.NewMemorySink())
+			ext, err := gfre.Extract(n, gfre.Options{Threads: eval.Threads, SkipVerify: true, Recorder: rec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ext.P.Equal(p) {
+				b.Fatal("wrong P")
+			}
+		}
+	})
+	b.Run("journal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := gfre.NewRecorder(gfre.NewJournal(0))
 			ext, err := gfre.Extract(n, gfre.Options{Threads: eval.Threads, SkipVerify: true, Recorder: rec})
 			if err != nil {
 				b.Fatal(err)

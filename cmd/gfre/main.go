@@ -90,21 +90,22 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("gfre", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		format   = fs.String("format", "auto", "netlist format: eqn, blif, verilog or auto (by file extension)")
-		threads  = fs.Int("threads", 0, "rewriting worker threads; 0 = auto (GOMAXPROCS). The paper's experiments use 16")
-		prefixA  = fs.String("a", "a", "input-name prefix of operand A")
-		prefixB  = fs.String("b", "b", "input-name prefix of operand B")
-		infer    = fs.Bool("infer", false, "infer operand partition, bit order and output order from the expressions (for scrambled/anonymized netlists)")
-		noVerify = fs.Bool("no-verify", false, "skip the golden-model equivalence check")
-		simulate = fs.Int("simulate", 0, "additionally cross-check with N*64 random simulation vectors")
-		stats    = fs.Bool("stats", false, "print per-output-bit rewriting statistics")
-		trace    = fs.String("trace", "", "print the Figure-3-style rewriting trace for this output (small designs)")
-		quiet    = fs.Bool("quiet", false, "print only the recovered polynomial")
-		jsonOut  = fs.Bool("json", false, "emit the result as JSON (includes the phase-timing breakdown)")
-		report   = fs.Bool("report", false, "print the full audit report instead of the short summary")
-		progress = fs.Bool("progress", false, "live per-bit progress ticker on stderr")
-		metrics  = fs.String("metrics", "", "stream telemetry events (phase spans, per-bit stats, heap samples) to this NDJSON file")
-		pprofSrv = fs.String("pprof", "", "serve net/http/pprof and expvar (incl. live gfre metrics) on this address, e.g. localhost:6060")
+		format    = fs.String("format", "auto", "netlist format: eqn, blif, verilog or auto (by file extension)")
+		threads   = fs.Int("threads", 0, "rewriting worker threads; 0 = auto (GOMAXPROCS). The paper's experiments use 16")
+		prefixA   = fs.String("a", "a", "input-name prefix of operand A")
+		prefixB   = fs.String("b", "b", "input-name prefix of operand B")
+		infer     = fs.Bool("infer", false, "infer operand partition, bit order and output order from the expressions (for scrambled/anonymized netlists)")
+		noVerify  = fs.Bool("no-verify", false, "skip the golden-model equivalence check")
+		simulate  = fs.Int("simulate", 0, "additionally cross-check with N*64 random simulation vectors")
+		stats     = fs.Bool("stats", false, "print per-output-bit rewriting statistics")
+		trace     = fs.String("trace", "", "print the Figure-3-style rewriting trace for this output (small designs)")
+		quiet     = fs.Bool("quiet", false, "print only the recovered polynomial")
+		jsonOut   = fs.Bool("json", false, "emit the result as JSON (includes the phase-timing breakdown)")
+		report    = fs.Bool("report", false, "print the full audit report instead of the short summary")
+		progress  = fs.Bool("progress", false, "live per-bit progress ticker on stderr")
+		metrics   = fs.String("metrics", "", "stream telemetry events (phase spans, per-bit stats, heap samples) to this NDJSON file")
+		pprofSrv  = fs.String("pprof", "", "serve net/http/pprof and expvar (incl. live gfre metrics) on this address, e.g. localhost:6060")
+		traceTree = fs.Bool("trace-tree", false, "print the hierarchical span tree (phases with per-cone children) after extraction; with -json the tree rides in the report")
 
 		timeout     = fs.Duration("timeout", 0, "abort the whole run after this long (exit code 3)")
 		coneTimeout = fs.Duration("cone-timeout", 0, "abort any single output cone whose rewriting exceeds this wall time")
@@ -169,7 +170,7 @@ exit codes:
 	// the pipeline uninstrumented.
 	var rec *gfre.Recorder
 	stopHeap := func() {}
-	if *progress || *metrics != "" || *pprofSrv != "" || *jsonOut {
+	if *progress || *metrics != "" || *pprofSrv != "" || *jsonOut || *traceTree {
 		var sinks []gfre.TelemetrySink
 		if *progress {
 			sinks = append(sinks, gfre.NewProgressSink(stderr))
@@ -324,17 +325,18 @@ exit codes:
 			SuggestedBudgetTerms int    `json:"suggested_budget_terms"`
 		}
 		report := struct {
-			Polynomial     string          `json:"polynomial"`
-			M              int             `json:"m"`
-			Verified       bool            `json:"verified"`
-			RuntimeSeconds float64         `json:"runtime_seconds"`
-			Threads        int             `json:"threads"`
-			ReusedCones    int             `json:"reused_cones,omitempty"`
-			Equations      int             `json:"equations"`
-			Lint           *lintJSON       `json:"lint,omitempty"`
-			Phases         []phaseJSON     `json:"phases,omitempty"`
-			Bits           []bitJSON       `json:"bits,omitempty"`
-			Diagnosis      *gfre.Diagnosis `json:"diagnosis,omitempty"`
+			Polynomial     string            `json:"polynomial"`
+			M              int               `json:"m"`
+			Verified       bool              `json:"verified"`
+			RuntimeSeconds float64           `json:"runtime_seconds"`
+			Threads        int               `json:"threads"`
+			ReusedCones    int               `json:"reused_cones,omitempty"`
+			Equations      int               `json:"equations"`
+			Lint           *lintJSON         `json:"lint,omitempty"`
+			Phases         []phaseJSON       `json:"phases,omitempty"`
+			Bits           []bitJSON         `json:"bits,omitempty"`
+			Trace          []*gfre.TraceNode `json:"trace,omitempty"`
+			Diagnosis      *gfre.Diagnosis   `json:"diagnosis,omitempty"`
 		}{
 			Polynomial:     ext.P.String(),
 			M:              ext.M,
@@ -363,6 +365,9 @@ exit codes:
 		// the spans without parsing the NDJSON stream.
 		for _, sp := range rec.Spans() {
 			report.Phases = append(report.Phases, phaseJSON{Name: sp.Name, Seconds: sp.Duration.Seconds()})
+		}
+		if *traceTree {
+			report.Trace = rec.TraceTree()
 		}
 		if *stats {
 			for _, b := range ext.Rewrite.Bits {
@@ -413,6 +418,11 @@ exit codes:
 			return err
 		}
 		fmt.Fprintf(stdout, "simulation cross-check: PASS (%d random vectors)\n", *simulate*64)
+	}
+
+	if *traceTree {
+		fmt.Fprintln(stdout, "\ntrace tree:")
+		gfre.WriteTraceTree(stdout, rec.TraceTree())
 	}
 
 	if *stats {

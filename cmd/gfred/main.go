@@ -7,12 +7,16 @@
 //
 // API:
 //
-//	POST /jobs      submit (JSON job spec, or raw netlist with ?format=)
-//	GET  /jobs      list jobs
-//	GET  /jobs/{id} job status and result
-//	GET  /healthz   liveness
-//	GET  /readyz    readiness (503 while draining)
-//	GET  /metrics   JSON metrics snapshot
+//	POST /jobs             submit (JSON job spec, or raw netlist with ?format=)
+//	GET  /jobs             list jobs
+//	GET  /jobs/{id}        job status and result
+//	GET  /jobs/{id}/events live job telemetry as SSE (resumable via Last-Event-ID)
+//	GET  /events           the whole telemetry journal as SSE
+//	GET  /debug/live       browser live view (queue, per-job progress, cone heatmap)
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	GET  /metrics          metrics: JSON by default, Prometheus text format
+//	                       with Accept: text/plain or ?format=prometheus
 //
 // Every accepted job is persisted to the spool before the 202 response, so
 // a daemon crash loses nothing: on the next start the spool is replayed,
@@ -60,6 +64,7 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		retryCap    = fs.Duration("retry-cap", 2*time.Minute, "retry backoff ceiling")
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long SIGTERM lets in-flight jobs finish before cancelling them")
 		metrics     = fs.String("metrics", "", "stream telemetry events to this NDJSON file")
+		journalCap  = fs.Int("journal", obs.DefaultJournalCapacity, "event journal capacity backing SSE replay (/events, /jobs/{id}/events)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +99,9 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		RetryBase:   *retryBase,
 		RetryCap:    *retryCap,
 		Recorder:    rec,
+		// NewQueue attaches the journal to the recorder itself; it must not
+		// be attached here too or every event would be delivered twice.
+		Journal: obs.NewJournal(*journalCap),
 	})
 	if err != nil {
 		return err

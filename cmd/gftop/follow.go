@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// followNDJSON tails an NDJSON telemetry file (gfre -metrics / gfred
+// -metrics output), applying each decoded event to the model. With
+// once=true it stops at EOF; otherwise it keeps polling for appended
+// lines, tail -f style, until the context ends or the stream's job
+// reaches its terminal event.
+func followNDJSON(ctx context.Context, path string, once bool, m *model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m.setConn("reading")
+
+	r := bufio.NewReader(f)
+	var pending []byte // partial last line, completed by a later write
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			raw := line
+			if len(pending) > 0 {
+				raw = append(pending, line...)
+				pending = nil
+			}
+			var ev obs.Event
+			if jerr := json.Unmarshal(raw, &ev); jerr == nil {
+				if !m.apply(ev) {
+					return nil
+				}
+			}
+			continue
+		}
+		if err != io.EOF {
+			return err
+		}
+		pending = append(pending, line...)
+		if once {
+			return nil
+		}
+		m.setConn("tailing")
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	id, event, data string
+}
+
+// readSSE parses text/event-stream frames from r, calling deliver for each
+// complete frame. deliver returning false stops the read cleanly. Comment
+// lines (the server's heartbeats) are skipped.
+func readSSE(r *bufio.Reader, deliver func(sseFrame) bool) error {
+	var fr sseFrame
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if fr.id != "" || fr.data != "" || fr.event != "" {
+				if !deliver(fr) {
+					return nil
+				}
+			}
+			fr = sseFrame{}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "id:"):
+			fr.id = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			fr.event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			if fr.data != "" {
+				fr.data += "\n"
+			}
+			fr.data += strings.TrimSpace(line[len("data:"):])
+		}
+	}
+}
+
+// jobSnap is the subset of a gfred job state the snapshot frames carry that
+// gftop cares about.
+type jobSnap struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// sseClient tails a gfred SSE endpoint, resuming across reconnects with
+// Last-Event-ID so no journal event is lost or double-applied.
+type sseClient struct {
+	url    string
+	lastID string
+	client *http.Client
+}
+
+// follow streams events into the model until the context ends, the server
+// closes a terminal (per-job) stream, or the connection cannot be
+// re-established. The first connection failing is a hard error; later
+// failures retry with backoff because gfred restarts are routine.
+func (c *sseClient) follow(ctx context.Context, m *model) error {
+	hc := c.client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	connected := false
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if c.lastID != "" {
+			req.Header.Set("Last-Event-ID", c.lastID)
+		}
+		resp, err := hc.Do(req)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("%s: %s: %s", c.url, resp.Status, strings.TrimSpace(string(body)))
+		}
+		if err != nil {
+			if ctx.Err() != nil || m.done() {
+				return nil
+			}
+			if !connected {
+				return err
+			}
+			m.setConn("reconnecting")
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(time.Second):
+			}
+			continue
+		}
+		connected = true
+		m.setConn("connected")
+
+		stopped := false
+		// A read error here is just a dropped connection — the retry path
+		// below resumes from lastID either way.
+		readSSE(bufio.NewReader(resp.Body), func(fr sseFrame) bool { //nolint:errcheck
+			if fr.id != "" {
+				c.lastID = fr.id
+			}
+			if fr.event == "snapshot" {
+				c.applySnapshot(m, fr.data)
+				return true
+			}
+			var ev obs.Event
+			if jerr := json.Unmarshal([]byte(fr.data), &ev); jerr != nil {
+				return true
+			}
+			if !m.apply(ev) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		resp.Body.Close()
+		if stopped || ctx.Err() != nil || m.done() {
+			return nil
+		}
+		// Server closed a non-terminal stream (restart, journal hiccup):
+		// resume from the last seen sequence number.
+		m.setConn("reconnecting")
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// applySnapshot folds a snapshot frame: a single job state on per-job
+// streams, the whole job list on /events.
+func (c *sseClient) applySnapshot(m *model, data string) {
+	var list []jobSnap
+	if err := json.Unmarshal([]byte(data), &list); err == nil {
+		for _, js := range list {
+			m.snapshotJob(js.ID, js.Status)
+		}
+		return
+	}
+	var one jobSnap
+	if err := json.Unmarshal([]byte(data), &one); err == nil && one.ID != "" {
+		m.snapshotJob(one.ID, one.Status)
+	}
+}

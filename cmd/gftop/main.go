@@ -1,0 +1,118 @@
+// Command gftop is a terminal live view over gfre/gfred telemetry: per-cone
+// rewriting progress, completion rate and ETA, and cone-cost anomaly flags,
+// refreshed in place like top(1).
+//
+// It tails either source of the same event stream:
+//
+//	gftop run.ndjson                      a gfre/gfred -metrics NDJSON file
+//	                                      (live runs are tailed; finished
+//	                                      files replay instantly)
+//	gftop http://localhost:8080           a gfred daemon (the /events SSE
+//	                                      stream; reconnects resume via
+//	                                      Last-Event-ID)
+//	gftop -job <id> http://localhost:8080 one job's stream (/jobs/{id}/events);
+//	                                      gftop exits when the job ends
+//
+// -once renders a single frame after the source is exhausted instead of
+// refreshing — the scriptable form.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "gftop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gftop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		refresh = fs.Duration("refresh", 500*time.Millisecond, "screen refresh period")
+		job     = fs.String("job", "", "watch one gfred job: selects /jobs/{id}/events on URL sources and filters file sources")
+		once    = fs.Bool("once", false, "render one frame after the source ends instead of refreshing live")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gftop [flags] <telemetry.ndjson | gfred-url>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return errors.New("expected exactly one source argument")
+	}
+	source := fs.Arg(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m := newModel(source, *job)
+	errCh := make(chan error, 1)
+	if strings.HasPrefix(source, "http://") || strings.HasPrefix(source, "https://") {
+		streamURL, err := sseURL(source, *job)
+		if err != nil {
+			return err
+		}
+		c := &sseClient{url: streamURL}
+		go func() { errCh <- c.follow(ctx, m) }()
+	} else {
+		go func() { errCh <- followNDJSON(ctx, source, *once, m) }()
+	}
+
+	if *once {
+		// Exhaust the source, then print the single frame.
+		err := <-errCh
+		fmt.Fprint(stdout, m.render())
+		return err
+	}
+
+	ticker := time.NewTicker(*refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Fprint(stdout, "\x1b[H\x1b[2J"+m.render())
+		case err := <-errCh:
+			// Final frame so the terminal shows the end state (the job's
+			// terminal status, the full heatmap) after the stream closed.
+			fmt.Fprint(stdout, "\x1b[H\x1b[2J"+m.render())
+			return err
+		case <-ctx.Done():
+			fmt.Fprint(stdout, "\n")
+			return nil
+		}
+	}
+}
+
+// sseURL resolves the stream endpoint for a gfred base or explicit URL:
+// bare hosts get /events, -job rewrites to that job's stream unless the
+// caller already named an explicit path.
+func sseURL(source, job string) (string, error) {
+	u, err := url.Parse(source)
+	if err != nil {
+		return "", fmt.Errorf("source url: %w", err)
+	}
+	switch {
+	case job != "" && !strings.Contains(u.Path, "/jobs/"):
+		u.Path = "/jobs/" + job + "/events"
+	case u.Path == "" || u.Path == "/":
+		u.Path = "/events"
+	}
+	return u.String(), nil
+}

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// ev builds a telemetry event the way the recorder serializes it.
+func ev(ts float64, kind, name string, v map[string]int64) obs.Event {
+	return obs.Event{TS: ts, Ev: kind, Name: name, V: v}
+}
+
+func TestModelProgressAndETA(t *testing.T) {
+	m := newModel("test", "")
+	m.apply(ev(0, obs.EvSpanStart, "rewrite", map[string]int64{"bits": 8, "threads": 1}))
+	for bit := 0; bit < 4; bit++ {
+		m.apply(ev(float64(bit), obs.EvBitStart, fmt.Sprintf("z%d", bit), map[string]int64{"bit": int64(bit)}))
+		m.apply(ev(float64(bit)+0.5, obs.EvBitFinish, fmt.Sprintf("z%d", bit),
+			map[string]int64{"bit": int64(bit), "peak": int64(10 * (bit + 1))}))
+	}
+
+	frame := m.render()
+	if !strings.Contains(frame, "cones 4/8") {
+		t.Errorf("frame lacks cone progress:\n%s", frame)
+	}
+	if !strings.Contains(frame, "phase rewrite") {
+		t.Errorf("frame lacks phase:\n%s", frame)
+	}
+	if !strings.Contains(frame, "peak 40 terms") {
+		t.Errorf("frame lacks peak watermark:\n%s", frame)
+	}
+	// 3 completions over the 3.0s between the first (0.5) and last (3.5)
+	// bit_finish timestamps, 4 cones left: rate 1.0/s, ETA 4.0s.
+	rate, eta, ok := m.rateETALocked(8)
+	if !ok || rate < 0.95 || rate > 1.05 {
+		t.Errorf("rate = %v ok=%v, want ~1.0", rate, ok)
+	}
+	if eta < 3.9 || eta > 4.1 {
+		t.Errorf("eta = %v, want ~4.0", eta)
+	}
+	if !strings.Contains(frame, "ETA") {
+		t.Errorf("frame lacks ETA:\n%s", frame)
+	}
+}
+
+func TestModelAnomalyFlags(t *testing.T) {
+	m := newModel("test", "")
+	m.apply(ev(0, obs.EvSpanStart, "rewrite", map[string]int64{"bits": 4}))
+	m.apply(ev(1, obs.EvBitFinish, "z0", map[string]int64{"bit": 0, "peak": 10}))
+	m.apply(ev(2, obs.EvBitFinish, "z1", map[string]int64{"bit": 1, "peak": 9000}))
+	m.apply(ev(2, obs.EvConeAnomaly, "z1",
+		map[string]int64{"bit": 1, "peak": 9000, "predicted": 10000, "ratio_pct": 90, "median_pct": 5}))
+
+	if got := m.anomalousCones(); len(got) != 1 || got[0] != "z1" {
+		t.Fatalf("anomalousCones = %v, want [z1]", got)
+	}
+	frame := m.render()
+	if !strings.Contains(frame, "anomalies 1") {
+		t.Errorf("frame lacks anomaly count:\n%s", frame)
+	}
+	if !strings.Contains(frame, "ANOMALY z1: peak 9000 = 90% of no-cancellation bound 10000") {
+		t.Errorf("frame lacks anomaly detail:\n%s", frame)
+	}
+	// Cell 1 of the heat grid must be the '!' flag.
+	gridLine := ""
+	for _, line := range strings.Split(frame, "\n") {
+		if strings.ContainsRune(line, '!') && !strings.Contains(line, "ANOMALY") {
+			gridLine = line
+		}
+	}
+	if cells := []rune(gridLine); len(cells) != 4 || cells[1] != '!' {
+		t.Errorf("heat grid %q: want 4 cells with '!' at bit 1", gridLine)
+	}
+}
+
+// A per-cone child span_start under the rewrite span must not clobber the
+// phase line — only real phases do.
+func TestModelConeSpansDoNotChangePhase(t *testing.T) {
+	m := newModel("test", "")
+	m.apply(obs.Event{Ev: obs.EvSpanStart, Name: "rewrite", Span: 7, V: map[string]int64{"bits": 4}})
+	m.apply(obs.Event{Ev: obs.EvSpanStart, Name: "z2", Span: 9, Parent: 7})
+	if m.phase != "rewrite" {
+		t.Fatalf("phase = %q after cone child span, want rewrite", m.phase)
+	}
+	m.apply(obs.Event{Ev: obs.EvSpanEnd, Name: "rewrite", Span: 7, Parent: 3})
+	m.apply(obs.Event{Ev: obs.EvSpanStart, Name: "extract", Span: 10, Parent: 3})
+	if m.phase != "extract" {
+		t.Fatalf("phase = %q, want extract", m.phase)
+	}
+}
+
+func TestModelJobLifecycleAndRetryReset(t *testing.T) {
+	m := newModel("test", "")
+	ja := obs.Event{Ev: "job_start", Job: "a1", V: map[string]int64{"attempt": 1}}
+	m.apply(ja)
+	m.apply(obs.Event{Ev: obs.EvSpanStart, Name: "rewrite", Job: "a1", Span: 2, V: map[string]int64{"bits": 4}})
+	m.apply(obs.Event{Ev: obs.EvBitFinish, Name: "z0", Job: "a1", V: map[string]int64{"bit": 0, "peak": 5}})
+	if m.doneCones != 1 {
+		t.Fatalf("doneCones = %d, want 1", m.doneCones)
+	}
+	// Retry: the next attempt restarts the cone board from zero.
+	m.apply(obs.Event{Ev: "job_retry", Job: "a1", V: map[string]int64{"attempt": 1}})
+	m.apply(obs.Event{Ev: "job_start", Job: "a1", V: map[string]int64{"attempt": 2}})
+	if m.doneCones != 0 {
+		t.Fatalf("doneCones = %d after job restart, want 0", m.doneCones)
+	}
+	if cont := m.apply(obs.Event{Ev: "job_done", Job: "a1"}); cont {
+		t.Fatal("apply(job_done) should report terminal (false)")
+	}
+	if !m.done() {
+		t.Fatal("model not terminal after job_done")
+	}
+	if frame := m.render(); !strings.Contains(frame, "job a1: done") {
+		t.Errorf("frame lacks terminal job line:\n%s", frame)
+	}
+}
+
+func TestModelJobFilter(t *testing.T) {
+	m := newModel("test", "want")
+	m.apply(obs.Event{Ev: obs.EvBitFinish, Name: "z0", Job: "other", V: map[string]int64{"bit": 0, "peak": 5}})
+	if m.doneCones != 0 || m.events != 0 {
+		t.Fatalf("filtered event counted: done=%d events=%d", m.doneCones, m.events)
+	}
+	m.apply(obs.Event{Ev: obs.EvBitFinish, Name: "z0", Job: "want", V: map[string]int64{"bit": 0, "peak": 5}})
+	if m.doneCones != 1 {
+		t.Fatalf("matching event dropped: done=%d", m.doneCones)
+	}
+}
+
+func TestSSEURL(t *testing.T) {
+	cases := []struct{ source, job, want string }{
+		{"http://h:1", "", "http://h:1/events"},
+		{"http://h:1/", "", "http://h:1/events"},
+		{"http://h:1", "j7", "http://h:1/jobs/j7/events"},
+		{"http://h:1/jobs/j7/events", "j7", "http://h:1/jobs/j7/events"},
+		{"http://h:1/custom", "", "http://h:1/custom"},
+	}
+	for _, c := range cases {
+		got, err := sseURL(c.source, c.job)
+		if err != nil || got != c.want {
+			t.Errorf("sseURL(%q, %q) = %q, %v; want %q", c.source, c.job, got, err, c.want)
+		}
+	}
+}
+
+// writeNDJSON marshals events one per line, the -metrics file format.
+func writeNDJSON(t *testing.T, path string, events []obs.Event) {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range events {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFollowNDJSONOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	writeNDJSON(t, path, []obs.Event{
+		ev(0, obs.EvSpanStart, "rewrite", map[string]int64{"bits": 2}),
+		ev(1, obs.EvBitFinish, "z0", map[string]int64{"bit": 0, "peak": 3}),
+		ev(2, obs.EvBitFinish, "z1", map[string]int64{"bit": 1, "peak": 4}),
+	})
+	m := newModel(path, "")
+	if err := followNDJSON(context.Background(), path, true, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.doneCones != 2 || m.total != 2 {
+		t.Fatalf("done=%d total=%d, want 2/2", m.doneCones, m.total)
+	}
+}
+
+// Tailing mode keeps reading lines appended after EOF and stops on the
+// job's terminal event.
+func TestFollowNDJSONTailsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	writeNDJSON(t, path, []obs.Event{
+		{Ev: "job_start", Job: "j1", V: map[string]int64{"attempt": 1}},
+	})
+	m := newModel(path, "")
+	done := make(chan error, 1)
+	go func() { done <- followNDJSON(context.Background(), path, false, m) }()
+
+	time.Sleep(50 * time.Millisecond)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(obs.Event{Ev: "job_done", Job: "j1"})
+	// Write the line in two chunks to exercise partial-line handling.
+	f.Write(raw[:len(raw)/2])
+	f.Sync()
+	time.Sleep(300 * time.Millisecond)
+	f.Write(raw[len(raw)/2:])
+	f.Write([]byte("\n"))
+	f.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not stop at the appended terminal event")
+	}
+	if m.jobStatus != "done" {
+		t.Fatalf("jobStatus = %q, want done", m.jobStatus)
+	}
+}
+
+// The SSE client must resume with Last-Event-ID after the server drops the
+// stream, and apply each event exactly once.
+func TestSSEClientResumesWithLastEventID(t *testing.T) {
+	var gotResume string
+	conns := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		writeFrame := func(seq uint64, e obs.Event) {
+			e.Seq = seq
+			raw, _ := json.Marshal(e)
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, raw)
+			fl.Flush()
+		}
+		switch conns {
+		case 1:
+			fmt.Fprintf(w, ": hb\n\n") // heartbeat comment must be skipped
+			writeFrame(1, obs.Event{Ev: "job_start", Job: "j1", V: map[string]int64{"attempt": 1}})
+			writeFrame(2, obs.Event{Ev: obs.EvBitFinish, Name: "z0", Job: "j1",
+				V: map[string]int64{"bit": 0, "peak": 7}})
+			// Drop the connection mid-stream.
+		default:
+			gotResume = r.Header.Get("Last-Event-ID")
+			writeFrame(3, obs.Event{Ev: obs.EvBitFinish, Name: "z1", Job: "j1",
+				V: map[string]int64{"bit": 1, "peak": 9}})
+			writeFrame(4, obs.Event{Ev: "job_done", Job: "j1"})
+		}
+	}))
+	defer srv.Close()
+
+	m := newModel(srv.URL, "j1")
+	c := &sseClient{url: srv.URL + "/jobs/j1/events"}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.follow(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if gotResume != "2" {
+		t.Errorf("Last-Event-ID on reconnect = %q, want 2", gotResume)
+	}
+	if m.doneCones != 2 {
+		t.Errorf("doneCones = %d, want 2", m.doneCones)
+	}
+	if m.jobStatus != "done" || !m.done() {
+		t.Errorf("jobStatus = %q terminal=%v, want done/true", m.jobStatus, m.done())
+	}
+	if m.lastSeq != 4 {
+		t.Errorf("lastSeq = %d, want 4", m.lastSeq)
+	}
+}
+
+// Snapshot frames (event: snapshot) carry job state, not telemetry events.
+func TestSSEClientAppliesSnapshot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "event: snapshot\ndata: {\"id\":\"j9\",\"status\":\"done\"}\n\n")
+	}))
+	defer srv.Close()
+
+	m := newModel(srv.URL, "")
+	c := &sseClient{url: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.follow(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.job != "j9" || m.jobStatus != "done" || !m.done() {
+		t.Fatalf("snapshot not applied: job=%q status=%q terminal=%v", m.job, m.jobStatus, m.done())
+	}
+}
+
+func TestRunOnceRendersFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	writeNDJSON(t, path, []obs.Event{
+		ev(0, obs.EvSpanStart, "rewrite", map[string]int64{"bits": 2}),
+		ev(1, obs.EvBitFinish, "z0", map[string]int64{"bit": 0, "peak": 3}),
+		ev(2, obs.EvBitFinish, "z1", map[string]int64{"bit": 1, "peak": 4}),
+	})
+	var out, errBuf strings.Builder
+	if err := run([]string{"-once", path}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	frame := out.String()
+	if !strings.Contains(frame, "cones 2/2") || !strings.Contains(frame, "100%") {
+		t.Errorf("unexpected frame:\n%s", frame)
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Errorf("-once frame must not use escape codes:\n%s", frame)
+	}
+}

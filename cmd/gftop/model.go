@@ -1,0 +1,335 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// cone is the view state of one output-bit cone.
+type cone struct {
+	bit     int
+	name    string
+	peak    int64
+	running bool
+	done    bool
+	anom    bool
+}
+
+// anomNote is one cone_anomaly payload kept for the footer.
+type anomNote struct {
+	name     string
+	peak     int64
+	bound    int64
+	ratioPct int64
+}
+
+// model folds the telemetry stream into the state the view renders. It is
+// fed from the follower goroutine and read by the render ticker, so every
+// entry point locks.
+type model struct {
+	mu        sync.Mutex
+	source    string
+	filterJob string // -job: drop events tagged with a different job
+
+	job       string // job currently displayed ("" for plain gfre streams)
+	jobStatus string
+	phase     string
+	total     int // output bits, from the rewrite span_start "bits" attr
+	cones     map[int]*cone
+	doneCones int
+	peakMax   int64
+	anoms     []anomNote
+
+	rewriteSpan int64 // suppresses per-cone child spans from the phase line
+	firstTS     float64
+	lastTS      float64
+	doneAtFirst bool
+	events      int64
+	lastSeq     uint64
+	connNote    string
+	terminal    bool
+}
+
+func newModel(source, filterJob string) *model {
+	return &model{source: source, filterJob: filterJob, cones: map[int]*cone{}}
+}
+
+// setConn records the connection state shown in the header.
+func (m *model) setConn(note string) {
+	m.mu.Lock()
+	m.connNote = note
+	m.mu.Unlock()
+}
+
+// snapshotJob folds a job-state snapshot frame (SSE `event: snapshot`).
+func (m *model) snapshotJob(id, status string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.filterJob != "" && id != m.filterJob {
+		return
+	}
+	if m.job == "" || m.job == id {
+		m.job, m.jobStatus = id, status
+		if status == "done" || status == "failed" {
+			m.terminal = true
+		}
+	}
+}
+
+// apply folds one telemetry event. It returns false once the watched job
+// reached a terminal state — the follower uses that to stop cleanly.
+func (m *model) apply(ev obs.Event) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.filterJob != "" && ev.Job != "" && ev.Job != m.filterJob {
+		return true
+	}
+	m.events++
+	if ev.Seq > m.lastSeq {
+		m.lastSeq = ev.Seq
+	}
+	if ev.TS > m.lastTS {
+		m.lastTS = ev.TS
+	}
+	switch ev.Ev {
+	case "job_submitted":
+		if m.job == "" || m.job == ev.Job {
+			m.job, m.jobStatus = ev.Job, "queued"
+		}
+	case "job_start":
+		// A (re)starting job resets the cone board: an earlier attempt's
+		// progress is stale, the new attempt rewrites every cone again.
+		if m.job == "" || m.job == ev.Job || m.filterJob == ev.Job {
+			m.job, m.jobStatus = ev.Job, "running"
+			m.resetRunLocked()
+		}
+	case "job_done", "job_failed":
+		if m.job == "" || m.job == ev.Job {
+			m.job = ev.Job
+			m.jobStatus = strings.TrimPrefix(ev.Ev, "job_")
+			m.terminal = true
+			return false
+		}
+	case "job_retry":
+		if m.job == ev.Job {
+			m.jobStatus = "backoff"
+		}
+	case "job_interrupted":
+		if m.job == ev.Job {
+			m.jobStatus = "queued"
+		}
+	case obs.EvSpanStart:
+		if m.rewriteSpan != 0 && ev.Parent == m.rewriteSpan {
+			break // per-cone child span, not a phase
+		}
+		if ev.Name == "rewrite" {
+			if bits := int(ev.V["bits"]); bits > 0 {
+				if bits != m.total || m.doneCones == m.total {
+					m.resetRunLocked()
+				}
+				m.total = bits
+			}
+			m.rewriteSpan = ev.Span
+		}
+		m.phase = ev.Name
+	case obs.EvSpanEnd:
+		if ev.Name == "rewrite" && ev.Span == m.rewriteSpan {
+			m.rewriteSpan = 0
+		}
+	case obs.EvBitStart:
+		c := m.cone(int(ev.V["bit"]))
+		c.name, c.running = ev.Name, true
+	case obs.EvBitFinish:
+		c := m.cone(int(ev.V["bit"]))
+		if !c.done {
+			m.doneCones++
+			if !m.doneAtFirst {
+				m.firstTS, m.doneAtFirst = ev.TS, true
+			}
+		}
+		c.name, c.running, c.done = ev.Name, false, true
+		c.peak = ev.V["peak"]
+		if c.peak > m.peakMax {
+			m.peakMax = c.peak
+		}
+	case obs.EvConeAnomaly:
+		c := m.cone(int(ev.V["bit"]))
+		c.anom = true
+		if ev.Name != "" {
+			c.name = ev.Name
+		}
+		m.anoms = append(m.anoms, anomNote{
+			name:     c.name,
+			peak:     ev.V["peak"],
+			bound:    ev.V["predicted"],
+			ratioPct: ev.V["ratio_pct"],
+		})
+	}
+	return true
+}
+
+func (m *model) cone(bit int) *cone {
+	c := m.cones[bit]
+	if c == nil {
+		c = &cone{bit: bit}
+		m.cones[bit] = c
+	}
+	return c
+}
+
+// resetRunLocked clears per-run progress (new job attempt or new rewrite).
+func (m *model) resetRunLocked() {
+	m.cones = map[int]*cone{}
+	m.doneCones = 0
+	m.peakMax = 0
+	m.anoms = nil
+	m.doneAtFirst = false
+	m.phase = ""
+	m.rewriteSpan = 0
+}
+
+// done reports whether the watched job reached its terminal event.
+func (m *model) done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.terminal
+}
+
+// heatRamp maps a cone's relative (log-scaled) peak cost to a cell glyph.
+const heatRamp = "▁▂▃▄▅▆▇█"
+
+// render draws one full frame. Pure string building: the caller decides
+// whether to prepend a clear-screen escape.
+func (m *model) render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "gftop — %s", m.source)
+	if m.connNote != "" {
+		fmt.Fprintf(&b, "  (%s)", m.connNote)
+	}
+	b.WriteByte('\n')
+	if m.job != "" {
+		fmt.Fprintf(&b, "job %s: %s\n", m.job, m.jobStatus)
+	}
+
+	total := m.total
+	if total < len(m.cones) {
+		total = len(m.cones)
+	}
+	fmt.Fprintf(&b, "phase %-12s cones %d/%d", orDash(m.phase), m.doneCones, total)
+	if rate, eta, ok := m.rateETALocked(total); ok {
+		fmt.Fprintf(&b, "   %.1f cones/s   ETA %.1fs", rate, eta)
+	}
+	fmt.Fprintf(&b, "   peak %d terms   anomalies %d\n", m.peakMax, len(m.anoms))
+
+	// Progress bar.
+	const barWidth = 50
+	filled := 0
+	if total > 0 {
+		filled = barWidth * m.doneCones / total
+	}
+	pct := 0
+	if total > 0 {
+		pct = 100 * m.doneCones / total
+	}
+	fmt.Fprintf(&b, "[%s%s] %d%%\n", strings.Repeat("#", filled),
+		strings.Repeat("·", barWidth-filled), pct)
+
+	// Per-cone heat grid, 64 cells per row: '·' pending, '~' rewriting,
+	// log-scaled ramp when done, '!' flagging an anomalous cone.
+	if total > 0 {
+		for bit := 0; bit < total; bit++ {
+			if bit > 0 && bit%64 == 0 {
+				b.WriteByte('\n')
+			}
+			c := m.cones[bit]
+			switch {
+			case c == nil:
+				b.WriteRune('·')
+			case c.anom:
+				b.WriteByte('!')
+			case c.done:
+				b.WriteRune(heatCell(c.peak, m.peakMax))
+			case c.running:
+				b.WriteByte('~')
+			default:
+				b.WriteRune('·')
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	for _, a := range m.anoms {
+		fmt.Fprintf(&b, "ANOMALY %s: peak %d = %d%% of no-cancellation bound %d\n",
+			a.name, a.peak, a.ratioPct, a.bound)
+	}
+	fmt.Fprintf(&b, "%d events", m.events)
+	if m.lastSeq > 0 {
+		fmt.Fprintf(&b, ", seq %d", m.lastSeq)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// rateETALocked derives the completion rate from event timestamps (not wall
+// clock, so replaying a finished NDJSON file reports the run's own rate)
+// and the ETA for the cones still pending.
+func (m *model) rateETALocked(total int) (rate, eta float64, ok bool) {
+	if m.doneCones < 2 || m.lastTS <= m.firstTS {
+		return 0, 0, false
+	}
+	rate = float64(m.doneCones-1) / (m.lastTS - m.firstTS)
+	eta = float64(total-m.doneCones) / rate
+	return rate, eta, true
+}
+
+func heatCell(peak, max int64) rune {
+	if peak < 0 {
+		peak = 0
+	}
+	t := 0.0
+	if max > 0 {
+		t = math.Log1p(float64(peak)) / math.Log1p(float64(max))
+	}
+	ramp := []rune(heatRamp)
+	i := int(t * float64(len(ramp)))
+	if i >= len(ramp) {
+		i = len(ramp) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return ramp[i]
+}
+
+// anomalousCones lists flagged cone names sorted by bit (test hook).
+func (m *model) anomalousCones() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var bits []int
+	for bit, c := range m.cones {
+		if c.anom {
+			bits = append(bits, bit)
+		}
+	}
+	sort.Ints(bits)
+	names := make([]string, len(bits))
+	for i, bit := range bits {
+		names[i] = m.cones[bit].name
+	}
+	return names
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

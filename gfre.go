@@ -107,6 +107,18 @@ type (
 	ProgressSink = obs.ProgressSink
 	// MemorySink captures events in memory (the test hook).
 	MemorySink = obs.MemorySink
+	// Journal is the bounded replayable event log (a TelemetrySink): it
+	// assigns sequence numbers and backs SSE resume and gftop tailing.
+	Journal = obs.Journal
+	// TraceNode is one node of the hierarchical phase/cone trace tree
+	// assembled from a recorder's completed spans.
+	TraceNode = obs.TraceNode
+	// AnomalyConfig tunes the predicted-vs-actual cone cost anomaly stage
+	// armed by Recorder.EnableConeAnomalies (zero value = defaults).
+	AnomalyConfig = obs.AnomalyConfig
+	// HistogramBucket is one cumulative le-bound bucket of a histogram
+	// snapshot, matching the Prometheus exposition.
+	HistogramBucket = obs.HistogramBucket
 
 	// CheckpointManager persists per-cone extraction progress crash-safely
 	// and restores it for resumed runs. Pass one via Options.Checkpoint.
@@ -288,6 +300,25 @@ func NewProgressSink(w io.Writer) *ProgressSink { return obs.NewProgressSink(w) 
 // NewMemorySink captures telemetry events in memory, for tests and
 // programmatic inspection.
 func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// NewJournal returns a bounded in-memory event journal (capacity <= 0
+// selects the default). Attach it to a recorder as a sink to capture a
+// replayable, sequence-numbered window of the run's telemetry.
+func NewJournal(capacity int) *Journal { return obs.NewJournal(capacity) }
+
+// BuildTraceTree assembles completed span records (Recorder.Spans) into
+// the parent/child trace forest rendered by WriteTraceTree.
+func BuildTraceTree(spans []SpanRecord) []*TraceNode { return obs.BuildTraceTree(spans) }
+
+// WriteTraceTree renders a trace forest as an indented tree, one span per
+// line with its duration, attributes and non-ok status.
+func WriteTraceTree(w io.Writer, roots []*TraceNode) { obs.WriteTraceTree(w, roots) }
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format 0.0.4 under the given namespace prefix.
+func WritePrometheus(w io.Writer, s MetricsSnapshot, namespace string) error {
+	return obs.WritePrometheus(w, s, namespace)
+}
 
 // NewCheckpointManager returns a checkpoint manager persisting extraction
 // progress into dir, saving at most once per throttle interval (throttle < 0

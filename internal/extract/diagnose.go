@@ -111,7 +111,7 @@ const maxSuspects = 64
 // output cones, and localizes the damage. It always returns a Diagnosis
 // (even on error, with whatever was learned); the Extraction is non-nil
 // whenever rewriting produced usable bits.
-func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error) {
+func Diagnose(n *netlist.Netlist, opts Options) (ext *Extraction, _ *Diagnosis, err error) {
 	if opts.PrefixA == "" {
 		opts.PrefixA = "a"
 	}
@@ -123,6 +123,17 @@ func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error)
 	if m < 2 {
 		return nil, diag, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
+	// Root span for the fault-tolerant pipeline; same name as the strict
+	// path so trace consumers see one "extraction" tree either way.
+	root := opts.Recorder.StartSpan("extraction", map[string]int64{
+		"m": int64(m), "tolerate": int64(opts.Tolerate),
+	})
+	defer func() {
+		if err != nil {
+			root.SetStatus("error")
+		}
+		root.End()
+	}()
 	lint, err := preflight(n, &opts)
 	if err != nil {
 		return &Extraction{M: m, Lint: lint}, diag, err
@@ -143,7 +154,7 @@ func Diagnose(n *netlist.Netlist, opts Options) (*Extraction, *Diagnosis, error)
 		// operator which cones died and why.
 		return nil, diag, rwErr
 	}
-	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Diag: diag, Lint: lint}
+	ext = &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Diag: diag, Lint: lint}
 
 	rec := opts.Recorder
 	span := rec.StartSpan("consensus", map[string]int64{

@@ -210,7 +210,7 @@ func outFieldProducts(a, b []int) []anf.Mono {
 // With Options.Tolerate > 0 or Options.Diagnose the call is routed through
 // the fault-tolerant consensus path (see Diagnose); otherwise any failed
 // cone or deviating bit is fatal, as in the paper.
-func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error) {
+func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (ext *Extraction, err error) {
 	if opts.Tolerate > 0 || opts.Diagnose {
 		ext, _, err := Diagnose(n, opts)
 		return ext, err
@@ -225,6 +225,16 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 	if m < 2 {
 		return nil, fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
 	}
+	// The extraction root span: every phase below (preflight, rewrite with
+	// its per-cone children, extract, golden-model, verify) nests under it,
+	// so a trace tree reconstructs the whole pipeline from one job.
+	root := opts.Recorder.StartSpan("extraction", map[string]int64{"m": int64(m)})
+	defer func() {
+		if err != nil {
+			root.SetStatus("error")
+		}
+		root.End()
+	}()
 	lint, err := preflight(n, &opts)
 	if err != nil {
 		return &Extraction{M: m, Lint: lint}, err
@@ -238,7 +248,7 @@ func IrreduciblePolynomial(n *netlist.Netlist, opts Options) (*Extraction, error
 	if err != nil {
 		return nil, err
 	}
-	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Lint: lint}
+	ext = &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Lint: lint}
 
 	// Note: the out-field product set {a_i·b_j : i+j=m} is invariant under
 	// swapping the two operands (monomials are unordered), so extraction is
@@ -410,7 +420,7 @@ func SimulationCrossCheck(n *netlist.Netlist, ext *Extraction, trials int, seed 
 // where P(x) is given). It rewrites the outputs and compares them with the
 // golden specification for p; no extraction is involved, so it also works
 // for netlists whose P(x) the caller obtained elsewhere.
-func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extraction, error) {
+func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (ext *Extraction, err error) {
 	if opts.PrefixA == "" {
 		opts.PrefixA = "a"
 	}
@@ -424,6 +434,13 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if !p.Irreducible() {
 		return nil, fmt.Errorf("%w: %v factors as %s", ErrNotIrreducible, p, factorString(p))
 	}
+	root := opts.Recorder.StartSpan("extraction", map[string]int64{"m": int64(m)})
+	defer func() {
+		if err != nil {
+			root.SetStatus("error")
+		}
+		root.End()
+	}()
 	lint, err := preflight(n, &opts)
 	if err != nil {
 		return &Extraction{M: m, Lint: lint}, err
@@ -436,7 +453,7 @@ func VerifyAgainst(n *netlist.Netlist, p gf2poly.Poly, opts Options) (*Extractio
 	if err != nil {
 		return nil, err
 	}
-	ext := &Extraction{P: p, M: m, AInputs: a, BInputs: b, Rewrite: rw, Lint: lint}
+	ext = &Extraction{P: p, M: m, AInputs: a, BInputs: b, Rewrite: rw, Lint: lint}
 	if err := verifyObserved(n, ext, opts.Recorder); err != nil {
 		return ext, err
 	}

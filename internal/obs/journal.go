@@ -1,0 +1,183 @@
+package obs
+
+import "sync"
+
+// Journal is a bounded ring-buffer event sink with monotonic sequence
+// numbers and replay: the memory between a live telemetry stream and its
+// consumers. It backs two consumption patterns at once —
+//
+//   - replay: ReplaySince(seq) returns the retained events after a cursor,
+//     which is how an SSE client resumes from its Last-Event-ID and how
+//     Recorder.AttachSink back-fills late sinks;
+//   - live tail: Subscribe returns a channel fed by every subsequent Emit.
+//
+// The canonical consumer loop subscribes FIRST, then replays, then drains
+// the subscription skipping already-seen sequence numbers — that order
+// cannot lose an event, and the seq filter removes the overlap.
+//
+// A Journal is a Sink, so it attaches to a Recorder like any other; its
+// Emit assigns the sequence number, making seq authoritative even when
+// several recorders (per-job children) feed one journal. Capacity bounds
+// memory: the oldest events are evicted first, and ReplaySince reports the
+// truncation so consumers know to re-snapshot instead of silently missing
+// history. All methods are safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	buf  []Event
+	head int // index of the oldest retained event
+	size int
+	next uint64 // last assigned sequence number (first event gets 1)
+
+	subs  map[int]chan Event
+	subID int
+}
+
+// DefaultJournalCapacity is the ring size NewJournal falls back to — enough
+// for a full GF(2^571) extraction's bit events plus service chatter.
+const DefaultJournalCapacity = 4096
+
+// NewJournal returns a journal retaining up to capacity events
+// (DefaultJournalCapacity when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{
+		buf:  make([]Event, capacity),
+		subs: make(map[int]chan Event),
+	}
+}
+
+// Emit assigns the event its sequence number, stores it in the ring
+// (evicting the oldest when full), and feeds every live subscriber. A
+// subscriber whose channel buffer is full is lagging beyond recovery at
+// this rate; its channel is closed so the consumer loop notices and
+// re-enters via ReplaySince instead of silently stalling Emit.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.next++
+	e.Seq = j.next
+	if j.size < len(j.buf) {
+		j.buf[(j.head+j.size)%len(j.buf)] = e
+		j.size++
+	} else {
+		j.buf[j.head] = e
+		j.head = (j.head + 1) % len(j.buf)
+	}
+	for id, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+			close(ch)
+			delete(j.subs, id)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Flush is a no-op: the journal is the buffer.
+func (j *Journal) Flush() error { return nil }
+
+// LastSeq returns the sequence number of the most recent event (0 if none).
+func (j *Journal) LastSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// OldestSeq returns the sequence number of the oldest retained event
+// (0 when the journal is empty).
+func (j *Journal) OldestSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.size == 0 {
+		return 0
+	}
+	return j.buf[j.head].Seq
+}
+
+// ReplaySince returns a copy of every retained event with Seq > seq, oldest
+// first. truncated reports a gap: the caller had seen up to seq, but events
+// in (seq, OldestSeq) have been evicted — the consumer should re-establish
+// state from a snapshot before applying the returned tail.
+func (j *Journal) ReplaySince(seq uint64) (events []Event, truncated bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.size > 0 && seq > 0 && seq+1 < j.buf[j.head].Seq {
+		truncated = true
+	}
+	if j.size == 0 && seq > 0 && seq < j.next {
+		truncated = true // everything after the cursor already evicted
+	}
+	for i := 0; i < j.size; i++ {
+		e := j.buf[(j.head+i)%len(j.buf)]
+		if e.Seq > seq {
+			events = append(events, e)
+		}
+	}
+	return events, truncated
+}
+
+// Subscription is a live tail of a Journal. Receive from C; a closed C
+// means the subscription lagged (or was cancelled) and the consumer should
+// resubscribe and ReplaySince its last seen seq.
+type Subscription struct {
+	C  <-chan Event
+	j  *Journal
+	id int
+}
+
+// Subscribe registers a live consumer with the given channel buffer
+// (default 256 when buffer <= 0). Always Cancel when done.
+func (j *Journal) Subscribe(buffer int) *Subscription {
+	if j == nil {
+		return nil
+	}
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan Event, buffer)
+	j.mu.Lock()
+	j.subID++
+	id := j.subID
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return &Subscription{C: ch, j: j, id: id}
+}
+
+// Cancel detaches the subscription and closes its channel. Safe to call
+// after a lag-close (idempotent) and on a nil subscription.
+func (s *Subscription) Cancel() {
+	if s == nil {
+		return
+	}
+	s.j.mu.Lock()
+	if ch, ok := s.j.subs[s.id]; ok {
+		delete(s.j.subs, s.id)
+		close(ch)
+	}
+	s.j.mu.Unlock()
+}
+
+// Subscribers returns the number of live subscriptions (test hook and
+// drain diagnostics).
+func (j *Journal) Subscribers() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs)
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestJournalSeqAndReplay(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Emit(Event{Ev: "e", Name: fmt.Sprintf("n%d", i)})
+	}
+	if j.LastSeq() != 5 || j.OldestSeq() != 1 {
+		t.Fatalf("seq range [%d,%d], want [1,5]", j.OldestSeq(), j.LastSeq())
+	}
+	evs, trunc := j.ReplaySince(0)
+	if trunc || len(evs) != 5 {
+		t.Fatalf("full replay: %d events, truncated=%v", len(evs), trunc)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	evs, trunc = j.ReplaySince(3)
+	if trunc || len(evs) != 2 || evs[0].Seq != 4 {
+		t.Fatalf("partial replay from 3: %+v truncated=%v", evs, trunc)
+	}
+	evs, trunc = j.ReplaySince(5)
+	if trunc || len(evs) != 0 {
+		t.Fatalf("caught-up replay: %+v truncated=%v", evs, trunc)
+	}
+}
+
+func TestJournalEvictionAndTruncation(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Emit(Event{Ev: "e"})
+	}
+	// Ring of 4: only seqs 7..10 retained.
+	if j.OldestSeq() != 7 || j.LastSeq() != 10 {
+		t.Fatalf("retained [%d,%d], want [7,10]", j.OldestSeq(), j.LastSeq())
+	}
+	// A consumer that saw up to 3 has a gap (4,5,6 evicted): truncated.
+	evs, trunc := j.ReplaySince(3)
+	if !trunc || len(evs) != 4 || evs[0].Seq != 7 {
+		t.Fatalf("stale cursor: %d events from %d, truncated=%v", len(evs), evs[0].Seq, trunc)
+	}
+	// A consumer that saw up to 6 is exactly at the retention edge: no gap.
+	if _, trunc := j.ReplaySince(6); trunc {
+		t.Fatal("cursor at retention edge reported truncated")
+	}
+	// Fresh consumers (seq 0) are a connect, not a gap.
+	if _, trunc := j.ReplaySince(0); trunc {
+		t.Fatal("fresh cursor reported truncated")
+	}
+}
+
+func TestJournalSubscribeLiveTail(t *testing.T) {
+	j := NewJournal(16)
+	j.Emit(Event{Ev: "before"})
+	sub := j.Subscribe(4)
+	defer sub.Cancel()
+	j.Emit(Event{Ev: "after"})
+	e := <-sub.C
+	if e.Ev != "after" || e.Seq != 2 {
+		t.Fatalf("live tail got %+v", e)
+	}
+	if j.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d", j.Subscribers())
+	}
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if j.Subscribers() != 0 {
+		t.Fatalf("subscribers after cancel = %d", j.Subscribers())
+	}
+}
+
+func TestJournalLaggingSubscriberClosed(t *testing.T) {
+	j := NewJournal(16)
+	sub := j.Subscribe(2)
+	for i := 0; i < 5; i++ { // overflows the buffer of 2
+		j.Emit(Event{Ev: "e"})
+	}
+	n := 0
+	for range sub.C { // channel must have been closed by the lag policy
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("lagging subscriber drained %d events, want 2 buffered", n)
+	}
+	if j.Subscribers() != 0 {
+		t.Fatal("lagging subscriber still registered")
+	}
+	sub.Cancel() // must not panic on the already-closed channel
+}
+
+// TestAttachSinkBackfill: with a journal among the sinks, a late AttachSink
+// replays the buffered tail into the new sink BEFORE live delivery resumes,
+// so the late sink observes the exact same ordered prefix as an early one.
+func TestAttachSinkBackfill(t *testing.T) {
+	j := NewJournal(64)
+	rec := NewRecorder(j)
+	rec.Emit("a", "1", nil)
+	rec.Emit("b", "2", nil)
+
+	late := NewMemorySink()
+	rec.AttachSink(late)
+	rec.Emit("c", "3", nil)
+
+	evs := late.Events()
+	if len(evs) != 3 {
+		t.Fatalf("late sink saw %d events, want 3 (2 back-filled + 1 live)", len(evs))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if evs[i].Ev != want {
+			t.Fatalf("event %d = %q, want %q", i, evs[i].Ev, want)
+		}
+	}
+	// Back-filled events carry their journal seqs; the live one was stamped
+	// by the journal during fan-out but the memory sink received the
+	// recorder's copy (seq 0) — ordering, not numbering, is the guarantee.
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("back-filled seqs %d,%d want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+// TestAttachSinkBackfillOrderingUnderLoad: the ordering guarantee the
+// journal documentation makes — a sink attached mid-stream sees every event
+// exactly once, in order — must hold while emitters run concurrently.
+func TestAttachSinkBackfillOrderingUnderLoad(t *testing.T) {
+	j := NewJournal(1 << 14)
+	rec := NewRecorder(j)
+
+	const emitters, perEmitter = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				rec.Emit("e", "x", map[string]int64{"g": int64(g), "i": int64(i)})
+			}
+		}(g)
+	}
+	late := NewMemorySink()
+	rec.AttachSink(late) // races the emitters on purpose
+	wg.Wait()
+	rec.Emit("done", "", nil)
+
+	evs := late.Events()
+	if len(evs) != emitters*perEmitter+1 {
+		t.Fatalf("late sink saw %d events, want %d", len(evs), emitters*perEmitter+1)
+	}
+	// Per-emitter subsequences must be in order and complete (no dup, no gap).
+	next := make([]int64, emitters)
+	for _, e := range evs {
+		if e.Ev != "e" {
+			continue
+		}
+		g := e.V["g"]
+		if e.V["i"] != next[g] {
+			t.Fatalf("emitter %d: saw i=%d, want %d", g, e.V["i"], next[g])
+		}
+		next[g]++
+	}
+	for g, n := range next {
+		if n != perEmitter {
+			t.Fatalf("emitter %d delivered %d/%d events", g, n, perEmitter)
+		}
+	}
+}
+
+func TestJournalAsRecorderSinkAssignsSeq(t *testing.T) {
+	j := NewJournal(16)
+	rec := NewRecorder(j)
+	if rec.Journal() != j {
+		t.Fatal("recorder did not adopt the journal sink")
+	}
+	rec.Emit("x", "", nil)
+	rec.JobRecorder("job1").Emit("y", "", nil)
+	evs, _ := j.ReplaySince(0)
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("journal seqs: %+v", evs)
+	}
+	if evs[1].Job != "job1" {
+		t.Fatalf("job recorder event not tagged: %+v", evs[1])
+	}
+}

@@ -123,6 +123,14 @@ func (h *Histogram) Observe(v int64) {
 	h.mu.Unlock()
 }
 
+// HistogramBucket is one occupied histogram bucket: its inclusive upper
+// bound (2^i − 1, the Prometheus le boundary) and the NON-cumulative count
+// of observations that landed in it.
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram's aggregates.
 type HistogramSnapshot struct {
 	Count int64 `json:"count"`
@@ -132,6 +140,10 @@ type HistogramSnapshot struct {
 	// Buckets maps the inclusive upper bound 2^i-1 to the number of
 	// observations that landed in bucket i; empty buckets are omitted.
 	Buckets map[int64]int64 `json:"buckets,omitempty"`
+	// Bounds lists the same occupied buckets in ascending bound order — the
+	// le boundaries the Prometheus renderer cumulates over, exported so the
+	// text exposition and the JSON snapshot agree by construction.
+	Bounds []HistogramBucket `json:"bounds,omitempty"`
 }
 
 // Snapshot copies the histogram's current state (zero value on nil).
@@ -151,6 +163,8 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 		bound := int64(1)<<uint(i) - 1
 		s.Buckets[bound] = c
+		// h.count ascends by bucket index, so Bounds comes out sorted by Le.
+		s.Bounds = append(s.Bounds, HistogramBucket{Le: bound, Count: c})
 	}
 	return s
 }

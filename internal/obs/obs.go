@@ -1,6 +1,7 @@
 // Package obs is the zero-dependency telemetry layer of the extraction
-// pipeline: phase spans, a lock-cheap metrics registry, and pluggable event
-// sinks (NDJSON stream, live progress ticker, in-memory capture).
+// pipeline: hierarchical trace spans, a lock-cheap metrics registry, a
+// bounded event journal with replay, and pluggable event sinks (NDJSON
+// stream, live progress ticker, in-memory capture).
 //
 // The paper's entire cost story — Figure 4's per-bit runtime profile, the
 // runtime and Mem columns of Tables I–IV — is about where time and memory go
@@ -20,17 +21,27 @@
 //
 // Event schema (one JSON object per line in the NDJSON sink):
 //
-//	{"ts":0.0012,"ev":"span_start","name":"rewrite","v":{"bits":16,"threads":8}}
+//	{"ts":0.0012,"ev":"span_start","name":"rewrite","span":3,"parent":1,
+//	    "v":{"bits":16,"threads":8}}
 //	{"ts":0.0013,"ev":"bit_start","name":"z3","v":{"bit":3}}
 //	{"ts":0.0051,"ev":"bit_finish","name":"z3","v":{"bit":3,"cone":120,
 //	    "subst":116,"peak":257,"final":31,"cancelled":180,"dur_ns":3812345}}
-//	{"ts":0.0920,"ev":"span_end","name":"rewrite","v":{"dur_ns":91834021}}
+//	{"ts":0.0920,"ev":"span_end","name":"rewrite","span":3,"parent":1,
+//	    "v":{"dur_ns":91834021}}
 //	{"ts":0.1001,"ev":"heap","v":{"heap_bytes":8437760,"watermark":9125888}}
 //
-// ts is seconds since the recorder was created. Well-known span names, in
-// pipeline order: parse, cone-sort, rewrite, extract, golden-model, verify,
-// plus consensus / localize on the fault-tolerant path and opt.simplify /
-// opt.balance-xor / opt.techmap / opt.sweep inside the synthesis flow.
+// ts is seconds since the recorder was created. span/parent are span IDs:
+// spans form a tree (extraction → parse / preflight / rewrite → per-cone
+// children → extract / golden-model / verify), rendered by TraceTree.
+// Events flowing through a Journal additionally carry a monotonic seq, the
+// resume cursor for SSE streaming; events from a per-job recorder (see
+// JobRecorder) carry the job ID in job.
+//
+// Well-known span names, in pipeline order: extraction, parse, preflight,
+// cone-sort, rewrite (with per-cone children named after the output bit),
+// extract, golden-model, verify, plus consensus / localize on the
+// fault-tolerant path and opt.simplify / opt.balance-xor / opt.techmap /
+// opt.sweep inside the synthesis flow.
 // Well-known metrics: substitutions, cancellations (mod-2 eliminations),
 // live_terms (gauge; watermark = peak resident terms), workers_busy (gauge),
 // bits_done, cone_sort_ns, heap_bytes (gauge; watermark = heap high-water
@@ -40,36 +51,52 @@
 // without an expression). Each abort additionally emits a cone_abort event
 // whose name is the abort status (budget / timeout / panic / cancelled /
 // error) and whose payload carries bit, cone_gates, substitutions and
-// peak_terms at the moment the governor stopped the cone.
+// peak_terms at the moment the governor stopped the cone. When the anomaly
+// stage is armed (EnableConeAnomalies), cones whose actual peak approaches
+// or exceeds the statically predicted no-cancellation bound emit
+// cone_anomaly events and bump the cone_anomalies counter.
 package obs
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Event is one telemetry record. Numeric payload lives in V so the schema
 // stays uniform across event types; absent keys mean "not applicable".
 type Event struct {
+	// Seq is the journal sequence number: assigned when the event passes
+	// through a Journal sink, 0 before that. Strictly monotonic per journal;
+	// the Last-Event-ID cursor of the SSE stream.
+	Seq uint64 `json:"seq,omitempty"`
 	// TS is seconds since the recorder started.
 	TS float64 `json:"ts"`
 	// Ev is the event type: span_start, span_end, bit_start, bit_finish,
-	// heap, or metric.
+	// heap, cone_abort, cone_anomaly, or a service event (job_*, drain_*).
 	Ev string `json:"ev"`
 	// Name is the span name, output-bit name, or metric name.
 	Name string `json:"name,omitempty"`
+	// Job tags events emitted on behalf of one service job (see JobRecorder);
+	// empty for process-wide telemetry.
+	Job string `json:"job,omitempty"`
+	// Span and Parent are trace-span IDs on span_start/span_end events,
+	// linking each span into the trace tree. 0 means "no span" / root.
+	Span   int64 `json:"span,omitempty"`
+	Parent int64 `json:"parent,omitempty"`
 	// V carries the numeric payload (counts, durations in ns, byte sizes).
 	V map[string]int64 `json:"v,omitempty"`
 }
 
 // Event types.
 const (
-	EvSpanStart = "span_start"
-	EvSpanEnd   = "span_end"
-	EvBitStart  = "bit_start"
-	EvBitFinish = "bit_finish"
-	EvHeap      = "heap"
+	EvSpanStart   = "span_start"
+	EvSpanEnd     = "span_end"
+	EvBitStart    = "bit_start"
+	EvBitFinish   = "bit_finish"
+	EvHeap        = "heap"
+	EvConeAnomaly = "cone_anomaly"
 )
 
 // Sink consumes telemetry events. Emit must be safe for concurrent use;
@@ -91,11 +118,18 @@ type Sink interface {
 }
 
 // SpanRecord is one completed phase with its wall-clock cost — the
-// phase-timing breakdown exported into JSON reports.
+// phase-timing breakdown exported into JSON reports. ID/Parent link the
+// record into the trace tree (see TraceTree); Attrs carries whatever the
+// span closed with (per-cone peak terms, retries, ...), Status the budget
+// verdict of governed cones ("" = ok).
 type SpanRecord struct {
-	Name     string        `json:"name"`
-	Start    time.Duration `json:"start_ns"` // offset from recorder start
-	Duration time.Duration `json:"dur_ns"`
+	Name     string           `json:"name"`
+	Start    time.Duration    `json:"start_ns"` // offset from recorder start
+	Duration time.Duration    `json:"dur_ns"`
+	ID       int64            `json:"id,omitempty"`
+	Parent   int64            `json:"parent,omitempty"`
+	Status   string           `json:"status,omitempty"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
 }
 
 // Recorder is the telemetry hub: it owns the metrics registry, fans events
@@ -104,30 +138,97 @@ type SpanRecord struct {
 type Recorder struct {
 	start    time.Time
 	registry *Registry
+	job      string        // stamped into every event (JobRecorder children)
+	ids      *atomic.Int64 // span-ID allocator, shared across JobRecorder children
+
+	// emitMu serializes sink delivery, and with it the AttachSink back-fill:
+	// a newly attached sink sees every journaled event exactly once, in
+	// order, because no Emit can interleave with the replay.
+	emitMu  sync.Mutex
+	sinks   []Sink
+	journal *Journal // first Journal among sinks, if any (back-fill source)
 
 	mu    sync.Mutex
-	sinks []Sink
 	spans []SpanRecord
+	open  []*Span // stack of StartSpan-opened phase spans (nesting context)
+	anom  *anomalyDetector
 }
 
 // NewRecorder returns a recorder fanning out to the given sinks (none is
-// valid: spans and metrics are still captured for Spans/Snapshot).
+// valid: spans and metrics are still captured for Spans/Snapshot). If one of
+// the sinks is a *Journal it becomes the recorder's replay buffer, backing
+// AttachSink's tail back-fill.
 func NewRecorder(sinks ...Sink) *Recorder {
-	return &Recorder{
+	r := &Recorder{
 		start:    time.Now(),
 		registry: NewRegistry(),
+		ids:      new(atomic.Int64),
 		sinks:    sinks,
 	}
+	for _, s := range sinks {
+		if j, ok := s.(*Journal); ok {
+			r.journal = j
+			break
+		}
+	}
+	return r
 }
 
-// AttachSink adds a sink; events emitted earlier are not replayed.
+// AttachSink adds a sink. When the recorder has a Journal among its sinks,
+// the journal's buffered tail is replayed into the new sink first, so late
+// subscribers (an SSE stream, a dashboard) observe the same prefix of the
+// event stream as everyone else — in order, with no gap and no overlap.
+// Without a journal, events emitted before AttachSink are not replayed.
 func (r *Recorder) AttachSink(s Sink) {
 	if r == nil || s == nil {
 		return
 	}
-	r.mu.Lock()
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	if r.journal != nil {
+		tail, _ := r.journal.ReplaySince(0)
+		for _, e := range tail {
+			s.Emit(e)
+		}
+	}
+	if j, ok := s.(*Journal); ok && r.journal == nil {
+		r.journal = j
+	}
 	r.sinks = append(r.sinks, s)
-	r.mu.Unlock()
+}
+
+// Journal returns the recorder's replay buffer: the first *Journal among
+// its sinks, or nil.
+func (r *Recorder) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	return r.journal
+}
+
+// JobRecorder returns a child recorder that stamps every event with the job
+// ID. The child shares the parent's metrics registry, sink set (as of this
+// call), span-ID allocator and time base, but keeps its own span list and
+// nesting stack, so concurrent jobs build independent trace trees over one
+// journal. A nil parent yields a nil (fully usable) child.
+func (r *Recorder) JobRecorder(job string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.emitMu.Lock()
+	sinks := append([]Sink(nil), r.sinks...)
+	j := r.journal
+	r.emitMu.Unlock()
+	return &Recorder{
+		start:    r.start,
+		registry: r.registry,
+		job:      job,
+		ids:      r.ids,
+		sinks:    sinks,
+		journal:  j,
+	}
 }
 
 // Metrics returns the recorder's registry. On a nil recorder it returns a
@@ -155,55 +256,186 @@ func (r *Recorder) Emit(ev string, name string, v map[string]int64) {
 	if r == nil {
 		return
 	}
-	e := Event{TS: time.Since(r.start).Seconds(), Ev: ev, Name: name, V: v}
-	r.mu.Lock()
-	sinks := r.sinks
-	r.mu.Unlock()
-	for _, s := range sinks {
-		s.Emit(e)
-	}
+	r.emitEvent(Event{Ev: ev, Name: name, V: v})
 }
 
-// Span is an in-flight phase timing; obtain with StartSpan, finish with End.
-// A nil Span (from a nil Recorder) is valid and End is a no-op.
+// EmitJob is Emit with an explicit job tag, for process-wide recorders
+// reporting on behalf of a job (queue lifecycle events).
+func (r *Recorder) EmitJob(job, ev, name string, v map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.emitEvent(Event{Ev: ev, Name: name, Job: job, V: v})
+}
+
+// emitEvent stamps the timestamp and job tag and delivers to every sink
+// under emitMu (see AttachSink for why delivery is serialized).
+func (r *Recorder) emitEvent(e Event) {
+	e.TS = time.Since(r.start).Seconds()
+	if e.Job == "" {
+		e.Job = r.job
+	}
+	r.emitMu.Lock()
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+	r.emitMu.Unlock()
+}
+
+// Span is an in-flight trace span; obtain with StartSpan or Child, finish
+// with End/EndWith. A nil Span (from a nil Recorder) is valid and every
+// method is a no-op. Spans carry per-span attributes (terms-peak, retries,
+// budget verdict, ...) into their SpanRecord and span_end event.
 type Span struct {
-	r     *Recorder
-	name  string
-	start time.Time
+	r      *Recorder
+	name   string
+	start  time.Time
+	id     int64
+	parent int64
+
+	mu     sync.Mutex
+	attrs  map[string]int64
+	status string
+	ended  bool
+}
+
+// newSpan allocates a span with a fresh ID under the given parent.
+func (r *Recorder) newSpan(name string, parent int64) *Span {
+	return &Span{r: r, name: name, start: time.Now(), id: r.ids.Add(1), parent: parent}
 }
 
 // StartSpan opens a phase span and emits a span_start event. The extra
-// payload v (may be nil) is attached to the start event.
+// payload v (may be nil) is attached to the start event. Phase spans nest
+// lexically: a StartSpan issued while another phase span is open becomes its
+// child (the stack discipline matches the pipeline's sequential phases). Use
+// Span.Child for concurrent children (per-cone spans under rewrite).
 func (r *Recorder) StartSpan(name string, v map[string]int64) *Span {
 	if r == nil {
 		return nil
 	}
-	r.Emit(EvSpanStart, name, v)
-	return &Span{r: r, name: name, start: time.Now()}
+	r.mu.Lock()
+	parent := int64(0)
+	if n := len(r.open); n > 0 {
+		parent = r.open[n-1].id
+	}
+	s := r.newSpan(name, parent)
+	r.open = append(r.open, s)
+	r.mu.Unlock()
+	r.emitEvent(Event{Ev: EvSpanStart, Name: name, Span: s.id, Parent: s.parent, V: v})
+	return s
+}
+
+// Child opens a concurrent child span under s. Unlike StartSpan it does not
+// enter the nesting stack, so workers can open per-cone children of the
+// rewrite span from any goroutine without racing the phase structure.
+func (s *Span) Child(name string, v map[string]int64) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.r.newSpan(name, s.id)
+	s.r.emitEvent(Event{Ev: EvSpanStart, Name: name, Span: c.id, Parent: c.parent, V: v})
+	return c
+}
+
+// SetAttr attaches a key to the span's attributes, surfaced in its
+// SpanRecord and span_end event.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// SetStatus records the span's outcome (a cone's budget verdict: ok,
+// budget, timeout, panic, cancelled, error). Empty means ok.
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.status = status
+	s.mu.Unlock()
 }
 
 // End closes the span, records it for Spans(), emits a span_end event, and
-// returns the span's duration.
-func (s *Span) End() time.Duration {
+// returns the span's duration. Idempotent: only the first End counts.
+func (s *Span) End() time.Duration { return s.EndWith(nil) }
+
+// EndWith is End with final attributes merged in (per-cone peak terms,
+// substitution count, retries, ...). The attributes ride on both the
+// SpanRecord and the span_end event's payload next to dur_ns.
+func (s *Span) EndWith(attrs map[string]int64) time.Duration {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return 0
+	}
+	s.ended = true
+	for k, v := range attrs {
+		if s.attrs == nil {
+			s.attrs = make(map[string]int64, len(attrs))
+		}
+		s.attrs[k] = v
+	}
+	final := s.attrs
+	status := s.status
+	s.mu.Unlock()
+
 	d := time.Since(s.start)
-	s.r.recordSpan(SpanRecord{Name: s.name, Start: s.start.Sub(s.r.start), Duration: d})
-	s.r.Emit(EvSpanEnd, s.name, map[string]int64{"dur_ns": int64(d)})
+	s.r.popOpen(s)
+	s.r.recordSpan(SpanRecord{
+		Name: s.name, Start: s.start.Sub(s.r.start), Duration: d,
+		ID: s.id, Parent: s.parent, Status: status, Attrs: final,
+	})
+	v := map[string]int64{"dur_ns": int64(d)}
+	for k, av := range final {
+		v[k] = av
+	}
+	s.r.emitEvent(Event{Ev: EvSpanEnd, Name: s.name, Span: s.id, Parent: s.parent, V: v})
 	return d
+}
+
+// popOpen removes s from the phase-nesting stack (top-down search: phase
+// spans close in LIFO order; Child spans were never pushed).
+func (r *Recorder) popOpen(s *Span) {
+	r.mu.Lock()
+	for i := len(r.open) - 1; i >= 0; i-- {
+		if r.open[i] == s {
+			r.open = append(r.open[:i], r.open[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
 }
 
 // RecordSpan records an already-measured phase (used for phases whose cost
 // is accumulated across workers rather than bracketed on one goroutine,
 // like the per-bit cone sorts; the duration is then CPU time summed over
-// workers, not wall time).
+// workers, not wall time). The record parents under the innermost open
+// phase span.
 func (r *Recorder) RecordSpan(name string, d time.Duration) {
 	if r == nil {
 		return
 	}
-	r.recordSpan(SpanRecord{Name: name, Start: time.Since(r.start) - d, Duration: d})
-	r.Emit(EvSpanEnd, name, map[string]int64{"dur_ns": int64(d)})
+	r.mu.Lock()
+	parent := int64(0)
+	if n := len(r.open); n > 0 {
+		parent = r.open[n-1].id
+	}
+	id := r.ids.Add(1)
+	r.mu.Unlock()
+	r.recordSpan(SpanRecord{Name: name, Start: time.Since(r.start) - d, Duration: d,
+		ID: id, Parent: parent})
+	r.emitEvent(Event{Ev: EvSpanEnd, Name: name, Span: id, Parent: parent,
+		V: map[string]int64{"dur_ns": int64(d)}})
 }
 
 func (r *Recorder) recordSpan(sr SpanRecord) {
@@ -243,6 +475,8 @@ type BitStats struct {
 }
 
 // BitFinish announces that an output bit completed, with its cost counters.
+// When the anomaly stage is armed (EnableConeAnomalies) the bit's actual
+// peak is compared against its predicted cost here.
 func (r *Recorder) BitFinish(bs BitStats) {
 	if r == nil {
 		return
@@ -259,6 +493,7 @@ func (r *Recorder) BitFinish(bs BitStats) {
 		"cancelled": int64(bs.Cancelled),
 		"dur_ns":    int64(bs.Duration),
 	})
+	r.checkConeAnomaly(bs)
 }
 
 // SampleHeap reads runtime.ReadMemStats once into the heap_bytes gauge
@@ -321,9 +556,9 @@ func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	sinks := r.sinks
-	r.mu.Unlock()
+	r.emitMu.Lock()
+	sinks := append([]Sink(nil), r.sinks...)
+	r.emitMu.Unlock()
 	var first error
 	for _, s := range sinks {
 		if err := s.Flush(); err != nil && first == nil {

@@ -108,6 +108,38 @@ func TestNilSafety(t *testing.T) {
 	if sp.End() != 0 {
 		t.Fatal("nil span End != 0")
 	}
+	if sp.EndWith(map[string]int64{"x": 1}) != 0 {
+		t.Fatal("nil span EndWith != 0")
+	}
+	if c := sp.Child("sub", nil); c != nil {
+		t.Fatal("nil span Child != nil")
+	}
+	sp.SetAttr("k", 1)
+	sp.SetStatus("budget")
+	rec.EmitJob("j1", "job_start", "j1", nil)
+	if jr := rec.JobRecorder("j1"); jr != nil {
+		t.Fatal("nil recorder JobRecorder != nil")
+	}
+	if rec.Journal() != nil {
+		t.Fatal("nil recorder Journal != nil")
+	}
+	rec.EnableConeAnomalies(map[int]int64{0: 100}, AnomalyConfig{})
+	if rec.TraceTree() != nil {
+		t.Fatal("nil recorder TraceTree != nil")
+	}
+	var j *Journal
+	j.Emit(Event{})
+	if j.LastSeq() != 0 || j.OldestSeq() != 0 || j.Subscribers() != 0 {
+		t.Fatal("nil journal leaked state")
+	}
+	if evs, trunc := j.ReplaySince(0); evs != nil || trunc {
+		t.Fatal("nil journal replayed events")
+	}
+	if j.Subscribe(0) != nil {
+		t.Fatal("nil journal Subscribe != nil")
+	}
+	var sub *Subscription
+	sub.Cancel()
 
 	reg := rec.Metrics()
 	c := reg.Counter("c")

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format, version 0.0.4 — the format every Prometheus-compatible
+// scraper (Prometheus, VictoriaMetrics, Grafana Agent, ...) ingests. The
+// mapping from the registry's three kinds:
+//
+//   - counters  → <ns>_<name>_total, TYPE counter
+//   - gauges    → <ns>_<name> plus <ns>_<name>_max (the watermark), TYPE gauge
+//   - histograms → <ns>_<name> with cumulative _bucket{le="..."} series over
+//     the power-of-two bounds of HistogramSnapshot.Bounds, _sum and _count,
+//     TYPE histogram
+//
+// Output is deterministic: families sort by name, buckets ascend. Metric
+// names are sanitized to the [a-zA-Z0-9_:] alphabet.
+func WritePrometheus(w io.Writer, s Snapshot, namespace string) error {
+	bw := bufio.NewWriter(w)
+	ns := sanitizeMetricName(namespace)
+	if ns != "" {
+		ns += "_"
+	}
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := ns + sanitizeMetricName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", fam, fam, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := ns + sanitizeMetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", fam, fam, s.Gauges[name])
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n%s_max %d\n", fam, fam, s.GaugeMaxes[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fam := ns + sanitizeMetricName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		cum := int64(0)
+		for _, b := range h.Bounds {
+			cum += b.Count
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", fam, b.Le, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", fam, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", fam, h.Count)
+	}
+	return bw.Flush()
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromSample is one parsed sample line of a text-format exposition.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family of a parsed exposition: its TYPE and the
+// samples that belong to it (for histograms that includes the _bucket,
+// _sum and _count series).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheusText is a minimal Prometheus text-format (0.0.4) parser —
+// just enough to validate our own exposition in tests and CI without any
+// external dependency. It groups samples into families by TYPE declaration,
+// checks that every sample belongs to a declared family (histogram samples
+// may carry the _bucket/_sum/_count suffixes), that histogram bucket counts
+// are cumulative and end in an le="+Inf" bucket matching _count, and that
+// every value parses as a float.
+func ParsePrometheusText(r io.Reader) (map[string]*PromFamily, error) {
+	families := make(map[string]*PromFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := families[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				families[name] = &PromFamily{Name: name, Type: typ}
+			}
+			continue // other comments are legal and ignored
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		fam := familyOf(families, sample.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("prom: line %d: sample %q has no TYPE declaration", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := validateHistogramFamily(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyOf resolves a sample name to its family, accounting for the
+// histogram/summary series suffixes.
+func familyOf(families map[string]*PromFamily, name string) *PromFamily {
+	if f, ok := families[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, found := families[base]; found && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+// parsePromSample parses `name{k="v",...} value` (timestamp suffixes are
+// not produced by our renderer and are rejected).
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	valueStr := strings.TrimSpace(rest)
+	if valueStr == "" || strings.ContainsAny(valueStr, " \t") {
+		return s, fmt.Errorf("expected exactly one value in %q", line)
+	}
+	v, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses `k1="v1",k2="v2"`. Escapes beyond \\, \" and \n
+// are not produced by the 0.0.4 format.
+func parsePromLabels(in string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(in) > 0 {
+		eq := strings.Index(in, "=")
+		if eq <= 0 || eq+1 >= len(in) || in[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", in)
+		}
+		key := strings.TrimSpace(in[:eq])
+		rest := in[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value in %q", in)
+		}
+		labels[key] = val.String()
+		in = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		in = strings.TrimSpace(in)
+	}
+	return labels, nil
+}
+
+// validateHistogramFamily checks the invariants Prometheus enforces at
+// scrape time: cumulative non-decreasing bucket counts ordered by le, a
+// trailing le="+Inf" bucket, and _count equal to the +Inf bucket.
+func validateHistogramFamily(fam *PromFamily) error {
+	type bucket struct {
+		le    float64
+		inf   bool
+		count float64
+	}
+	var buckets []bucket
+	var count float64
+	var haveCount bool
+	for _, s := range fam.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("prom: histogram %s: bucket without le label", fam.Name)
+			}
+			b := bucket{count: s.Value}
+			if le == "+Inf" {
+				b.inf = true
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("prom: histogram %s: bad le %q", fam.Name, le)
+				}
+				b.le = v
+			}
+			buckets = append(buckets, b)
+		case strings.HasSuffix(s.Name, "_count"):
+			count, haveCount = s.Value, true
+		}
+	}
+	if len(buckets) == 0 || !buckets[len(buckets)-1].inf {
+		return fmt.Errorf("prom: histogram %s: missing le=\"+Inf\" bucket", fam.Name)
+	}
+	for i := 1; i < len(buckets); i++ {
+		prev, cur := buckets[i-1], buckets[i]
+		if !cur.inf && cur.le <= prev.le {
+			return fmt.Errorf("prom: histogram %s: le not ascending at %v", fam.Name, cur.le)
+		}
+		if cur.count < prev.count {
+			return fmt.Errorf("prom: histogram %s: bucket counts not cumulative", fam.Name)
+		}
+	}
+	if haveCount && buckets[len(buckets)-1].count != count {
+		return fmt.Errorf("prom: histogram %s: +Inf bucket %v != count %v",
+			fam.Name, buckets[len(buckets)-1].count, count)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// populateRegistry fills a recorder with one metric of each kind.
+func populateRegistry(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder()
+	m := rec.Metrics()
+	m.Counter("substitutions").Add(1234)
+	g := m.Gauge("live_terms")
+	g.Set(900)
+	g.Set(120)
+	h := m.Histogram("peak_terms")
+	for _, v := range []int64{0, 1, 3, 7, 8, 300, 70000} {
+		h.Observe(v)
+	}
+	return rec
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	rec := populateRegistry(t)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, rec.Snapshot(), "gfre"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gfre_substitutions_total counter",
+		"gfre_substitutions_total 1234",
+		"# TYPE gfre_live_terms gauge",
+		"gfre_live_terms 120",
+		"gfre_live_terms_max 900",
+		"# TYPE gfre_peak_terms histogram",
+		`gfre_peak_terms_bucket{le="+Inf"} 7`,
+		"gfre_peak_terms_sum 70319",
+		"gfre_peak_terms_count 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusRoundTrip: the renderer's output must satisfy our own
+// parser's structural validation, and the parsed numbers must agree with
+// both the JSON snapshot and its exported histogram Bounds — the
+// "text exposition and /metrics JSON agree" guarantee.
+func TestPrometheusRoundTrip(t *testing.T) {
+	rec := populateRegistry(t)
+	snap := rec.Snapshot()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, snap, "gfre"); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheusText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+
+	if c := fams["gfre_substitutions_total"]; c == nil || c.Type != "counter" ||
+		len(c.Samples) != 1 || c.Samples[0].Value != float64(snap.Counters["substitutions"]) {
+		t.Fatalf("counter family: %+v", c)
+	}
+	if g := fams["gfre_live_terms"]; g == nil || g.Samples[0].Value != float64(snap.Gauges["live_terms"]) {
+		t.Fatalf("gauge family: %+v", g)
+	}
+	if g := fams["gfre_live_terms_max"]; g == nil || g.Samples[0].Value != float64(snap.GaugeMaxes["live_terms"]) {
+		t.Fatalf("gauge max family: %+v", g)
+	}
+
+	h := fams["gfre_peak_terms"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram family: %+v", h)
+	}
+	hs := snap.Histograms["peak_terms"]
+	// Each exported Bound must appear as a bucket whose cumulative count is
+	// the sum of bucket counts up to it.
+	cum := int64(0)
+	bucketByLe := map[string]float64{}
+	for _, s := range h.Samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			bucketByLe[s.Labels["le"]] = s.Value
+		}
+	}
+	for _, b := range hs.Bounds {
+		cum += b.Count
+		got, ok := bucketByLe[strconv.FormatInt(b.Le, 10)]
+		if !ok {
+			t.Fatalf("bucket le=%d missing from exposition", b.Le)
+		}
+		if got != float64(cum) {
+			t.Fatalf("bucket le=%d cumulative %v, want %d", b.Le, got, cum)
+		}
+		// Bounds and the legacy map must agree bucket by bucket.
+		if hs.Buckets[b.Le] != b.Count {
+			t.Fatalf("Bounds/Buckets disagree at le=%d: %d vs %d", b.Le, b.Count, hs.Buckets[b.Le])
+		}
+	}
+	if bucketByLe["+Inf"] != float64(hs.Count) {
+		t.Fatalf("+Inf bucket %v != count %d", bucketByLe["+Inf"], hs.Count)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"orphan_sample 1\n",                                                   // no TYPE
+		"# TYPE x counter\nx notanumber\n",                                    // bad value
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n",               // no +Inf
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n", // not cumulative
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\n",            // +Inf != count
+	}
+	for _, src := range cases {
+		if _, err := ParsePrometheusText(strings.NewReader(src)); err == nil {
+			t.Fatalf("parser accepted malformed exposition:\n%s", src)
+		}
+	}
+}
+
+// TestPrometheusFileScrape validates a scraped /metrics body saved to the
+// file named by GFRE_PROM_FILE — the CI smoke job curls a live gfred and
+// runs exactly this test against the capture.
+func TestPrometheusFileScrape(t *testing.T) {
+	path := os.Getenv("GFRE_PROM_FILE")
+	if path == "" {
+		t.Skip("GFRE_PROM_FILE not set (CI scrape validation only)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fams, err := ParsePrometheusText(f)
+	if err != nil {
+		t.Fatalf("scraped exposition invalid: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("scraped exposition has no metric families")
+	}
+	for _, want := range []string{"gfre_jobs_submitted_total", "gfre_queue_depth"} {
+		if fams[want] == nil {
+			t.Fatalf("scrape lacks %s; families: %d", want, len(fams))
+		}
+	}
+}

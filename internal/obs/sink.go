@@ -49,11 +49,19 @@ func (s *NDJSONSink) Flush() error {
 // boundary and per completed output bit, intended for stderr while a large
 // extraction runs. It learns the total bit count from the rewrite span's
 // start event, so completion lines read "[ 42/163]".
+//
+// Safe for concurrent Emit: the cone workers all finish bits in parallel,
+// so the done/total counters sit behind the sink's mutex and every ticker
+// line is composed in a private buffer and handed to the writer as ONE
+// Write call — concurrent emitters can neither tear a line nor misnumber
+// the [done/total] sequence.
 type ProgressSink struct {
-	mu    sync.Mutex
-	w     io.Writer
-	total int64
-	done  int64
+	mu          sync.Mutex
+	w           io.Writer
+	buf         []byte
+	total       int64
+	done        int64
+	rewriteSpan int64 // span ID of the current rewrite phase
 }
 
 // NewProgressSink writes the ticker to w.
@@ -62,28 +70,44 @@ func NewProgressSink(w io.Writer) *ProgressSink { return &ProgressSink{w: w} }
 func (s *ProgressSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.buf = s.buf[:0]
 	switch e.Ev {
 	case EvSpanStart:
 		if e.Name == "rewrite" {
 			s.total = e.V["bits"]
 			s.done = 0
-			fmt.Fprintf(s.w, "[obs %8.3fs] rewrite: %d bits in %d threads\n",
+			s.rewriteSpan = e.Span
+			s.buf = fmt.Appendf(s.buf, "[obs %8.3fs] rewrite: %d bits in %d threads\n",
 				e.TS, e.V["bits"], e.V["threads"])
+			break
+		}
+		// Per-cone child spans under rewrite would double the ticker volume;
+		// the bit_finish lines already cover them.
+		if s.rewriteSpan != 0 && e.Parent == s.rewriteSpan {
 			return
 		}
-		fmt.Fprintf(s.w, "[obs %8.3fs] %s...\n", e.TS, e.Name)
+		s.buf = fmt.Appendf(s.buf, "[obs %8.3fs] %s...\n", e.TS, e.Name)
 	case EvSpanEnd:
-		fmt.Fprintf(s.w, "[obs %8.3fs] %s done in %v\n",
+		if s.rewriteSpan != 0 && e.Parent == s.rewriteSpan && e.Name != "cone-sort" {
+			return
+		}
+		s.buf = fmt.Appendf(s.buf, "[obs %8.3fs] %s done in %v\n",
 			e.TS, e.Name, time.Duration(e.V["dur_ns"]).Round(time.Microsecond))
 	case EvBitFinish:
 		s.done++
-		fmt.Fprintf(s.w, "[obs %8.3fs] [%3d/%3d] %s: %d subst, peak %d terms, %d cancelled, %v\n",
+		s.buf = fmt.Appendf(s.buf, "[obs %8.3fs] [%3d/%3d] %s: %d subst, peak %d terms, %d cancelled, %v\n",
 			e.TS, s.done, s.total, e.Name, e.V["subst"], e.V["peak"], e.V["cancelled"],
 			time.Duration(e.V["dur_ns"]).Round(time.Microsecond))
+	case EvConeAnomaly:
+		s.buf = fmt.Appendf(s.buf, "[obs %8.3fs] ANOMALY %s: peak %d terms is %d%% of the no-cancellation bound %d (healthy median %d%%)\n",
+			e.TS, e.Name, e.V["peak"], e.V["ratio_pct"], e.V["predicted"], e.V["median_pct"])
 	case EvHeap:
-		fmt.Fprintf(s.w, "[obs %8.3fs] heap %s (watermark %s)\n",
+		s.buf = fmt.Appendf(s.buf, "[obs %8.3fs] heap %s (watermark %s)\n",
 			e.TS, humanBytes(e.V["heap_bytes"]), humanBytes(e.V["watermark"]))
+	default:
+		return
 	}
+	s.w.Write(s.buf) //nolint:errcheck — best-effort ticker output
 }
 
 // Flush is a no-op (every line is written eagerly).

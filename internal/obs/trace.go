@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TraceNode is one span in the rendered trace tree: the hierarchical view
+// of a run (extraction → parse / preflight / rewrite → per-cone children →
+// extract / golden-model / verify) that gfre's -trace-tree flag prints and
+// the JSON report embeds.
+type TraceNode struct {
+	Name     string           `json:"name"`
+	Start    time.Duration    `json:"start_ns"` // offset from recorder start
+	Duration time.Duration    `json:"dur_ns"`
+	Status   string           `json:"status,omitempty"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+	Children []*TraceNode     `json:"children,omitempty"`
+}
+
+// TraceTree assembles the recorder's completed spans into their parent/child
+// forest, children ordered by start time. Spans whose parent never completed
+// (or predates span IDs) surface as roots.
+func (r *Recorder) TraceTree() []*TraceNode {
+	if r == nil {
+		return nil
+	}
+	return BuildTraceTree(r.Spans())
+}
+
+// BuildTraceTree assembles SpanRecords (e.g. decoded from a JSON report)
+// into a trace forest.
+func BuildTraceTree(spans []SpanRecord) []*TraceNode {
+	nodes := make(map[int64]*TraceNode, len(spans))
+	parents := make(map[int64]int64, len(spans))
+	order := make([]int64, 0, len(spans))
+	for i, sr := range spans {
+		id := sr.ID
+		if id == 0 {
+			// Pre-trace records carry no ID; synthesize a private negative one
+			// so they still render (as roots).
+			id = -int64(i) - 1
+		}
+		nodes[id] = &TraceNode{
+			Name: sr.Name, Start: sr.Start, Duration: sr.Duration,
+			Status: sr.Status, Attrs: sr.Attrs,
+		}
+		parents[id] = sr.Parent
+		order = append(order, id)
+	}
+	var roots []*TraceNode
+	for _, id := range order {
+		n := nodes[id]
+		if p, ok := nodes[parents[id]]; ok && parents[id] != 0 {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*TraceNode) {
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].Start < ns[j].Start })
+}
+
+// WriteTraceTree renders the forest as an indented text tree:
+//
+//	extraction                          52.11ms
+//	├─ preflight                         1.20ms
+//	├─ rewrite                          44.03ms  bits=16 threads=8
+//	│  ├─ z0                             1.10ms  peak=7 subst=12
+//	│  ...
+//	└─ verify                            2.51ms
+func WriteTraceTree(w io.Writer, roots []*TraceNode) {
+	for _, n := range roots {
+		writeNode(w, n, "", "")
+	}
+}
+
+func writeNode(w io.Writer, n *TraceNode, branch, indent string) {
+	label := branch + n.Name
+	if n.Status != "" && n.Status != "ok" {
+		label += " [" + n.Status + "]"
+	}
+	fmt.Fprintf(w, "%-40s %12s%s\n", label,
+		n.Duration.Round(10*time.Microsecond), attrString(n.Attrs))
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			writeNode(w, c, indent+"└─ ", indent+"   ")
+		} else {
+			writeNode(w, c, indent+"├─ ", indent+"│  ")
+		}
+	}
+}
+
+// attrString renders span attributes deterministically: "  k1=v1 k2=v2".
+func attrString(attrs map[string]int64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		if k == "dur_ns" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := " "
+	for _, k := range keys {
+		out += fmt.Sprintf(" %s=%d", k, attrs[k])
+	}
+	return out
+}

@@ -128,15 +128,44 @@ func TestOutputsWithRecorder(t *testing.T) {
 		}
 	}
 
-	// Span bookkeeping: one rewrite span (wall) and one cone-sort span (CPU).
-	starts := mem.ByType(obs.EvSpanStart)
-	if len(starts) != 1 || starts[0].Name != "rewrite" ||
-		starts[0].V["bits"] != int64(m) || starts[0].V["threads"] != 4 {
-		t.Errorf("rewrite span_start %+v", starts)
+	// Span bookkeeping: one rewrite span (wall), one cone-sort span (CPU),
+	// and one child span per output cone parented under rewrite.
+	var rewriteStarts, coneStarts []obs.Event
+	for _, e := range mem.ByType(obs.EvSpanStart) {
+		if e.Name == "rewrite" {
+			rewriteStarts = append(rewriteStarts, e)
+		} else {
+			coneStarts = append(coneStarts, e)
+		}
+	}
+	if len(rewriteStarts) != 1 || rewriteStarts[0].V["bits"] != int64(m) ||
+		rewriteStarts[0].V["threads"] != 4 {
+		t.Errorf("rewrite span_start %+v", rewriteStarts)
+	}
+	if len(coneStarts) != m {
+		t.Errorf("cone span_start events: %d, want %d", len(coneStarts), m)
+	}
+	for _, e := range coneStarts {
+		if e.Parent != rewriteStarts[0].Span {
+			t.Errorf("cone span %q parent %d, want rewrite span %d", e.Name, e.Parent, rewriteStarts[0].Span)
+		}
 	}
 	spanNames := map[string]bool{}
+	coneSpans := 0
 	for _, sp := range rec.Spans() {
 		spanNames[sp.Name] = true
+		if sp.Parent != 0 && sp.Parent == rewriteStarts[0].Span && sp.Name != "cone-sort" {
+			coneSpans++
+			if sp.Status != string(StatusOK) {
+				t.Errorf("cone span %q status %q", sp.Name, sp.Status)
+			}
+			if sp.Attrs["peak_terms"] <= 0 || sp.Attrs["subst"] <= 0 {
+				t.Errorf("cone span %q attrs %v", sp.Name, sp.Attrs)
+			}
+		}
+	}
+	if coneSpans != m {
+		t.Errorf("cone child spans recorded: %d, want %d", coneSpans, m)
 	}
 	if !spanNames["rewrite"] || !spanNames["cone-sort"] {
 		t.Errorf("spans %v, want rewrite and cone-sort", spanNames)

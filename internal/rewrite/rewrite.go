@@ -301,6 +301,11 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 					continue
 				}
 				rec.BitStart(bit, names[bit])
+				// Per-cone child span under the rewrite phase: concurrent
+				// siblings in the trace tree, one per output bit. Child is
+				// nil-safe and the attrs ride on EndWith, so the nil-recorder
+				// path stays allocation-free.
+				coneSpan := span.Child(names[bit], nil)
 				h.busyAdd(1)
 				br, err, retried := rewriteGoverned(n, outs[bit], h, opts, ctx)
 				h.busyAdd(-1)
@@ -309,6 +314,24 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 				}
 				br.Bit = bit
 				br.Name = names[bit]
+				if coneSpan != nil {
+					retriedV := int64(0)
+					if retried {
+						retriedV = 1
+					}
+					if br.Status != "" {
+						coneSpan.SetStatus(string(br.Status))
+					} else if err == nil {
+						coneSpan.SetStatus(string(StatusOK))
+					} else {
+						coneSpan.SetStatus(string(StatusError))
+					}
+					coneSpan.EndWith(map[string]int64{
+						"bit": int64(bit), "cone_gates": int64(br.ConeGates),
+						"subst": int64(br.Substitutions), "peak_terms": int64(br.PeakTerms),
+						"cancelled": int64(br.Cancelled), "retries": retriedV,
+					})
+				}
 				if err == nil {
 					br.Status = StatusOK
 					res.Bits[bit] = br

@@ -1,0 +1,18 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// liveHTML is the self-contained live dashboard: stdlib-only, no external
+// assets, fed entirely by the /events SSE stream.
+//
+//go:embed live.html
+var liveHTML []byte
+
+// handleLive serves the dashboard page.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(liveHTML) //nolint:errcheck — client went away, nothing to do
+}

@@ -70,8 +70,15 @@ type Config struct {
 	// (0 saves on every cone; <0 selects the package default).
 	CheckpointThrottle time.Duration
 	// Recorder receives queue metrics (jobs_* counters, queue_depth and
-	// jobs_running gauges) and per-job telemetry. nil disables.
+	// jobs_running gauges) and per-job telemetry. nil creates a fresh one —
+	// the queue always records, because the SSE event stream and the live
+	// dashboard are fed from it.
 	Recorder *obs.Recorder
+	// Journal is the bounded event buffer backing SSE replay. nil creates
+	// one with obs.DefaultJournalCapacity. NewQueue attaches it to the
+	// recorder itself; callers must NOT AttachSink the same journal, or
+	// every event is delivered twice.
+	Journal *obs.Journal
 	// RetrySeed seeds the backoff jitter (0 = wall clock).
 	RetrySeed int64
 }
@@ -85,8 +92,9 @@ type jobEntry struct {
 // Queue is a bounded durable job queue: every accepted job is on disk
 // before Submit returns, and the spool replays across daemon restarts.
 type Queue struct {
-	cfg Config
-	rec *obs.Recorder
+	cfg     Config
+	rec     *obs.Recorder
+	journal *obs.Journal
 
 	runCtx    context.Context // cancelled to abort in-flight extractions
 	cancelRun context.CancelFunc
@@ -97,7 +105,8 @@ type Queue struct {
 	draining bool
 	rng      *rand.Rand
 
-	wg sync.WaitGroup
+	wg   sync.WaitGroup
+	done chan struct{} // closed when Drain has fully finished
 }
 
 // NewQueue creates the spool directory, replays any jobs a previous daemon
@@ -125,14 +134,32 @@ func NewQueue(cfg Config) (*Queue, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	// The observability plane is always on: a recorder feeds metrics and the
+	// journal buffers the event stream for SSE replay. An explicit Journal
+	// (or one already adopted by the caller's recorder) is respected;
+	// otherwise a default-capacity one is created and attached here.
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.NewRecorder()
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = cfg.Recorder.Journal()
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = obs.NewJournal(0)
+	}
+	if cfg.Recorder.Journal() != cfg.Journal {
+		cfg.Recorder.AttachSink(cfg.Journal)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
 		cfg:       cfg,
 		rec:       cfg.Recorder,
+		journal:   cfg.Journal,
 		runCtx:    ctx,
 		cancelRun: cancel,
 		jobs:      make(map[string]*jobEntry),
 		rng:       rand.New(rand.NewSource(seed)),
+		done:      make(chan struct{}),
 	}
 	// The channel must hold every job that can ever be runnable at once, so
 	// sends under mu never block: live capacity plus whatever a previous
@@ -343,7 +370,20 @@ func (q *Queue) Drain(grace time.Duration) {
 	close(q.runnable)
 	q.wg.Wait()
 	q.emit("drain_end", "", map[string]int64{"active_left": int64(q.Active())})
+	close(q.done)
 }
+
+// Done returns a channel closed once Drain has fully finished — the signal
+// event-stream handlers use to end their streams instead of holding client
+// connections open across shutdown.
+func (q *Queue) Done() <-chan struct{} { return q.done }
+
+// Journal returns the bounded event buffer the queue's telemetry flows
+// through; SSE handlers subscribe and replay from it.
+func (q *Queue) Journal() *obs.Journal { return q.journal }
+
+// Recorder returns the queue's recorder (never nil once NewQueue returns).
+func (q *Queue) Recorder() *obs.Recorder { return q.rec }
 
 // worker pulls runnable job IDs until the queue closes.
 func (q *Queue) worker() {
@@ -471,7 +511,10 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 		// budget/deadline knobs either way.
 		Preflight: true,
 		Ctx:       q.runCtx,
-		Recorder:  q.rec,
+		// Per-attempt child recorder: every rewrite/extract event and span of
+		// this attempt carries the job ID, so SSE consumers and the live
+		// dashboard can follow one job through the shared journal.
+		Recorder: q.rec.JobRecorder(id),
 		// Resume is unconditional: with no snapshot on disk it is a cold
 		// start, and after a crash or drain it reuses the completed cones.
 		Checkpoint: checkpoint.NewManager(q.ckptDir(id), q.cfg.CheckpointThrottle),
@@ -528,7 +571,14 @@ func permanentError(err error) bool {
 		errors.Is(err, extract.ErrConsensus)
 }
 
-// counter/gauge/emit are nil-safe metric helpers.
-func (q *Queue) counter(name string) *obs.Counter         { return q.rec.Metrics().Counter(name) }
-func (q *Queue) gauge(name string) *obs.Gauge             { return q.rec.Metrics().Gauge(name) }
-func (q *Queue) emit(ev, name string, v map[string]int64) { q.rec.Emit(ev, name, v) }
+// counter/gauge/emit are nil-safe metric helpers. Lifecycle events carry the
+// job ID in both Name (display) and Job (stream filtering) fields.
+func (q *Queue) counter(name string) *obs.Counter { return q.rec.Metrics().Counter(name) }
+func (q *Queue) gauge(name string) *obs.Gauge     { return q.rec.Metrics().Gauge(name) }
+func (q *Queue) emit(ev, id string, v map[string]int64) {
+	if id == "" {
+		q.rec.Emit(ev, "", v)
+		return
+	}
+	q.rec.EmitJob(id, ev, id, v)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/galoisfield/gfre/internal/obs"
 )
@@ -18,16 +19,24 @@ const maxUploadBytes = 256 << 20
 
 // Server is the gfred HTTP API over a Queue.
 //
-//	POST /jobs      submit a job (JSON JobSpec, or a raw netlist body)
-//	GET  /jobs      list known jobs, newest first
-//	GET  /jobs/{id} one job's state (includes the result when done)
-//	GET  /healthz   liveness: 200 while the process serves
-//	GET  /readyz    readiness: 200 while accepting jobs, 503 when draining
-//	GET  /metrics   JSON snapshot of the metrics registry
+//	POST /jobs             submit a job (JSON JobSpec, or a raw netlist body)
+//	GET  /jobs             list known jobs, newest first
+//	GET  /jobs/{id}        one job's state (includes the result when done)
+//	GET  /jobs/{id}/events one job's telemetry as SSE (ends at the terminal event)
+//	GET  /events           the whole telemetry journal as SSE
+//	GET  /debug/live       self-contained live dashboard over /events
+//	GET  /healthz          liveness: 200 while the process serves
+//	GET  /readyz           readiness: 200 while accepting jobs, 503 when draining
+//	GET  /metrics          metrics registry: JSON by default, Prometheus text
+//	                       format 0.0.4 under Accept: text/plain (or
+//	                       ?format=prometheus)
 type Server struct {
 	queue *Queue
 	rec   *obs.Recorder
 	mux   *http.ServeMux
+	// heartbeat overrides the SSE keep-alive period (0 = defaultHeartbeat);
+	// tests shrink it to observe heartbeats without waiting 15s.
+	heartbeat time.Duration
 }
 
 // NewServer wires the API around a queue. rec backs GET /metrics; use the
@@ -37,6 +46,9 @@ func NewServer(q *Queue, rec *obs.Recorder) *Server {
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /debug/live", s.handleLive)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -126,7 +138,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ready\n") //nolint:errcheck — best-effort readiness body
 }
 
+// handleMetrics content-negotiates the registry snapshot: Prometheus text
+// format 0.0.4 when the client asks for text/plain or openmetrics (that is
+// what scrapers send), or with ?format=prometheus; indented JSON otherwise,
+// which keeps curl and the existing tooling unchanged.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	accept := r.Header.Get("Accept")
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.rec.Snapshot(), "gfre") //nolint:errcheck — client went away
+		return
+	}
 	writeJSON(w, http.StatusOK, s.rec.Snapshot())
 }
 

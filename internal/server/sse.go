@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// defaultHeartbeat paces the SSE keep-alive comments; proxies and LBs drop
+// idle streams well above this.
+const defaultHeartbeat = 15 * time.Second
+
+// handleEvents streams the whole telemetry journal as Server-Sent Events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.streamEvents(w, r, "")
+}
+
+// handleJobEvents streams one job's telemetry. The stream ends with the
+// job's terminal event (job_done / job_failed).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.queue.Get(id); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.streamEvents(w, r, id)
+}
+
+// streamEvents is the shared SSE loop. Protocol:
+//
+//   - Journal events are sent as default "message" events whose data is the
+//     Event JSON and whose SSE id is the journal sequence number, so a
+//     reconnecting client resumes exactly where it left off by sending
+//     Last-Event-ID (the ?last_id= query parameter works as a fallback for
+//     clients that cannot set headers).
+//   - On a fresh connect, or when the client's cursor has fallen off the
+//     bounded journal, an "event: snapshot" frame with the current job
+//     state(s) precedes the event flow — the client rebuilds from state,
+//     then follows increments.
+//   - Heartbeat comments (": hb") keep intermediaries from reaping the
+//     stream.
+//   - The stream closes after the job's terminal event (per-job streams),
+//     when the client disconnects, or when the queue finishes draining.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job string) {
+	j := s.queue.Journal()
+	if j == nil {
+		httpError(w, http.StatusServiceUnavailable, "event journal unavailable")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var since uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		since, _ = strconv.ParseUint(v, 10, 64)
+	} else if v := r.URL.Query().Get("last_id"); v != "" {
+		since, _ = strconv.ParseUint(v, 10, 64)
+	}
+
+	// Subscribe BEFORE replaying so nothing falls between the replayed tail
+	// and the live feed; the overlap is deduplicated by sequence number.
+	sub := j.Subscribe(512)
+	defer sub.Cancel()
+	replay, truncated := j.ReplaySince(since)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	var last uint64
+	// writeEvent delivers one event; false means the stream is complete.
+	writeEvent := func(e obs.Event) bool {
+		if e.Seq != 0 {
+			if e.Seq <= last {
+				return true // replay/live overlap
+			}
+			last = e.Seq
+		}
+		if job != "" && e.Job != job {
+			return true
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			return true
+		}
+		if e.Seq != 0 {
+			fmt.Fprintf(w, "id: %d\n", e.Seq)
+		}
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		fl.Flush()
+		return !(job != "" && (e.Ev == "job_done" || e.Ev == "job_failed"))
+	}
+
+	if since == 0 || truncated {
+		s.writeSnapshot(w, job)
+		fl.Flush()
+	}
+	for _, e := range replay {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	if job != "" {
+		// The job may have ended before this client connected (and its
+		// terminal event may already have been evicted from the journal):
+		// close the stream with a synthetic terminal frame instead of
+		// holding the connection open forever.
+		if st, err := s.queue.Get(job); err == nil && st.Status.Terminal() {
+			ev := "job_done"
+			if st.Status == StatusFailed {
+				ev = "job_failed"
+			}
+			writeEvent(obs.Event{Ev: ev, Name: job, Job: job})
+			return
+		}
+	}
+
+	hb := s.heartbeat
+	if hb <= 0 {
+		hb = defaultHeartbeat
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.queue.Done():
+			// Drain finished: deliver whatever is still buffered (the
+			// terminal job events precede drain_end in the journal), then
+			// end the stream so shutdown is not held hostage by clients.
+			for {
+				select {
+				case e, ok := <-sub.C:
+					if !ok || !writeEvent(e) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case e, ok := <-sub.C:
+			if !ok {
+				// Lagged out: the journal closed this subscription. The
+				// client reconnects with Last-Event-ID and resumes (or gets
+				// a snapshot if the gap outgrew the ring).
+				return
+			}
+			if !writeEvent(e) {
+				return
+			}
+		case <-ticker.C:
+			fmt.Fprint(w, ": hb\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// writeSnapshot emits the "event: snapshot" frame: one job's state on a
+// per-job stream, the full job list otherwise.
+func (s *Server) writeSnapshot(w http.ResponseWriter, job string) {
+	var v any
+	if job != "" {
+		st, err := s.queue.Get(job)
+		if err != nil {
+			return
+		}
+		v = st
+	} else {
+		v = s.queue.List()
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: snapshot\ndata: %s\n\n", data)
+}

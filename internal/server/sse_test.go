@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	ID      uint64
+	Event   string // "" = default "message"
+	Data    string
+	Comment bool // a bare ": hb" keep-alive
+}
+
+// readFrame parses the next SSE frame off the stream; io.EOF when the server
+// closed it.
+func readFrame(br *bufio.Reader) (sseFrame, error) {
+	f := sseFrame{}
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if seen {
+				return f, nil
+			}
+			continue
+		}
+		seen = true
+		switch {
+		case strings.HasPrefix(line, ":"):
+			f.Comment = true
+		case strings.HasPrefix(line, "id: "):
+			f.ID, _ = strconv.ParseUint(line[4:], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			f.Event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			f.Data = line[6:]
+		}
+	}
+}
+
+// openStream GETs an SSE endpoint with optional Last-Event-ID.
+func openStream(t *testing.T, ctx context.Context, url, lastID string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, body string) *JobState {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	return decodeState(t, resp)
+}
+
+// TestSSEJobStreamLifecycle: a fresh per-job stream opens with a snapshot
+// frame, carries the job's telemetry (including the per-bit rewriting flow)
+// with journal sequence numbers as SSE ids, and closes itself at job_done.
+func TestSSEJobStreamLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submitJob(t, ts, eqnText(t, 8))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.URL+"/jobs/"+st.ID+"/events", "")
+	defer resp.Body.Close()
+
+	first, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "snapshot" {
+		t.Fatalf("first frame %+v, want snapshot", first)
+	}
+	snap := &JobState{}
+	if err := json.Unmarshal([]byte(first.Data), snap); err != nil || snap.ID != st.ID {
+		t.Fatalf("snapshot payload %q: %v", first.Data, err)
+	}
+
+	var evs []string
+	var lastID uint64
+	sawBits := false
+	for {
+		f, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Comment {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(f.Data), &e); err != nil {
+			t.Fatalf("bad event payload %q: %v", f.Data, err)
+		}
+		if e.Job != st.ID {
+			t.Fatalf("foreign job event leaked into per-job stream: %+v", e)
+		}
+		if f.ID != 0 {
+			if f.ID <= lastID {
+				t.Fatalf("SSE ids not increasing: %d after %d", f.ID, lastID)
+			}
+			lastID = f.ID
+		}
+		if e.Ev == obs.EvBitFinish {
+			sawBits = true
+		}
+		evs = append(evs, e.Ev)
+	}
+	// Stream must have closed at the terminal event.
+	if len(evs) == 0 || evs[len(evs)-1] != "job_done" {
+		t.Fatalf("stream events %v, want job_done last", evs)
+	}
+	if !sawBits {
+		t.Fatalf("per-job stream carried no bit_finish telemetry: %v", evs)
+	}
+}
+
+// TestSSEResumeWithLastEventID: a reconnecting client with a valid cursor
+// gets no snapshot and resumes exactly after its last seq.
+func TestSSEResumeWithLastEventID(t *testing.T) {
+	q, ts := newTestServer(t, Config{})
+	st := submitJob(t, ts, eqnText(t, 8))
+	pollDone(t, ts, st.ID)
+
+	j := q.Journal()
+	cursor := j.LastSeq() - 3 // client saw everything but the last 3 events
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.URL+"/jobs/"+st.ID+"/events", strconv.FormatUint(cursor, 10))
+	defer resp.Body.Close()
+
+	want := cursor
+	for {
+		f, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Event == "snapshot" {
+			t.Fatal("valid cursor got a snapshot frame")
+		}
+		if f.Comment || f.ID == 0 {
+			continue
+		}
+		if f.ID <= want {
+			t.Fatalf("replayed id %d not after cursor %d", f.ID, want)
+		}
+		want = f.ID
+	}
+	if want == cursor {
+		t.Fatal("resume delivered nothing")
+	}
+}
+
+// TestSSESnapshotOnTruncatedCursor: a cursor that has fallen off the bounded
+// journal cannot be caught up event-by-event — the server must say so with a
+// snapshot frame, then resume from the oldest retained event.
+func TestSSESnapshotOnTruncatedCursor(t *testing.T) {
+	q, ts := newTestServer(t, Config{Journal: obs.NewJournal(4)})
+	st := submitJob(t, ts, eqnText(t, 8))
+	pollDone(t, ts, st.ID)
+
+	j := q.Journal()
+	if j.OldestSeq() <= 2 {
+		t.Fatalf("journal did not evict (oldest %d); test needs a stale cursor", j.OldestSeq())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.URL+"/jobs/"+st.ID+"/events", "1")
+	defer resp.Body.Close()
+
+	first, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "snapshot" {
+		t.Fatalf("truncated cursor: first frame %+v, want snapshot", first)
+	}
+	snap := &JobState{}
+	if err := json.Unmarshal([]byte(first.Data), snap); err != nil || snap.Status != StatusDone {
+		t.Fatalf("snapshot payload %q: %v", first.Data, err)
+	}
+	// Whatever follows must come from the retained window only, and the
+	// stream still terminates (synthetic terminal frame if job_done itself
+	// was evicted).
+	sawEnd := false
+	for {
+		f, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != 0 && f.ID < j.OldestSeq() {
+			t.Fatalf("frame id %d older than retention %d", f.ID, j.OldestSeq())
+		}
+		if strings.Contains(f.Data, `"job_done"`) {
+			sawEnd = true
+		}
+	}
+	if !sawEnd {
+		t.Fatal("stream ended without a terminal job_done frame")
+	}
+}
+
+// TestSSEClientDisconnectReleasesSubscription: closing the client side must
+// tear the handler down and deregister its journal subscription.
+func TestSSEClientDisconnectReleasesSubscription(t *testing.T) {
+	q, ts := newTestServer(t, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	resp, br := openStream(t, ctx, ts.URL+"/events", "")
+	defer resp.Body.Close()
+	if _, err := readFrame(br); err != nil { // the connect snapshot
+		t.Fatal(err)
+	}
+	if n := q.Journal().Subscribers(); n != 1 {
+		t.Fatalf("subscribers while connected: %d", n)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Journal().Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription not released after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSSEDrainClosesStream: draining the queue ends the global stream after
+// the buffered terminal events are delivered.
+func TestSSEDrainClosesStream(t *testing.T) {
+	q, ts := newTestServer(t, Config{})
+	st := submitJob(t, ts, eqnText(t, 8))
+	pollDone(t, ts, st.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.URL+"/events", "")
+	defer resp.Body.Close()
+
+	go q.Drain(5 * time.Second)
+
+	sawDone := false
+	for {
+		f, err := readFrame(br)
+		if err == io.EOF {
+			break // server closed the stream — the drain-safe shutdown
+		}
+		if err != nil {
+			t.Fatalf("stream did not close on drain: %v", err)
+		}
+		if strings.Contains(f.Data, `"job_done"`) {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("drained stream never carried the job_done event")
+	}
+}
+
+// TestSSEHeartbeat: an idle stream stays alive via comment frames.
+func TestSSEHeartbeat(t *testing.T) {
+	cfg := Config{Dir: t.TempDir(), RetrySeed: 1, Recorder: obs.NewRecorder()}
+	q, err := NewQueue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(q, cfg.Recorder)
+	srv.heartbeat = 20 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); q.Drain(time.Second) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, br := openStream(t, ctx, ts.URL+"/events", "")
+	defer resp.Body.Close()
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			t.Fatalf("no heartbeat before error: %v", err)
+		}
+		if f.Comment {
+			return // keep-alive observed
+		}
+	}
+}
+
+// TestHTTPMetricsPrometheus: Accept: text/plain flips /metrics into valid
+// Prometheus text format 0.0.4 that our own parser accepts, while the
+// default stays JSON (covered by TestHTTPMetricsSnapshot).
+func TestHTTPMetricsPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := submitJob(t, ts, eqnText(t, 8))
+	pollDone(t, ts, st.ID)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	fams, err := obs.ParsePrometheusText(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"gfre_jobs_submitted_total", "gfre_jobs_done_total",
+		"gfre_queue_depth", "gfre_substitutions_total", "gfre_peak_terms",
+	} {
+		if fams[want] == nil {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+}
+
+// TestSSELiveDashboardServed: /debug/live returns the embedded page wired to
+// the event stream.
+func TestSSELiveDashboardServed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "EventSource") {
+		t.Fatal("dashboard page lacks the EventSource wiring")
+	}
+}
