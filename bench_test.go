@@ -15,10 +15,12 @@ package gfre_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
 	gfre "github.com/galoisfield/gfre"
+	"github.com/galoisfield/gfre/internal/anf"
 	"github.com/galoisfield/gfre/internal/eval"
 )
 
@@ -222,6 +224,78 @@ func BenchmarkExtract(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConeSort isolates the per-bit cone construction that precedes
+// every backward-rewriting pass: topologically sorting the fan-in cone of
+// all 64 output bits of the Montgomery multiplier (the design where cone
+// overlap is heaviest — each MonPro output cone spans nearly the whole
+// circuit). Before the bitset-DFS rewrite this step cost more than the
+// rewriting itself at m=64 (206ms of a 377ms total); now it is a
+// counting-sort sweep over dense gate IDs and should stay an order of
+// magnitude below the rewrite time reported by BenchmarkTableII.
+func BenchmarkConeSort(b *testing.B) {
+	p, _ := gfre.NISTPolynomial(64)
+	n, err := gfre.NewMontgomery(64, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	outs := n.Outputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, root := range outs {
+			total += len(n.Cone(root))
+		}
+		if total == 0 {
+			b.Fatal("empty cones")
+		}
+	}
+}
+
+// BenchmarkSubstitute measures the rewriting engine's inner loop at the
+// root level: a chain of variable eliminations against a polynomial sized
+// like a mid-rewrite Montgomery cone frontier (hundreds of live terms).
+// Each iteration rebuilds the chain from a cloned start state so the timed
+// region is substitution work only, not interning warm-up. The companion
+// zero-alloc guard for the XOR-merge path that Substitute drives lives in
+// internal/anf (TestSteadyStateXORMergeZeroAllocs).
+func BenchmarkSubstitute(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	base := anf.NewPoly()
+	for i := 0; i < 300; i++ {
+		var vars []anf.Var
+		for v := 1; v <= 16; v++ {
+			if rng.Intn(3) == 0 {
+				vars = append(vars, anf.Var(v))
+			}
+		}
+		base.Toggle(anf.NewMono(vars...))
+	}
+	// One gate-style expansion per eliminated variable, over strictly lower
+	// variables so the chain is acyclic (as in backward rewriting).
+	exprs := make([]anf.Poly, 17)
+	for v := 16; v >= 9; v-- {
+		e := anf.NewPoly()
+		for t := 0; t < 3; t++ {
+			a := anf.Var(1 + rng.Intn(v-1))
+			bb := anf.Var(1 + rng.Intn(v-1))
+			e.Toggle(anf.MulMono(anf.NewMono(a), anf.NewMono(bb)))
+		}
+		exprs[v] = e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := base.Clone()
+		for v := 16; v >= 9; v-- {
+			p.Substitute(anf.Var(v), exprs[v])
+		}
+		if p.Len() == 0 && base.Len() != 0 {
+			b.Fatal("substitution chain collapsed unexpectedly")
+		}
+	}
 }
 
 // BenchmarkSectionIID: the XOR-cost model used throughout Section II-D.

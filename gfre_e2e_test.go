@@ -1,0 +1,61 @@
+// End-to-end regression pins: full pipeline runs (generate → extract →
+// Algorithm 2 reconstruction) whose recovered irreducible polynomial is
+// compared against the exact NIST P(x) string, character for character.
+// These are deliberately literal — if any layer (netlist generation, the
+// packed ANF core, backward rewriting, polynomial reconstruction) drifts
+// semantically, the canonical rendering changes and the diff names the
+// exact field size and architecture that broke.
+package gfre_test
+
+import (
+	"testing"
+
+	gfre "github.com/galoisfield/gfre"
+	"github.com/galoisfield/gfre/internal/eval"
+)
+
+// e2ePin runs the whole extraction pipeline and compares the canonical
+// String() of the recovered polynomial against the pinned literal.
+func e2ePin(t *testing.T, n *gfre.Netlist, err error, wantP string) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	ext, err := gfre.Extract(n, gfre.Options{Threads: eval.Threads})
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if got := ext.P.String(); got != wantP {
+		t.Fatalf("recovered P(x) = %q, want %q", got, wantP)
+	}
+}
+
+func TestE2EMastrovitoGF64PinnedP(t *testing.T) {
+	p, _ := gfre.NISTPolynomial(64)
+	n, err := gfre.NewMastrovito(64, p)
+	e2ePin(t, n, err, "x^64+x^21+x^19+x^4+1")
+}
+
+func TestE2EMontgomeryGF64PinnedP(t *testing.T) {
+	p, _ := gfre.NISTPolynomial(64)
+	n, err := gfre.NewMontgomery(64, p)
+	e2ePin(t, n, err, "x^64+x^21+x^19+x^4+1")
+}
+
+func TestE2EMastrovitoGF163PinnedP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GF(2^163) pipeline run skipped in -short mode")
+	}
+	p, _ := gfre.NISTPolynomial(163)
+	n, err := gfre.NewMastrovito(163, p)
+	e2ePin(t, n, err, "x^163+x^80+x^47+x^9+1")
+}
+
+func TestE2EMontgomeryGF163PinnedP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GF(2^163) pipeline run skipped in -short mode")
+	}
+	p, _ := gfre.NISTPolynomial(163)
+	n, err := gfre.NewMontgomery(163, p)
+	e2ePin(t, n, err, "x^163+x^80+x^47+x^9+1")
+}

@@ -11,9 +11,15 @@
 // the golden-model equivalence check in package extract a complete decision
 // procedure.
 //
-// Polynomials are hash sets of monomials. Adding a term toggles its
-// presence, so mod-2 cancellation — the step that keeps GF(2^m) rewriting
-// from exploding (lines 7–11 of Algorithm 1) — is O(1) per term.
+// Internally each Poly interns its monomials into dense uint32 IDs (see
+// intern.go) and keeps the term set as a bitset over those IDs, so mod-2
+// cancellation — the step that keeps GF(2^m) rewriting from exploding
+// (lines 7–11 of Algorithm 1) — is a single-word XOR, and the substitution
+// loop runs without per-term heap allocation. The string-based Mono type
+// remains the public currency for individual monomials; it doubles as the
+// intern table's key encoding, so converting between the two is free.
+// The previous map-of-strings implementation is preserved unmodified in
+// internal/anf/reference as a differential testing oracle.
 package anf
 
 import (
@@ -29,7 +35,8 @@ type Var uint32
 // Mono is a monomial: a product of distinct variables, encoded as the
 // concatenation of the 4-byte big-endian representations of its variables in
 // ascending order. The empty string is the constant 1. The encoding keeps
-// monomials directly usable as map keys with no hashing indirection.
+// monomials directly usable as intern-table keys with no hashing
+// indirection.
 type Mono string
 
 // MonoOne is the constant-1 monomial.
@@ -159,316 +166,12 @@ func (m Mono) String() string {
 	return strings.Join(parts, "·")
 }
 
-// Poly is a multivariate polynomial over GF(2) in ANF: the set of monomials
-// with coefficient 1. The zero value is NOT usable; construct with NewPoly.
-//
-// Alongside the term set, a Poly maintains an occurrence index from each
-// variable to the monomials containing it. The index makes ContainsVar O(1)
-// and lets Substitute touch only the affected monomials instead of scanning
-// the whole polynomial — the difference between quadratic and quartic total
-// cost when rewriting the deep Montgomery netlists of Table II.
-type Poly struct {
-	t   map[Mono]struct{}
-	occ map[Var]map[Mono]struct{}
-}
-
-// NewPoly returns the zero polynomial.
-func NewPoly() Poly {
-	return Poly{
-		t:   make(map[Mono]struct{}),
-		occ: make(map[Var]map[Mono]struct{}),
+// monoLess is the canonical monomial order used by Monos and String:
+// ascending degree, then lexicographic on the packed encoding (which is
+// ascending-variable order).
+func monoLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
 	}
-}
-
-// FromMonos builds a polynomial as the XOR of the given monomials
-// (duplicates cancel in pairs).
-func FromMonos(monos ...Mono) Poly {
-	p := NewPoly()
-	for _, m := range monos {
-		p.Toggle(m)
-	}
-	return p
-}
-
-// Constant returns the polynomial 0 or 1.
-func Constant(one bool) Poly {
-	p := NewPoly()
-	if one {
-		p.Toggle(MonoOne)
-	}
-	return p
-}
-
-// Variable returns the polynomial consisting of the single variable v.
-func Variable(v Var) Poly { return FromMonos(NewMono(v)) }
-
-// Clone returns an independent copy of p.
-func (p Poly) Clone() Poly {
-	q := Poly{
-		t:   make(map[Mono]struct{}, len(p.t)),
-		occ: make(map[Var]map[Mono]struct{}, len(p.occ)),
-	}
-	for m := range p.t {
-		q.t[m] = struct{}{}
-	}
-	for v, set := range p.occ {
-		if len(set) == 0 {
-			continue
-		}
-		cp := make(map[Mono]struct{}, len(set))
-		for m := range set {
-			cp[m] = struct{}{}
-		}
-		q.occ[v] = cp
-	}
-	return q
-}
-
-// Len returns the number of monomials.
-func (p Poly) Len() int { return len(p.t) }
-
-// IsZero reports whether p has no terms.
-func (p Poly) IsZero() bool { return len(p.t) == 0 }
-
-// IsOne reports whether p is the constant 1.
-func (p Poly) IsOne() bool {
-	if len(p.t) != 1 {
-		return false
-	}
-	_, ok := p.t[MonoOne]
-	return ok
-}
-
-// Contains reports whether monomial m has coefficient 1 in p.
-func (p Poly) Contains(m Mono) bool {
-	_, ok := p.t[m]
-	return ok
-}
-
-// ContainsAll reports whether every monomial of ms has coefficient 1 in p —
-// the membership test of Algorithm 2 ("if P_m exists in EXP_i").
-func (p Poly) ContainsAll(ms []Mono) bool {
-	for _, m := range ms {
-		if !p.Contains(m) {
-			return false
-		}
-	}
-	return true
-}
-
-// Toggle XORs monomial m into p: inserts it if absent, cancels it if
-// present (coefficient arithmetic mod 2).
-func (p Poly) Toggle(m Mono) {
-	if _, ok := p.t[m]; ok {
-		delete(p.t, m)
-		for i := 0; i < len(m); i += varBytes {
-			v := decodeVar(string(m[i : i+varBytes]))
-			if set := p.occ[v]; set != nil {
-				delete(set, m)
-				if len(set) == 0 {
-					delete(p.occ, v)
-				}
-			}
-		}
-		return
-	}
-	p.t[m] = struct{}{}
-	for i := 0; i < len(m); i += varBytes {
-		v := decodeVar(string(m[i : i+varBytes]))
-		set := p.occ[v]
-		if set == nil {
-			set = make(map[Mono]struct{})
-			p.occ[v] = set
-		}
-		set[m] = struct{}{}
-	}
-}
-
-// AddInPlace XORs q into p.
-func (p Poly) AddInPlace(q Poly) {
-	for m := range q.t {
-		p.Toggle(m)
-	}
-}
-
-// Add returns p + q (XOR of term sets).
-func (p Poly) Add(q Poly) Poly {
-	r := p.Clone()
-	r.AddInPlace(q)
-	return r
-}
-
-// Mul returns the product p·q, expanding term by term with idempotent
-// monomial multiplication and mod-2 cancellation.
-func (p Poly) Mul(q Poly) Poly {
-	r := NewPoly()
-	for a := range p.t {
-		for b := range q.t {
-			r.Toggle(MulMono(a, b))
-		}
-	}
-	return r
-}
-
-// Monos returns the monomials of p in a deterministic (lexicographic by
-// encoding, which is ascending-variable) order.
-func (p Poly) Monos() []Mono {
-	out := make([]Mono, 0, len(p.t))
-	for m := range p.t {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i]) != len(out[j]) {
-			return len(out[i]) < len(out[j])
-		}
-		return out[i] < out[j]
-	})
-	return out
-}
-
-// Equal reports whether p and q have identical term sets. Because ANF is
-// canonical, this decides functional equivalence of the represented Boolean
-// functions.
-func (p Poly) Equal(q Poly) bool {
-	if len(p.t) != len(q.t) {
-		return false
-	}
-	for m := range p.t {
-		if _, ok := q.t[m]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// SupportVars returns the set of variables appearing in p, ascending.
-func (p Poly) SupportVars() []Var {
-	out := make([]Var, 0, len(p.occ))
-	for v, set := range p.occ {
-		if len(set) > 0 {
-			out = append(out, v)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// ContainsVar reports whether variable v occurs anywhere in p.
-func (p Poly) ContainsVar(v Var) bool { return len(p.occ[v]) > 0 }
-
-// VarOccurrences returns the number of monomials of p that contain v.
-// It makes mod-2 cancellation accounting exact: substituting v by e turns
-// the k = VarOccurrences(v) affected monomials into k·|e| expansion terms,
-// so the expansion yields Len()-k+k·|e| terms before cancellation collapses
-// colliding pairs.
-func (p Poly) VarOccurrences(v Var) int { return len(p.occ[v]) }
-
-// Substitute replaces every occurrence of variable v in p by the expression
-// e, in place — one iteration of backward rewriting (lines 4–12 of
-// Algorithm 1). Monomials produced by the expansion that collide with
-// existing monomials cancel mod 2 immediately. e must not contain v (true
-// for any acyclic netlist); Substitute panics otherwise, since the rewriting
-// would not terminate.
-func (p Poly) Substitute(v Var, e Poly) {
-	if e.ContainsVar(v) {
-		panic(fmt.Sprintf("anf: substitution expression for v%d contains v%d (combinational cycle?)", v, v))
-	}
-	set := p.occ[v]
-	if len(set) == 0 {
-		return
-	}
-	affected := make([]Mono, 0, len(set))
-	for m := range set {
-		affected = append(affected, m)
-	}
-	for _, m := range affected {
-		p.Toggle(m) // all present: removes with index maintenance
-	}
-	for _, m := range affected {
-		base := m.Without(v)
-		for t := range e.t {
-			p.Toggle(MulMono(base, t))
-		}
-	}
-}
-
-// Eval evaluates p under an assignment of its variables.
-func (p Poly) Eval(assign func(Var) bool) bool {
-	acc := false
-	for m := range p.t {
-		if m.Eval(assign) {
-			acc = !acc
-		}
-	}
-	return acc
-}
-
-// MaxDeg returns the largest monomial degree in p (0 for constants; -1 for
-// the zero polynomial).
-func (p Poly) MaxDeg() int {
-	d := -1
-	for m := range p.t {
-		if md := m.Deg(); md > d {
-			d = md
-		}
-	}
-	return d
-}
-
-// String renders p deterministically, e.g. "v1·v2+v3+1"; "0" for zero.
-func (p Poly) String() string {
-	if p.IsZero() {
-		return "0"
-	}
-	monos := p.Monos()
-	parts := make([]string, len(monos))
-	for i, m := range monos {
-		parts[i] = m.String()
-	}
-	return strings.Join(parts, "+")
-}
-
-// FromTruthTable computes the ANF of an arbitrary k-input Boolean function
-// given its truth table, using the Möbius (binary zeta) transform. Bit i of
-// the table is the function value when input j equals bit j of i. This is
-// how gate algebraic models — including complex AOI/OAI cells and BLIF
-// truth-table nodes — are derived uniformly instead of hand-coding Eq. (1)
-// per gate type.
-//
-// inputs lists the variable for each function input; len(table) must be
-// 1<<len(inputs). k up to 20 is supported (beyond that the table itself is
-// the bottleneck).
-func FromTruthTable(inputs []Var, table []bool) (Poly, error) {
-	k := len(inputs)
-	if k > 20 {
-		return Poly{}, fmt.Errorf("anf: truth table with %d inputs too large", k)
-	}
-	if len(table) != 1<<uint(k) {
-		return Poly{}, fmt.Errorf("anf: table has %d rows for %d inputs; want %d", len(table), k, 1<<uint(k))
-	}
-	coeff := make([]bool, len(table))
-	copy(coeff, table)
-	// In-place Möbius transform: coeff[S] = XOR of f(T) over T ⊆ S.
-	for i := 0; i < k; i++ {
-		bit := 1 << uint(i)
-		for s := range coeff {
-			if s&bit != 0 {
-				coeff[s] = coeff[s] != coeff[s^bit]
-			}
-		}
-	}
-	p := NewPoly()
-	for s, c := range coeff {
-		if !c {
-			continue
-		}
-		vars := make([]Var, 0, k)
-		for i := 0; i < k; i++ {
-			if s&(1<<uint(i)) != 0 {
-				vars = append(vars, inputs[i])
-			}
-		}
-		p.Toggle(NewMono(vars...))
-	}
-	return p, nil
+	return a < b
 }

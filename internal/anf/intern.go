@@ -1,0 +1,190 @@
+package anf
+
+// monoTab interns the monomials of one Poly into dense uint32 IDs. The table
+// is append-only: an ID, once assigned, remains valid for the life of the
+// polynomial, which is what lets the term set be a bitset over IDs and lets
+// occurrence lists be built exactly once per (monomial, variable) pair.
+//
+// Three parallel views of each monomial are kept:
+//
+//   - keys[id]: the packed big-endian encoding — identical to the public
+//     Mono representation, so veneer conversions are free and the strings
+//     double as the index map's keys (one allocation per distinct monomial,
+//     ever);
+//   - arena[off[id]:off[id+1]]: the ascending variable list in one shared
+//     backing array, iterated by the hot merge loops without decoding;
+//   - mask[id]: a 64-bit signature (bit v&63 per variable) for O(1)
+//     rejection in per-monomial variable membership tests.
+//
+// Products are memoized in mulMemo keyed by the unordered ID pair: the
+// substitution loop multiplies the same (base, term) pairs over and over as
+// cancellation churns the frontier, and a memo hit costs one uint64 map
+// lookup instead of a merge + intern.
+type monoTab struct {
+	index   map[string]uint32 // packed encoding -> ID
+	keys    []string          // ID -> packed encoding (shares index key memory)
+	off     []uint32          // ID -> arena offset; len = count+1
+	arena   []Var             // concatenated ascending variable lists
+	mask    []uint64          // ID -> variable signature
+	mulMemo map[uint64]uint32 // (loID<<32 | hiID) -> product ID; nil until first use
+	scratch []Var             // merge buffer, reused across calls
+	keyBuf  []byte            // packing buffer, reused across calls
+}
+
+// idOne is the ID of the constant-1 monomial in every table.
+const idOne uint32 = 0
+
+func newMonoTab() *monoTab {
+	t := &monoTab{
+		index: make(map[string]uint32, 16),
+		keys:  make([]string, 1, 16),
+		off:   make([]uint32, 2, 17),
+		mask:  make([]uint64, 1, 16),
+	}
+	t.index[""] = idOne
+	return t
+}
+
+// count returns the number of interned monomials (live or not).
+func (t *monoTab) count() int { return len(t.keys) }
+
+// vars returns the ascending variable list of id, aliasing the arena.
+func (t *monoTab) vars(id uint32) []Var { return t.arena[t.off[id]:t.off[id+1]] }
+
+// deg returns the degree of id.
+func (t *monoTab) deg(id uint32) int { return int(t.off[id+1] - t.off[id]) }
+
+// add interns a new key (packed encoding, not yet present) and returns its ID.
+func (t *monoTab) add(key string) uint32 {
+	id := uint32(len(t.keys))
+	t.keys = append(t.keys, key)
+	var m uint64
+	for i := 0; i < len(key); i += varBytes {
+		v := decodeVar(key[i : i+varBytes])
+		t.arena = append(t.arena, v)
+		m |= 1 << (uint32(v) & 63)
+	}
+	t.off = append(t.off, uint32(len(t.arena)))
+	t.mask = append(t.mask, m)
+	t.index[key] = id
+	return id
+}
+
+// internKey interns a packed encoding (as produced by NewMono).
+func (t *monoTab) internKey(key string) uint32 {
+	if id, ok := t.index[key]; ok {
+		return id
+	}
+	return t.add(key)
+}
+
+// internVars interns an ascending duplicate-free variable list. The lookup
+// goes through keyBuf so a hit costs zero allocations.
+func (t *monoTab) internVars(vs []Var) uint32 {
+	if len(vs) == 0 {
+		return idOne
+	}
+	buf := t.keyBuf[:0]
+	for _, v := range vs {
+		buf = append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	t.keyBuf = buf
+	if id, ok := t.index[string(buf)]; ok {
+		return id
+	}
+	return t.add(string(buf))
+}
+
+// contains reports whether variable v occurs in monomial id.
+func (t *monoTab) contains(id uint32, v Var) bool {
+	if t.mask[id]&(1<<(uint32(v)&63)) == 0 {
+		return false
+	}
+	for _, w := range t.vars(id) {
+		if w >= v {
+			return w == v
+		}
+	}
+	return false
+}
+
+// mul returns the ID of the idempotent product of monomials a and b.
+func (t *monoTab) mul(a, b uint32) uint32 {
+	if a == idOne || a == b {
+		return b
+	}
+	if b == idOne {
+		return a
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	memoKey := uint64(lo)<<32 | uint64(hi)
+	if t.mulMemo == nil {
+		t.mulMemo = make(map[uint64]uint32, 64)
+	} else if id, ok := t.mulMemo[memoKey]; ok {
+		return id
+	}
+	va, vb := t.vars(a), t.vars(b)
+	out := t.scratch[:0]
+	i, j := 0, 0
+	for i < len(va) && j < len(vb) {
+		switch {
+		case va[i] < vb[j]:
+			out = append(out, va[i])
+			i++
+		case va[i] > vb[j]:
+			out = append(out, vb[j])
+			j++
+		default:
+			out = append(out, va[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, va[i:]...)
+	out = append(out, vb[j:]...)
+	t.scratch = out
+	id := t.internVars(out)
+	t.mulMemo[memoKey] = id
+	return id
+}
+
+// without returns the ID of monomial id with variable v removed (id itself
+// if v is absent).
+func (t *monoTab) without(id uint32, v Var) uint32 {
+	if !t.contains(id, v) {
+		return id
+	}
+	vs := t.vars(id)
+	out := t.scratch[:0]
+	for _, w := range vs {
+		if w != v {
+			out = append(out, w)
+		}
+	}
+	t.scratch = out
+	return t.internVars(out)
+}
+
+// clone returns an independent deep copy of the table.
+func (t *monoTab) clone() *monoTab {
+	c := &monoTab{
+		index: make(map[string]uint32, len(t.index)),
+		keys:  append([]string(nil), t.keys...),
+		off:   append([]uint32(nil), t.off...),
+		arena: append([]Var(nil), t.arena...),
+		mask:  append([]uint64(nil), t.mask...),
+	}
+	for k, v := range t.index {
+		c.index[k] = v
+	}
+	if len(t.mulMemo) > 0 {
+		c.mulMemo = make(map[uint64]uint32, len(t.mulMemo))
+		for k, v := range t.mulMemo {
+			c.mulMemo[k] = v
+		}
+	}
+	return c
+}

@@ -1,0 +1,485 @@
+package anf
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Poly is a multivariate polynomial over GF(2) in ANF: the set of monomials
+// with coefficient 1. The zero value is readable (it is the zero polynomial)
+// but not writable; construct with NewPoly.
+//
+// The term set is a bitset over the IDs of the polynomial's private intern
+// table (see monoTab): Toggle is a single-word XOR, and AddInPlace merges
+// word by word once the operand's monomials are translated. Alongside the
+// bitset, a Poly maintains an occurrence index from each variable to the IDs
+// of monomials containing it. Lists are append-once — an ID enters the list
+// the first time that monomial ever becomes live — and readers filter by the
+// live bit, so the index costs nothing to maintain on the cancellation-heavy
+// toggle path. The index makes ContainsVar cheap and lets Substitute touch
+// only the affected monomials instead of scanning the whole polynomial — the
+// difference between quadratic and quartic total cost when rewriting the
+// deep Montgomery netlists of Table II.
+type Poly struct {
+	p *poly
+}
+
+type poly struct {
+	tab   *monoTab
+	words []uint64 // live bitset over tab IDs
+	n     int      // live term count
+	// occ[v] lists every ID that ever contained v and was live at least
+	// once; entries are never removed (the live bit is the truth), and
+	// listed[id] guards the one-time append.
+	occ    map[Var][]uint32
+	listed []bool
+	// Reusable scratch for Substitute; kept on the poly so the steady-state
+	// substitution path does not allocate.
+	affected []uint32
+	eIDs     []uint32
+}
+
+// NewPoly returns the zero polynomial.
+func NewPoly() Poly {
+	return Poly{p: &poly{
+		tab: newMonoTab(),
+		occ: make(map[Var][]uint32),
+	}}
+}
+
+// FromMonos builds a polynomial as the XOR of the given monomials
+// (duplicates cancel in pairs).
+func FromMonos(monos ...Mono) Poly {
+	p := NewPoly()
+	for _, m := range monos {
+		p.Toggle(m)
+	}
+	return p
+}
+
+// Constant returns the polynomial 0 or 1.
+func Constant(one bool) Poly {
+	p := NewPoly()
+	if one {
+		p.Toggle(MonoOne)
+	}
+	return p
+}
+
+// Variable returns the polynomial consisting of the single variable v.
+func Variable(v Var) Poly { return FromMonos(NewMono(v)) }
+
+// live reports whether monomial id is a term of the polynomial.
+func (p *poly) live(id uint32) bool {
+	w := int(id >> 6)
+	return w < len(p.words) && p.words[w]&(1<<(id&63)) != 0
+}
+
+// toggle XORs monomial id into the term set.
+func (p *poly) toggle(id uint32) {
+	w := int(id >> 6)
+	for w >= len(p.words) {
+		p.words = append(p.words, 0)
+	}
+	bit := uint64(1) << (id & 63)
+	if p.words[w]&bit != 0 {
+		p.words[w] &^= bit
+		p.n--
+		return
+	}
+	p.words[w] |= bit
+	p.n++
+	for int(id) >= len(p.listed) {
+		p.listed = append(p.listed, false)
+	}
+	if !p.listed[id] {
+		p.listed[id] = true
+		for _, v := range p.tab.vars(id) {
+			p.occ[v] = append(p.occ[v], id)
+		}
+	}
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	if p.p == nil {
+		return NewPoly()
+	}
+	src := p.p
+	q := &poly{
+		tab:    src.tab.clone(),
+		words:  append([]uint64(nil), src.words...),
+		n:      src.n,
+		occ:    make(map[Var][]uint32, len(src.occ)),
+		listed: append([]bool(nil), src.listed...),
+	}
+	for v, list := range src.occ {
+		q.occ[v] = append([]uint32(nil), list...)
+	}
+	return Poly{p: q}
+}
+
+// Len returns the number of monomials.
+func (p Poly) Len() int {
+	if p.p == nil {
+		return 0
+	}
+	return p.p.n
+}
+
+// IsZero reports whether p has no terms.
+func (p Poly) IsZero() bool { return p.Len() == 0 }
+
+// IsOne reports whether p is the constant 1.
+func (p Poly) IsOne() bool {
+	return p.p != nil && p.p.n == 1 && len(p.p.words) > 0 && p.p.words[0]&1 == 1
+}
+
+// Contains reports whether monomial m has coefficient 1 in p.
+func (p Poly) Contains(m Mono) bool {
+	if p.p == nil {
+		return false
+	}
+	id, ok := p.p.tab.index[string(m)]
+	return ok && p.p.live(id)
+}
+
+// ContainsAll reports whether every monomial of ms has coefficient 1 in p —
+// the membership test of Algorithm 2 ("if P_m exists in EXP_i").
+func (p Poly) ContainsAll(ms []Mono) bool {
+	for _, m := range ms {
+		if !p.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Toggle XORs monomial m into p: inserts it if absent, cancels it if
+// present (coefficient arithmetic mod 2).
+func (p Poly) Toggle(m Mono) {
+	p.p.toggle(p.p.tab.internKey(string(m)))
+}
+
+// AddInPlace XORs q into p.
+func (p Poly) AddInPlace(q Poly) {
+	if q.p == nil || q.p.n == 0 {
+		return
+	}
+	if p.p == q.p {
+		// p + p = 0.
+		for i := range p.p.words {
+			p.p.words[i] = 0
+		}
+		p.p.n = 0
+		return
+	}
+	qp := q.p
+	for w, word := range qp.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			id := uint32(w<<6 + b)
+			p.p.toggle(p.p.tab.internKey(qp.tab.keys[id]))
+		}
+	}
+}
+
+// Add returns p + q (XOR of term sets).
+func (p Poly) Add(q Poly) Poly {
+	r := p.Clone()
+	r.AddInPlace(q)
+	return r
+}
+
+// Mul returns the product p·q, expanding term by term with idempotent
+// monomial multiplication and mod-2 cancellation.
+func (p Poly) Mul(q Poly) Poly {
+	r := NewPoly()
+	if p.p == nil || q.p == nil {
+		return r
+	}
+	rp := r.p
+	// Translate q's terms into r's table once, then expand.
+	qIDs := make([]uint32, 0, q.p.n)
+	for w, word := range q.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			qIDs = append(qIDs, rp.tab.internKey(q.p.tab.keys[uint32(w<<6+b)]))
+		}
+	}
+	for w, word := range p.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			a := rp.tab.internKey(p.p.tab.keys[uint32(w<<6+b)])
+			for _, t := range qIDs {
+				rp.toggle(rp.tab.mul(a, t))
+			}
+		}
+	}
+	return r
+}
+
+// Monos returns the monomials of p in a deterministic (lexicographic by
+// encoding, which is ascending-variable) order.
+func (p Poly) Monos() []Mono {
+	if p.p == nil {
+		return nil
+	}
+	out := make([]Mono, 0, p.p.n)
+	for w, word := range p.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			out = append(out, Mono(p.p.tab.keys[uint32(w<<6+b)]))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return monoLess(string(out[i]), string(out[j])) })
+	return out
+}
+
+// Equal reports whether p and q have identical term sets. Because ANF is
+// canonical, this decides functional equivalence of the represented Boolean
+// functions.
+func (p Poly) Equal(q Poly) bool {
+	if p.Len() != q.Len() {
+		return false
+	}
+	if p.p == nil || q.p == nil || p.p == q.p {
+		return true // equal lengths and at least one side empty or aliased
+	}
+	qp := q.p
+	for w, word := range p.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			id, ok := qp.tab.index[p.p.tab.keys[uint32(w<<6+b)]]
+			if !ok || !qp.live(id) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SupportVars returns the set of variables appearing in p, ascending.
+func (p Poly) SupportVars() []Var {
+	if p.p == nil {
+		return nil
+	}
+	out := make([]Var, 0, len(p.p.occ))
+	for v, list := range p.p.occ {
+		for _, id := range list {
+			if p.p.live(id) {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContainsVar reports whether variable v occurs anywhere in p.
+func (p Poly) ContainsVar(v Var) bool {
+	if p.p == nil {
+		return false
+	}
+	for _, id := range p.p.occ[v] {
+		if p.p.live(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// VarOccurrences returns the number of monomials of p that contain v.
+// It makes mod-2 cancellation accounting exact: substituting v by e turns
+// the k = VarOccurrences(v) affected monomials into k·|e| expansion terms,
+// so the expansion yields Len()-k+k·|e| terms before cancellation collapses
+// colliding pairs.
+func (p Poly) VarOccurrences(v Var) int {
+	if p.p == nil {
+		return 0
+	}
+	n := 0
+	for _, id := range p.p.occ[v] {
+		if p.p.live(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Substitute replaces every occurrence of variable v in p by the expression
+// e, in place — one iteration of backward rewriting (lines 4–12 of
+// Algorithm 1). Monomials produced by the expansion that collide with
+// existing monomials cancel mod 2 immediately. e must not contain v (true
+// for any acyclic netlist); Substitute panics otherwise, since the rewriting
+// would not terminate.
+func (p Poly) Substitute(v Var, e Poly) {
+	if e.ContainsVar(v) {
+		panic(fmt.Sprintf("anf: substitution expression for v%d contains v%d (combinational cycle?)", v, v))
+	}
+	pp := p.p
+	aff := pp.affected[:0]
+	for _, id := range pp.occ[v] {
+		if pp.live(id) {
+			aff = append(aff, id)
+		}
+	}
+	pp.affected = aff
+	if len(aff) == 0 {
+		return
+	}
+	// Translate e's terms into p's table once; after that the expansion is
+	// pure ID arithmetic (memoized products + bit toggles).
+	eIDs := pp.eIDs[:0]
+	if e.p != nil {
+		for w, word := range e.p.words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				eIDs = append(eIDs, pp.tab.internKey(e.p.tab.keys[uint32(w<<6+b)]))
+			}
+		}
+	}
+	pp.eIDs = eIDs
+	for _, id := range aff {
+		pp.toggle(id) // all live: removes
+	}
+	for _, id := range aff {
+		base := pp.tab.without(id, v)
+		for _, t := range eIDs {
+			pp.toggle(pp.tab.mul(base, t))
+		}
+	}
+}
+
+// Compact returns an equal polynomial rebuilt into a fresh intern table
+// containing exactly the live terms. A heavily rewritten Poly retains every
+// monomial its history ever interned plus the product memo; for a finished
+// expression that churn is pure dead weight. Rewriting engines call Compact
+// once per finished cone so long-lived results (checkpoint snapshots,
+// per-bit expressions of a GF(2^571) run) hold only their final terms.
+func (p Poly) Compact() Poly {
+	q := NewPoly()
+	if p.p == nil {
+		return q
+	}
+	qp := q.p
+	for w, word := range p.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			qp.toggle(qp.tab.internKey(p.p.tab.keys[uint32(w<<6+b)]))
+		}
+	}
+	return q
+}
+
+// Eval evaluates p under an assignment of its variables.
+func (p Poly) Eval(assign func(Var) bool) bool {
+	if p.p == nil {
+		return false
+	}
+	acc := false
+	for w, word := range p.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			term := true
+			for _, v := range p.p.tab.vars(uint32(w<<6 + b)) {
+				if !assign(v) {
+					term = false
+					break
+				}
+			}
+			if term {
+				acc = !acc
+			}
+		}
+	}
+	return acc
+}
+
+// MaxDeg returns the largest monomial degree in p (0 for constants; -1 for
+// the zero polynomial).
+func (p Poly) MaxDeg() int {
+	d := -1
+	if p.p == nil {
+		return d
+	}
+	for w, word := range p.p.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			if md := p.p.tab.deg(uint32(w<<6 + b)); md > d {
+				d = md
+			}
+		}
+	}
+	return d
+}
+
+// String renders p deterministically, e.g. "v1·v2+v3+1"; "0" for zero.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	monos := p.Monos()
+	parts := make([]string, len(monos))
+	for i, m := range monos {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// FromTruthTable computes the ANF of an arbitrary k-input Boolean function
+// given its truth table, using the Möbius (binary zeta) transform. Bit i of
+// the table is the function value when input j equals bit j of i. This is
+// how gate algebraic models — including complex AOI/OAI cells and BLIF
+// truth-table nodes — are derived uniformly instead of hand-coding Eq. (1)
+// per gate type.
+//
+// inputs lists the variable for each function input; len(table) must be
+// 1<<len(inputs). k up to 20 is supported (beyond that the table itself is
+// the bottleneck).
+func FromTruthTable(inputs []Var, table []bool) (Poly, error) {
+	k := len(inputs)
+	if k > 20 {
+		return Poly{}, fmt.Errorf("anf: truth table with %d inputs too large", k)
+	}
+	if len(table) != 1<<uint(k) {
+		return Poly{}, fmt.Errorf("anf: table has %d rows for %d inputs; want %d", len(table), k, 1<<uint(k))
+	}
+	coeff := make([]bool, len(table))
+	copy(coeff, table)
+	// In-place Möbius transform: coeff[S] = XOR of f(T) over T ⊆ S.
+	for i := 0; i < k; i++ {
+		bit := 1 << uint(i)
+		for s := range coeff {
+			if s&bit != 0 {
+				coeff[s] = coeff[s] != coeff[s^bit]
+			}
+		}
+	}
+	p := NewPoly()
+	for s, c := range coeff {
+		if !c {
+			continue
+		}
+		vars := make([]Var, 0, k)
+		for i := 0; i < k; i++ {
+			if s&(1<<uint(i)) != 0 {
+				vars = append(vars, inputs[i])
+			}
+		}
+		p.Toggle(NewMono(vars...))
+	}
+	return p, nil
+}

@@ -1,0 +1,469 @@
+// Package reference preserves the original string-keyed ANF implementation
+// verbatim: Mono is the big-endian concatenation of variable IDs, Poly is a
+// map[Mono]struct{} with a per-variable occurrence index of nested maps.
+//
+// It exists solely as a differential oracle for the packed intern-table core
+// that replaced it in package anf. The oracle tests and the FuzzANFPacked
+// target replay identical operation sequences against both implementations
+// and require observable equality (term sets, occurrence counts, support,
+// rendering). The code is intentionally frozen — fix bugs in package anf,
+// not here; if the two cores disagree, the packed core is the suspect until
+// a truth-table evaluation proves otherwise.
+package reference
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a Boolean variable. The mapping from netlist signals to
+// Vars is owned by the caller (package rewrite uses gate IDs).
+type Var uint32
+
+// Mono is a monomial: a product of distinct variables, encoded as the
+// concatenation of the 4-byte big-endian representations of its variables in
+// ascending order. The empty string is the constant 1. The encoding keeps
+// monomials directly usable as map keys with no hashing indirection.
+type Mono string
+
+// MonoOne is the constant-1 monomial.
+const MonoOne Mono = ""
+
+const varBytes = 4
+
+func encodeVar(v Var) [varBytes]byte {
+	return [varBytes]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+func decodeVar(s string) Var {
+	return Var(s[0])<<24 | Var(s[1])<<16 | Var(s[2])<<8 | Var(s[3])
+}
+
+// NewMono builds a monomial from variables. Duplicates collapse
+// (idempotence) and order is irrelevant.
+func NewMono(vars ...Var) Mono {
+	switch len(vars) {
+	case 0:
+		return MonoOne
+	case 1:
+		b := encodeVar(vars[0])
+		return Mono(b[:])
+	}
+	vs := make([]Var, len(vars))
+	copy(vs, vars)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	buf := make([]byte, 0, len(vs)*varBytes)
+	var prev Var
+	for i, v := range vs {
+		if i > 0 && v == prev {
+			continue
+		}
+		b := encodeVar(v)
+		buf = append(buf, b[:]...)
+		prev = v
+	}
+	return Mono(buf)
+}
+
+// Deg returns the number of variables in the monomial (0 for the constant 1).
+func (m Mono) Deg() int { return len(m) / varBytes }
+
+// IsOne reports whether m is the constant 1.
+func (m Mono) IsOne() bool { return len(m) == 0 }
+
+// Vars returns the variables of m in ascending order.
+func (m Mono) Vars() []Var {
+	out := make([]Var, 0, m.Deg())
+	for i := 0; i < len(m); i += varBytes {
+		out = append(out, decodeVar(string(m[i:i+varBytes])))
+	}
+	return out
+}
+
+// Contains reports whether variable v occurs in m.
+func (m Mono) Contains(v Var) bool {
+	n := m.Deg()
+	i := sort.Search(n, func(i int) bool {
+		return decodeVar(string(m[i*varBytes:i*varBytes+varBytes])) >= v
+	})
+	return i < n && decodeVar(string(m[i*varBytes:i*varBytes+varBytes])) == v
+}
+
+// Without returns m with variable v removed (m unchanged if v is absent).
+func (m Mono) Without(v Var) Mono {
+	for i := 0; i < len(m); i += varBytes {
+		if decodeVar(string(m[i:i+varBytes])) == v {
+			return m[:i] + m[i+varBytes:]
+		}
+	}
+	return m
+}
+
+// MulMono returns the product of two monomials: the union of their variable
+// sets (idempotence collapses shared variables).
+func MulMono(a, b Mono) Mono {
+	if a.IsOne() {
+		return b
+	}
+	if b.IsOne() {
+		return a
+	}
+	buf := make([]byte, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va := decodeVar(string(a[i : i+varBytes]))
+		vb := decodeVar(string(b[j : j+varBytes]))
+		switch {
+		case va < vb:
+			buf = append(buf, a[i:i+varBytes]...)
+			i += varBytes
+		case va > vb:
+			buf = append(buf, b[j:j+varBytes]...)
+			j += varBytes
+		default:
+			buf = append(buf, a[i:i+varBytes]...)
+			i += varBytes
+			j += varBytes
+		}
+	}
+	buf = append(buf, a[i:]...)
+	buf = append(buf, b[j:]...)
+	return Mono(buf)
+}
+
+// Eval evaluates the monomial under an assignment.
+func (m Mono) Eval(assign func(Var) bool) bool {
+	for i := 0; i < len(m); i += varBytes {
+		if !assign(decodeVar(string(m[i : i+varBytes]))) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the monomial for debugging, e.g. "v3·v7" or "1".
+func (m Mono) String() string {
+	if m.IsOne() {
+		return "1"
+	}
+	parts := make([]string, 0, m.Deg())
+	for _, v := range m.Vars() {
+		parts = append(parts, fmt.Sprintf("v%d", v))
+	}
+	return strings.Join(parts, "·")
+}
+
+// Poly is a multivariate polynomial over GF(2) in ANF: the set of monomials
+// with coefficient 1. The zero value is NOT usable; construct with NewPoly.
+//
+// Alongside the term set, a Poly maintains an occurrence index from each
+// variable to the monomials containing it. The index makes ContainsVar O(1)
+// and lets Substitute touch only the affected monomials instead of scanning
+// the whole polynomial — the difference between quadratic and quartic total
+// cost when rewriting the deep Montgomery netlists of Table II.
+type Poly struct {
+	t   map[Mono]struct{}
+	occ map[Var]map[Mono]struct{}
+}
+
+// NewPoly returns the zero polynomial.
+func NewPoly() Poly {
+	return Poly{
+		t:   make(map[Mono]struct{}),
+		occ: make(map[Var]map[Mono]struct{}),
+	}
+}
+
+// FromMonos builds a polynomial as the XOR of the given monomials
+// (duplicates cancel in pairs).
+func FromMonos(monos ...Mono) Poly {
+	p := NewPoly()
+	for _, m := range monos {
+		p.Toggle(m)
+	}
+	return p
+}
+
+// Constant returns the polynomial 0 or 1.
+func Constant(one bool) Poly {
+	p := NewPoly()
+	if one {
+		p.Toggle(MonoOne)
+	}
+	return p
+}
+
+// Variable returns the polynomial consisting of the single variable v.
+func Variable(v Var) Poly { return FromMonos(NewMono(v)) }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := Poly{
+		t:   make(map[Mono]struct{}, len(p.t)),
+		occ: make(map[Var]map[Mono]struct{}, len(p.occ)),
+	}
+	for m := range p.t {
+		q.t[m] = struct{}{}
+	}
+	for v, set := range p.occ {
+		if len(set) == 0 {
+			continue
+		}
+		cp := make(map[Mono]struct{}, len(set))
+		for m := range set {
+			cp[m] = struct{}{}
+		}
+		q.occ[v] = cp
+	}
+	return q
+}
+
+// Len returns the number of monomials.
+func (p Poly) Len() int { return len(p.t) }
+
+// IsZero reports whether p has no terms.
+func (p Poly) IsZero() bool { return len(p.t) == 0 }
+
+// IsOne reports whether p is the constant 1.
+func (p Poly) IsOne() bool {
+	if len(p.t) != 1 {
+		return false
+	}
+	_, ok := p.t[MonoOne]
+	return ok
+}
+
+// Contains reports whether monomial m has coefficient 1 in p.
+func (p Poly) Contains(m Mono) bool {
+	_, ok := p.t[m]
+	return ok
+}
+
+// ContainsAll reports whether every monomial of ms has coefficient 1 in p —
+// the membership test of Algorithm 2 ("if P_m exists in EXP_i").
+func (p Poly) ContainsAll(ms []Mono) bool {
+	for _, m := range ms {
+		if !p.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Toggle XORs monomial m into p: inserts it if absent, cancels it if
+// present (coefficient arithmetic mod 2).
+func (p Poly) Toggle(m Mono) {
+	if _, ok := p.t[m]; ok {
+		delete(p.t, m)
+		for i := 0; i < len(m); i += varBytes {
+			v := decodeVar(string(m[i : i+varBytes]))
+			if set := p.occ[v]; set != nil {
+				delete(set, m)
+				if len(set) == 0 {
+					delete(p.occ, v)
+				}
+			}
+		}
+		return
+	}
+	p.t[m] = struct{}{}
+	for i := 0; i < len(m); i += varBytes {
+		v := decodeVar(string(m[i : i+varBytes]))
+		set := p.occ[v]
+		if set == nil {
+			set = make(map[Mono]struct{})
+			p.occ[v] = set
+		}
+		set[m] = struct{}{}
+	}
+}
+
+// AddInPlace XORs q into p.
+func (p Poly) AddInPlace(q Poly) {
+	for m := range q.t {
+		p.Toggle(m)
+	}
+}
+
+// Add returns p + q (XOR of term sets).
+func (p Poly) Add(q Poly) Poly {
+	r := p.Clone()
+	r.AddInPlace(q)
+	return r
+}
+
+// Mul returns the product p·q, expanding term by term with idempotent
+// monomial multiplication and mod-2 cancellation.
+func (p Poly) Mul(q Poly) Poly {
+	r := NewPoly()
+	for a := range p.t {
+		for b := range q.t {
+			r.Toggle(MulMono(a, b))
+		}
+	}
+	return r
+}
+
+// Monos returns the monomials of p in a deterministic (lexicographic by
+// encoding, which is ascending-variable) order.
+func (p Poly) Monos() []Mono {
+	out := make([]Mono, 0, len(p.t))
+	for m := range p.t {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Equal reports whether p and q have identical term sets. Because ANF is
+// canonical, this decides functional equivalence of the represented Boolean
+// functions.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.t) != len(q.t) {
+		return false
+	}
+	for m := range p.t {
+		if _, ok := q.t[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SupportVars returns the set of variables appearing in p, ascending.
+func (p Poly) SupportVars() []Var {
+	out := make([]Var, 0, len(p.occ))
+	for v, set := range p.occ {
+		if len(set) > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContainsVar reports whether variable v occurs anywhere in p.
+func (p Poly) ContainsVar(v Var) bool { return len(p.occ[v]) > 0 }
+
+// VarOccurrences returns the number of monomials of p that contain v.
+// It makes mod-2 cancellation accounting exact: substituting v by e turns
+// the k = VarOccurrences(v) affected monomials into k·|e| expansion terms,
+// so the expansion yields Len()-k+k·|e| terms before cancellation collapses
+// colliding pairs.
+func (p Poly) VarOccurrences(v Var) int { return len(p.occ[v]) }
+
+// Substitute replaces every occurrence of variable v in p by the expression
+// e, in place — one iteration of backward rewriting (lines 4–12 of
+// Algorithm 1). Monomials produced by the expansion that collide with
+// existing monomials cancel mod 2 immediately. e must not contain v (true
+// for any acyclic netlist); Substitute panics otherwise, since the rewriting
+// would not terminate.
+func (p Poly) Substitute(v Var, e Poly) {
+	if e.ContainsVar(v) {
+		panic(fmt.Sprintf("anf: substitution expression for v%d contains v%d (combinational cycle?)", v, v))
+	}
+	set := p.occ[v]
+	if len(set) == 0 {
+		return
+	}
+	affected := make([]Mono, 0, len(set))
+	for m := range set {
+		affected = append(affected, m)
+	}
+	for _, m := range affected {
+		p.Toggle(m) // all present: removes with index maintenance
+	}
+	for _, m := range affected {
+		base := m.Without(v)
+		for t := range e.t {
+			p.Toggle(MulMono(base, t))
+		}
+	}
+}
+
+// Eval evaluates p under an assignment of its variables.
+func (p Poly) Eval(assign func(Var) bool) bool {
+	acc := false
+	for m := range p.t {
+		if m.Eval(assign) {
+			acc = !acc
+		}
+	}
+	return acc
+}
+
+// MaxDeg returns the largest monomial degree in p (0 for constants; -1 for
+// the zero polynomial).
+func (p Poly) MaxDeg() int {
+	d := -1
+	for m := range p.t {
+		if md := m.Deg(); md > d {
+			d = md
+		}
+	}
+	return d
+}
+
+// String renders p deterministically, e.g. "v1·v2+v3+1"; "0" for zero.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	monos := p.Monos()
+	parts := make([]string, len(monos))
+	for i, m := range monos {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// FromTruthTable computes the ANF of an arbitrary k-input Boolean function
+// given its truth table, using the Möbius (binary zeta) transform. Bit i of
+// the table is the function value when input j equals bit j of i. This is
+// how gate algebraic models — including complex AOI/OAI cells and BLIF
+// truth-table nodes — are derived uniformly instead of hand-coding Eq. (1)
+// per gate type.
+//
+// inputs lists the variable for each function input; len(table) must be
+// 1<<len(inputs). k up to 20 is supported (beyond that the table itself is
+// the bottleneck).
+func FromTruthTable(inputs []Var, table []bool) (Poly, error) {
+	k := len(inputs)
+	if k > 20 {
+		return Poly{}, fmt.Errorf("anf: truth table with %d inputs too large", k)
+	}
+	if len(table) != 1<<uint(k) {
+		return Poly{}, fmt.Errorf("anf: table has %d rows for %d inputs; want %d", len(table), k, 1<<uint(k))
+	}
+	coeff := make([]bool, len(table))
+	copy(coeff, table)
+	// In-place Möbius transform: coeff[S] = XOR of f(T) over T ⊆ S.
+	for i := 0; i < k; i++ {
+		bit := 1 << uint(i)
+		for s := range coeff {
+			if s&bit != 0 {
+				coeff[s] = coeff[s] != coeff[s^bit]
+			}
+		}
+	}
+	p := NewPoly()
+	for s, c := range coeff {
+		if !c {
+			continue
+		}
+		vars := make([]Var, 0, k)
+		for i := 0; i < k; i++ {
+			if s&(1<<uint(i)) != 0 {
+				vars = append(vars, inputs[i])
+			}
+		}
+		p.Toggle(NewMono(vars...))
+	}
+	return p, nil
+}

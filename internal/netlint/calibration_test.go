@@ -1,0 +1,81 @@
+package netlint
+
+import (
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// TestConeCostCalibration pins the predictor against reality: for clean
+// multipliers the per-cone no-cancellation bound must dominate the peak the
+// rewriting engine actually reaches, the suggested budget must clear the
+// run-wide peak with the documented slack, and the suggested deadline must
+// dwarf the measured wall time. This is the test that keeps the
+// budgetSlack / deadlinePerGate constants honest after engine changes — the
+// packed ANF core cut per-gate substitution cost ~50x, which is what
+// prompted the current deadlinePerGate value.
+func TestConeCostCalibration(t *testing.T) {
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, n *netlist.Netlist) {
+		rep := Analyze(n, Options{})
+		if rep.HasErrors() {
+			t.Fatalf("clean design lint errors: %+v", rep.Findings)
+		}
+		start := time.Now()
+		rw, err := rewrite.Outputs(n, rewrite.Options{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+
+		// Per-cone: predicted no-cancellation bound >= actual peak.
+		if len(rep.Cones) != len(rw.Bits) {
+			t.Fatalf("%d predicted cones, %d rewritten bits", len(rep.Cones), len(rw.Bits))
+		}
+		for i, cc := range rep.Cones {
+			if actual := rw.Bits[i].PeakTerms; cc.PredictedPeakTerms < actual {
+				t.Errorf("cone %s: predicted peak %d < actual peak %d — bound is not an upper bound",
+					cc.Name, cc.PredictedPeakTerms, actual)
+			}
+		}
+		// Run-wide: the suggested budget carries budgetSlack headroom over
+		// the worst predicted peak, so it must clear the actual peak by at
+		// least that factor on a clean design.
+		peak := rw.PeakTerms()
+		if rep.SuggestedBudgetTerms < peak*budgetSlack && rep.SuggestedBudgetTerms < budgetCeil {
+			t.Errorf("suggested budget %d has less than %dx headroom over actual peak %d",
+				rep.SuggestedBudgetTerms, budgetSlack, peak)
+		}
+		// The suggested deadline covers the whole run many times over; a
+		// single cone brushing it would mean deadlinePerGate is miscalibrated.
+		deadline := time.Duration(rep.SuggestedConeTimeoutMS) * time.Millisecond
+		if deadline < deadlineFloor {
+			t.Errorf("suggested deadline %v below floor %v", deadline, deadlineFloor)
+		}
+		if deadline < 10*elapsed {
+			t.Errorf("suggested per-cone deadline %v is within 10x of the full-run wall time %v",
+				deadline, elapsed)
+		}
+	}
+	t.Run("mastrovito", func(t *testing.T) {
+		n, err := gen.Mastrovito(16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, n)
+	})
+	t.Run("montgomery", func(t *testing.T) {
+		n, err := gen.Montgomery(16, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, n)
+	})
+}

@@ -30,19 +30,24 @@ const costCap = 1 << 24
 
 // budget derivation constants. Empirically (BENCH_*.json, m=64) the true
 // rewriting peak for clean multipliers sits well below the no-cancellation
-// bound (peak 270 terms vs bound >= m^2/2), and the bound itself is cheap
+// bound (peak 271 terms vs bound >= m^2/2), and the bound itself is cheap
 // headroom: a 16x multiplier over the predicted peak admits every legitimate
 // design we generate while still stopping doubling-chain blowups within a
-// few extra substitution steps.
+// few extra substitution steps. TestConeCostCalibration pins the
+// predicted >= actual relationship against real rewriting runs.
 const (
 	budgetSlack   = 16
 	budgetFloor   = 4096
 	budgetCeil    = 1 << 26
 	deadlineFloor = 60 * time.Second
-	// deadlinePerGate scales the per-cone deadline with cone size; 5ms per
-	// cone gate is ~100x observed per-gate substitution cost at m=64, so
-	// clean designs never brush the limit.
-	deadlinePerGate = 5 * time.Millisecond
+	// deadlinePerGate scales the per-cone deadline with cone size.
+	// Recalibrated for the packed ANF core: the worst m=64 Montgomery cone
+	// now rewrites in 2.9ms over ~8500 cone gates (~0.34us/gate, was ~18us
+	// under the string-keyed core whose straggler bits ran 151ms), so 2ms
+	// per gate still leaves >5000x headroom for slow machines and
+	// pathological-but-legitimate designs while halving the auto-deadline
+	// the old 5ms constant suggested on large multipliers.
+	deadlinePerGate = 2 * time.Millisecond
 )
 
 // satAdd / satMul keep the estimate inside [0, costCap].

@@ -12,7 +12,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/galoisfield/gfre/internal/netlist"
@@ -165,20 +164,35 @@ func rewriteGoverned(n *netlist.Netlist, root int, h *hooks, opts Options, ctx c
 // level, so this is still a valid reverse-topological elimination order —
 // just a different interleaving across branches than the default
 // descending-ID walk.
+//
+// The schedule is produced by a counting sort over (level, gate-cost)
+// buckets fed from the Kahn-levelized depths that Levels computes in one
+// forward sweep. Keys are few and small — depth·4 buckets — so this is
+// O(cone + depth) instead of the comparison sort's O(cone·log cone), which
+// matters because altOrder runs on exactly the cones that already blew a
+// budget (i.e. the biggest ones). A single ascending pass over cone fills
+// the buckets, preserving the ascending-ID tiebreak for free.
 func altOrder(n *netlist.Netlist, cone []int) []int {
-	levels, _ := n.Levels()
-	order := append([]int(nil), cone...)
-	sort.SliceStable(order, func(i, j int) bool {
-		li, lj := levels[order[i]], levels[order[j]]
-		if li != lj {
-			return li > lj
-		}
-		ci, cj := gateCost(n.Gate(order[i]).Type), gateCost(n.Gate(order[j]).Type)
-		if ci != cj {
-			return ci < cj
-		}
-		return order[i] < order[j]
-	})
+	levels, depth := n.Levels()
+	// Bucket key: (depth-level)*4 + cost-1, so lower keys mean deeper
+	// gates and cheaper models — exactly the order the retry wants.
+	const costs = 4
+	counts := make([]int, (depth+1)*costs)
+	for _, id := range cone {
+		counts[(depth-levels[id])*costs+gateCost(n.Gate(id).Type)-1]++
+	}
+	starts := counts // prefix sums, reused in place
+	sum := 0
+	for k, c := range counts {
+		starts[k] = sum
+		sum += c
+	}
+	order := make([]int, len(cone))
+	for _, id := range cone { // ascending IDs → stable within buckets
+		k := (depth-levels[id])*costs + gateCost(n.Gate(id).Type) - 1
+		order[starts[k]] = id
+		starts[k]++
+	}
 	return order
 }
 

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,7 +156,12 @@ func (r *Result) PeakTerms() int {
 // resident-set sizes of the C++ tool; ours are model estimates — shapes are
 // comparable, absolute values are not).
 func (r *Result) EstimatedMemBytes() int64 {
-	const bytesPerTerm = 48 // map entry + encoded monomial, measured empirically
+	// Measured on the packed intern-table core by holding the compacted
+	// expressions of a GF(2^64) Montgomery run and reading the GC-settled
+	// HeapAlloc delta: ~183 B per term (key string + index entry + arena
+	// variables + occurrence list entry + bitset share), rounded up to
+	// cover per-poly fixed overhead at small term counts.
+	const bytesPerTerm = 192
 	var total int64
 	for _, b := range r.Bits {
 		total += int64(b.PeakTerms) * bytesPerTerm
@@ -374,10 +380,26 @@ func Outputs(n *netlist.Netlist, opts Options) (*Result, error) {
 			}
 		}()
 	}
+	// Straggler-aware handoff: feed predicted-expensive cones first. With
+	// per-bit costs spanning two orders of magnitude (the Montgomery z20/z28
+	// class vs their ~ms siblings), feeding in bit order can land a fat cone
+	// on the last free worker and serialize the tail of the run behind it;
+	// starting the deep cones first bounds the tail by the cheap ones
+	// instead. Root logic depth is the predictor — it is computed in one
+	// O(gates) sweep and correlates with both cone size and substitution
+	// cost on every architecture we generate (see EXPERIMENTS.md).
+	levels, _ := n.Levels()
+	order := make([]int, 0, len(outs))
 	for bit := range outs {
 		if !reused[bit] {
-			jobs <- bit
+			order = append(order, bit)
 		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return levels[outs[order[i]]] > levels[outs[order[j]]]
+	})
+	for _, bit := range order {
+		jobs <- bit
 	}
 	close(jobs)
 	wg.Wait()
@@ -512,8 +534,12 @@ func rewriteOutput(n *netlist.Netlist, root int, h *hooks, gov *governor, order 
 			return br, fmt.Errorf("rewrite: non-input variable v%d (%s) survived rewriting", v, n.NameOf(int(v)))
 		}
 	}
-	br.Expr = f
-	br.FinalTerms = f.Len()
+	// Compact drops the cone's intern-table churn (every monomial that ever
+	// existed during rewriting plus the product memo) so the returned
+	// expression holds only its final terms — the difference between MBs and
+	// KBs per bit on the large-m runs whose results live until extraction.
+	br.Expr = f.Compact()
+	br.FinalTerms = br.Expr.Len()
 	br.Runtime = time.Since(start)
 	return br, nil
 }
