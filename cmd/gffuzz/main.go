@@ -11,6 +11,7 @@
 //	gffuzz -repro out/ -ndjson log.ndjson  # minimized repros + telemetry
 //	gffuzz -selfcheck                      # prove the harness catches bugs
 //	gffuzz -n 50 -diagnose -inject 2       # trojan-localization campaign
+//	gffuzz -n 40 -chaos                    # fault-injected shard scheduling
 //
 // A campaign is fully determined by (-seed, -n, the sampling flags): case i
 // depends only on the seed and i, never on scheduling, so any failure can be
@@ -111,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		inject      = fs.Int("inject", 0, "flip XOR #((k-1) mod count) in every case; the campaign must fail everywhere (with -diagnose: number of trojans per case)")
 		diagnose    = fs.Bool("diagnose", false, "fault-tolerance campaign: plant -inject trojans (default 1) in distinct cones, require P(x) recovery by consensus AND trojan localization")
 		resume      = fs.Bool("resume", false, "crash-recovery campaign: hard-cancel each extraction at a random cone boundary, resume from its checkpoint, require exact P(x) and cone reuse")
+		chaos       = fs.Bool("chaos", false, "chaos campaign: run each extraction through the lease-based shard scheduler while killing workers, expiring leases and duplicating/reordering submissions; require exact P(x) and zero double-counted cones")
 		ndjson      = fs.String("ndjson", "", "stream per-case telemetry events to this NDJSON file")
 		repro       = fs.String("repro", "", "write a minimized .eqn repro per failure into this directory")
 		selfcheck   = fs.Bool("selfcheck", false, "inject a reduction-network bug and verify it is caught and minimized")
@@ -153,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MinM: minM, MaxM: maxM, Archs: archList, Formats: formatList,
 		MaxOptPasses: *optPasses, Scramble: *scramble,
 		Adversarial: *adversarial, Inject: *inject, Diagnose: *diagnose,
-		Resume:   *resume,
+		Resume: *resume, Chaos: *chaos,
 		Recorder: rec, ReproDir: *repro,
 	}
 	if *verbose {
@@ -217,6 +219,10 @@ func printSummary(w io.Writer, sum *diffcheck.Summary) {
 	if sum.Resumed > 0 {
 		fmt.Fprintf(w, "  resume: %d interrupted runs recovered, %d checkpointed cones reused\n",
 			sum.Resumed, sum.ReusedCones)
+	}
+	if sum.Chaosed > 0 {
+		fmt.Fprintf(w, "  chaos: %d fault-injected runs recovered (%d leases expired, %d zombies fenced, %d leases stolen)\n",
+			sum.Chaosed, sum.ChaosExpired, sum.ChaosFenced, sum.ChaosStolen)
 	}
 	if sum.Diagnosed > 0 {
 		fmt.Fprintf(w, "  localization: %d/%d cases fully localized (precision %.0f%%), median best-suspect rank %d\n",

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	gfre "github.com/galoisfield/gfre"
+)
+
+// TestCrashRecoveryShardedGF64 is the distributed twin of the SIGKILL crash
+// test: a lease-scheduled extraction (-shard) is killed mid-run — every live
+// lease dies with the process — then re-executed with -resume. The
+// checkpointed cones must seed the new pool's Prior, so the resumed run
+// reuses them instead of re-leasing, and still recovers the exact NIST
+// GF(2^64) polynomial.
+func TestCrashRecoveryShardedGF64(t *testing.T) {
+	m := 64
+	want, err := gfre.DefaultPolynomial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPath := writeNetlist(t, "mult.eqn", "mastrovito", m)
+
+	var killed bool
+	for attempt := 0; attempt < 5 && !killed; attempt++ {
+		ckpt := t.TempDir()
+		// Two shard workers with -threads 1 each: leases are in flight when
+		// the process dies, which is exactly the state being tested.
+		cmd := exec.Command(os.Args[0], "-test.run=TestGfreCrashHelper$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"GFRE_CRASH_HELPER=1",
+			"GFRE_CRASH_ARGS="+strings.Join([]string{
+				"-threads", "1", "-shard", "2", "-checkpoint", ckpt, netPath,
+			}, crashArgSep))
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		deadline := time.After(30 * time.Second)
+	poll:
+		for {
+			select {
+			case <-exited:
+				break poll
+			case <-deadline:
+				cmd.Process.Kill()
+				<-exited
+				t.Fatal("sharded extraction did not checkpoint within 30s")
+			default:
+			}
+			snap, err := gfre.LoadCheckpoint(ckpt)
+			if err == nil && !snap.Complete && snap.DoneCones() >= 1 {
+				cmd.Process.Kill() // SIGKILL mid-lease: no handler, no sync
+				<-exited
+				killed = true
+				break poll
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		if !killed {
+			continue // the run beat the poller; retry
+		}
+
+		snap, err := gfre.LoadCheckpoint(ckpt)
+		if err != nil {
+			t.Fatalf("snapshot unreadable after SIGKILL: %v", err)
+		}
+		doneAtKill := snap.DoneCones()
+
+		var out bytes.Buffer
+		if err := run([]string{"-json", "-resume", "-shard", "2", "-checkpoint", ckpt, netPath},
+			&out, os.Stderr); err != nil {
+			t.Fatalf("sharded resume failed: %v", err)
+		}
+		var res struct {
+			Polynomial  string `json:"polynomial"`
+			Verified    bool   `json:"verified"`
+			ReusedCones int    `json:"reused_cones"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+			t.Fatalf("resume output: %v\n%s", err, out.String())
+		}
+		if res.Polynomial != want.String() {
+			t.Fatalf("resumed P(x) = %s, want %s", res.Polynomial, want)
+		}
+		if !res.Verified {
+			t.Fatal("resumed sharded extraction skipped verification")
+		}
+		if res.ReusedCones < doneAtKill || res.ReusedCones < 1 {
+			t.Fatalf("resumed run reused %d cones, snapshot had %d done at kill time",
+				res.ReusedCones, doneAtKill)
+		}
+		t.Logf("GF(2^%d) sharded: killed with %d/%d cones done, resume reused %d and recovered %s",
+			m, doneAtKill, m, res.ReusedCones, res.Polynomial)
+	}
+	if !killed {
+		t.Fatal("could not catch the sharded extraction mid-run in 5 attempts")
+	}
+}

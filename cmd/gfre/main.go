@@ -115,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 
 		checkpointDir = fs.String("checkpoint", "", "persist per-cone progress crash-safely into this directory as the run proceeds")
 		resume        = fs.Bool("resume", false, "resume from the snapshot in -checkpoint: completed cones are reused, only unfinished ones are re-rewritten")
+		shardN        = fs.Int("shard", 0, "lease-based sharded extraction with N local workers: cones become independently failable leases with expiry, work stealing and an epoch fence")
 
 		preflight = fs.Bool("preflight", true, "lint the netlist before rewriting: structural defects abort with exit code 2, and the cone-cost predictor fills -budget/-cone-timeout when unset")
 	)
@@ -151,6 +152,9 @@ exit codes:
 	}
 	if *checkpointDir != "" && *infer {
 		return fmt.Errorf("%w: -checkpoint cannot be combined with -infer (inferred runs rewrite under unnamed ports, so snapshots cannot be bound to them)", errUsage)
+	}
+	if *shardN > 0 && *infer {
+		return fmt.Errorf("%w: -shard cannot be combined with -infer (port inference rewrites under its own scheduler)", errUsage)
 	}
 	path := fs.Arg(0)
 
@@ -276,6 +280,8 @@ exit codes:
 	if *infer {
 		opts.PrefixA, opts.PrefixB = "", ""
 		ext, ports, err = gfre.ExtractInferred(n, opts)
+	} else if *shardN > 0 {
+		ext, diag, _, err = gfre.ExtractSharded(n, opts, gfre.ShardOptions{Workers: *shardN})
 	} else if *tolerate > 0 || *diagnose {
 		ext, diag, err = gfre.ExtractDiagnose(n, opts)
 	} else {

@@ -17,6 +17,15 @@
 //	GET  /readyz           readiness (503 while draining)
 //	GET  /metrics          metrics: JSON by default, Prometheus text format
 //	                       with Accept: text/plain or ?format=prometheus
+//	POST /shards/lease       lease a batch of cone IDs to a peer (204 = no work)
+//	POST /shards/{id}/renew  heartbeat a lease (410 = fenced)
+//	POST /shards/{id}/result submit packed cone results (410 = fenced)
+//
+// Jobs submitted with "shard" > 0 run under the lease-based sharded
+// extractor: their cones are leased to local workers and to any gfred
+// peers started with -peers pointing at this node. Worker death, network
+// partitions and duplicated submissions are absorbed by lease expiry and
+// the epoch fence; see package shard.
 //
 // Every accepted job is persisted to the spool before the 202 response, so
 // a daemon crash loses nothing: on the next start the spool is replayed,
@@ -37,11 +46,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/galoisfield/gfre/internal/obs"
 	"github.com/galoisfield/gfre/internal/server"
+	"github.com/galoisfield/gfre/internal/shard"
 )
 
 func main() {
@@ -65,6 +76,9 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long SIGTERM lets in-flight jobs finish before cancelling them")
 		metrics     = fs.String("metrics", "", "stream telemetry events to this NDJSON file")
 		journalCap  = fs.Int("journal", obs.DefaultJournalCapacity, "event journal capacity backing SSE replay (/events, /jobs/{id}/events)")
+		peers       = fs.String("peers", "", "comma-separated base URLs of other gfred nodes to execute cone leases for (distributed extraction)")
+		peerWorkers = fs.Int("peer-workers", 1, "concurrent lease-executing goroutines per peer URL")
+		leaseTTL    = fs.Duration("lease-ttl", 0, "shard lease heartbeat deadline (0 = default); leases not renewed within it re-queue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,9 +116,30 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		// NewQueue attaches the journal to the recorder itself; it must not
 		// be attached here too or every event would be delivered twice.
 		Journal: obs.NewJournal(*journalCap),
+		// The hub is always on: it costs nothing until a job asks for
+		// sharding, and peers can join at any time.
+		Hub:           shard.NewHub(),
+		ShardLeaseTTL: *leaseTTL,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Peer mode: execute cone leases for other gfred nodes alongside (or
+	// instead of) serving local jobs. Peer loops poll until shutdown; a
+	// coordinator node that dies mid-run simply stops granting leases, and
+	// its own expiry machinery re-queues whatever this peer held.
+	peerCtx, stopPeers := context.WithCancel(context.Background())
+	defer stopPeers()
+	for _, base := range strings.Split(*peers, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		fmt.Fprintf(stderr, "gfred: executing cone leases for peer %s (%d workers)\n", base, *peerWorkers)
+		go shard.RunPeer(peerCtx, base, shard.PeerConfig{ //nolint:errcheck — exits with peerCtx
+			ID: "peer-" + *addr, Workers: *peerWorkers, Recorder: rec,
+		})
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -39,15 +39,17 @@ func TestGfredHelper(t *testing.T) {
 }
 
 // startDaemon re-execs the test binary as gfred on an ephemeral port and
-// returns the base URL parsed from its startup banner.
-func startDaemon(t *testing.T, spool string) (*exec.Cmd, string) {
+// returns the base URL parsed from its startup banner. extra appends
+// daemon flags (e.g. -peers, -lease-ttl) to the default set.
+func startDaemon(t *testing.T, spool string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
+	args := append([]string{
+		"-addr", "localhost:0", "-spool", spool, "-drain-grace", "10s",
+	}, extra...)
 	cmd := exec.Command(os.Args[0], "-test.run=TestGfredHelper$")
 	cmd.Env = append(os.Environ(),
 		"GFRED_HELPER=1",
-		"GFRED_ARGS="+strings.Join([]string{
-			"-addr", "localhost:0", "-spool", spool, "-drain-grace", "10s",
-		}, gfredArgSep),
+		"GFRED_ARGS="+strings.Join(args, gfredArgSep),
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

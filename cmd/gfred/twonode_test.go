@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/obs"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/server"
+)
+
+// metricsSnapshot fetches the coordinator's /metrics registry.
+func metricsSnapshot(t *testing.T, baseURL string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestTwoNodeShardedExtractionSurvivesPeerKill is the distributed recovery
+// test: node 1 (the coordinator) runs a sharded job with no local workers,
+// so node 2 — a peer daemon leasing cones over HTTP — does all the
+// rewriting. The peer is SIGKILLed mid-run; its leases expire, the cones
+// re-queue, and a replacement peer finishes the job. The result must be the
+// exact P(x), verified, with the expiries visible in the job result.
+func TestTwoNodeShardedExtractionSurvivesPeerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process distributed test skipped in -short mode")
+	}
+	m := 96
+	p, err := polytab.Default(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1: coordinator with a short lease TTL so a dead peer's cones
+	// re-queue within the test's patience.
+	coord, coordURL := startDaemon(t, t.TempDir(), "-lease-ttl", "500ms")
+	defer func() {
+		coord.Process.Kill()
+		coord.Wait()
+	}()
+
+	// Shard: -1 — no local workers; only peers make progress. This removes
+	// any race between local completion and the peer's death: the killed
+	// peer's work MUST be recovered remotely or the job never finishes.
+	spec, _ := json.Marshal(&server.JobSpec{Netlist: buf.String(), Shard: -1})
+	resp, err := http.Post(coordURL+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	st := &server.JobState{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Node 2: the doomed peer. Wait until it holds live leases, then
+	// SIGKILL it — no drain, no heartbeat goodbye.
+	victim, _ := startDaemon(t, t.TempDir(), "-peers", coordURL, "-peer-workers", "2")
+	killed := false
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := metricsSnapshot(t, coordURL)
+		if snap.Counters["leases_granted"] >= 2 && snap.Gauges["leases_active"] >= 1 {
+			victim.Process.Kill()
+			victim.Wait()
+			killed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !killed {
+		victim.Process.Kill()
+		victim.Wait()
+		t.Fatal("peer never took a lease within 60s")
+	}
+
+	// Node 2': the replacement. It must pick up the expired leases and
+	// finish the job.
+	sub, _ := startDaemon(t, t.TempDir(), "-peers", coordURL, "-peer-workers", "2")
+	defer func() {
+		sub.Process.Kill()
+		sub.Wait()
+	}()
+
+	var final *server.JobState
+	for time.Now().Before(deadline) {
+		final = getJob(t, coordURL, st.ID)
+		if final.Status.Terminal() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final == nil || !final.Status.Terminal() {
+		t.Fatal("job did not finish after the peer was replaced")
+	}
+	if final.Status != server.StatusDone {
+		t.Fatalf("job ended %s: %s", final.Status, final.Error)
+	}
+	if final.Result.Polynomial != p.String() {
+		t.Fatalf("recovered %s, want %s", final.Result.Polynomial, p)
+	}
+	if !final.Result.Verified {
+		t.Fatal("distributed extraction skipped verification")
+	}
+	if final.Result.LeasesExpired < 1 {
+		t.Fatalf("LeasesExpired = %d: the victim died holding leases, expiry must have fired",
+			final.Result.LeasesExpired)
+	}
+	t.Logf("GF(2^%d) across 2 nodes: peer killed mid-run, %d leases expired, recovered %s",
+		m, final.Result.LeasesExpired, final.Result.Polynomial)
+}

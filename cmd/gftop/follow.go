@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -113,12 +115,83 @@ type sseClient struct {
 	url    string
 	lastID string
 	client *http.Client
+
+	// Reconnect backoff: capped exponential with jitter, reset by every
+	// successful connection. Zero values select 250ms base / 15s cap.
+	retryBase time.Duration
+	retryCap  time.Duration
+	attempts  int
+	rng       *rand.Rand
+}
+
+// nextDelay computes the wait before the next reconnect attempt. A positive
+// hint (the server's Retry-After) takes precedence over the exponential
+// schedule; either way ±25% jitter is applied so a fleet of dashboards
+// reconnecting to one restarted gfred does not stampede it in lockstep.
+func (c *sseClient) nextDelay(hint time.Duration) time.Duration {
+	base, ceil := c.retryBase, c.retryCap
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = 15 * time.Second
+	}
+	// The cap bounds our own schedule only: an explicit server hint knows
+	// better than the client-side ceiling.
+	d := hint
+	if d <= 0 {
+		d = base
+		for i := 0; i < c.attempts && d < ceil; i++ {
+			d *= 2
+		}
+		if d > ceil {
+			d = ceil
+		}
+	}
+	if c.attempts < 30 {
+		c.attempts++
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return d - d/4 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// pause sleeps the backoff delay; false means the context ended.
+func (c *sseClient) pause(ctx context.Context, m *model, hint time.Duration) bool {
+	m.setConn("reconnecting")
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(c.nextDelay(hint)):
+		return true
+	}
+}
+
+// retryAfter parses a Retry-After header (delta-seconds or HTTP-date); 0
+// means no usable hint.
+func retryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // follow streams events into the model until the context ends, the server
 // closes a terminal (per-job) stream, or the connection cannot be
-// re-established. The first connection failing is a hard error; later
-// failures retry with backoff because gfred restarts are routine.
+// re-established. The first connection failing hard is an error; transport
+// drops after that, and 429/503 load-shedding at any point, retry with
+// capped-exponential backoff (honoring Retry-After) because gfred restarts
+// and overload bursts are routine.
 func (c *sseClient) follow(ctx context.Context, m *model) error {
 	hc := c.client
 	if hc == nil {
@@ -135,6 +208,17 @@ func (c *sseClient) follow(ctx context.Context, m *model) error {
 			req.Header.Set("Last-Event-ID", c.lastID)
 		}
 		resp, err := hc.Do(req)
+		if err == nil && (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) {
+			// Load shedding: the server is alive and telling us when to come
+			// back. Honor its hint even on the very first attempt.
+			hint := retryAfter(resp.Header.Get("Retry-After"))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			if m.done() || !c.pause(ctx, m, hint) {
+				return nil
+			}
+			continue
+		}
 		if err == nil && resp.StatusCode != http.StatusOK {
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
@@ -147,11 +231,8 @@ func (c *sseClient) follow(ctx context.Context, m *model) error {
 			if !connected {
 				return err
 			}
-			m.setConn("reconnecting")
-			select {
-			case <-ctx.Done():
+			if !c.pause(ctx, m, 0) {
 				return nil
-			case <-time.After(time.Second):
 			}
 			continue
 		}
@@ -162,6 +243,10 @@ func (c *sseClient) follow(ctx context.Context, m *model) error {
 		// A read error here is just a dropped connection — the retry path
 		// below resumes from lastID either way.
 		readSSE(bufio.NewReader(resp.Body), func(fr sseFrame) bool { //nolint:errcheck
+			// A delivered frame — not merely an accepted connection — is the
+			// health signal that resets the backoff ladder: a gfred stuck in
+			// an accept-then-crash restart loop keeps escalating.
+			c.attempts = 0
 			if fr.id != "" {
 				c.lastID = fr.id
 			}
@@ -185,11 +270,8 @@ func (c *sseClient) follow(ctx context.Context, m *model) error {
 		}
 		// Server closed a non-terminal stream (restart, journal hiccup):
 		// resume from the last seen sequence number.
-		m.setConn("reconnecting")
-		select {
-		case <-ctx.Done():
+		if !c.pause(ctx, m, 0) {
 			return nil
-		case <-time.After(time.Second):
 		}
 	}
 }

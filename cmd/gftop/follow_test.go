@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+func TestRetryAfterParsing(t *testing.T) {
+	if d := retryAfter("2"); d != 2*time.Second {
+		t.Errorf("retryAfter(2) = %v", d)
+	}
+	if d := retryAfter(" 0 "); d != 0 {
+		t.Errorf("retryAfter(0) = %v", d)
+	}
+	if d := retryAfter("-3"); d != 0 {
+		t.Errorf("retryAfter(-3) = %v", d)
+	}
+	if d := retryAfter("garbage"); d != 0 {
+		t.Errorf("retryAfter(garbage) = %v", d)
+	}
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := retryAfter(future); d < 3*time.Second || d > 5*time.Second {
+		t.Errorf("retryAfter(HTTP-date +5s) = %v", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := retryAfter(past); d != 0 {
+		t.Errorf("retryAfter(past date) = %v", d)
+	}
+}
+
+func TestNextDelayGrowsAndCaps(t *testing.T) {
+	c := &sseClient{retryBase: 100 * time.Millisecond, retryCap: 800 * time.Millisecond,
+		rng: rand.New(rand.NewSource(1))}
+	// Jitter keeps every delay within [0.75d, 1.25d] of the schedule
+	// 100, 200, 400, 800, 800, ... ms.
+	want := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, w := range want {
+		got := c.nextDelay(0)
+		lo, hi := w*time.Millisecond*3/4, w*time.Millisecond*5/4
+		if got < lo || got > hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i, got, lo, hi)
+		}
+	}
+	// A Retry-After hint overrides the schedule entirely.
+	if got := c.nextDelay(2 * time.Second); got < 1500*time.Millisecond || got > 2500*time.Millisecond {
+		t.Errorf("hinted delay %v outside Retry-After window", got)
+	}
+	// Reset drops back to the base.
+	c.attempts = 0
+	if got := c.nextDelay(0); got > 125*time.Millisecond {
+		t.Errorf("post-reset delay %v, want ~base", got)
+	}
+}
+
+// A server stuck in an accept-then-drop restart loop must see escalating
+// reconnect gaps, not a constant-rate storm — and the client must still
+// finish the job once the server recovers.
+func TestSSEClientBacksOffDuringReconnectStorm(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		times []time.Time
+	)
+	const drops = 5
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		n := len(times)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		if n <= drops {
+			// Accept, heartbeat, drop: a crash loop. Comments are not
+			// frames, so the backoff ladder must keep climbing.
+			fmt.Fprintf(w, ": hb\n\n")
+			fl.Flush()
+			return
+		}
+		raw, _ := json.Marshal(obs.Event{Ev: "job_done", Job: "j1"})
+		fmt.Fprintf(w, "id: 1\ndata: %s\n\n", raw)
+		fl.Flush()
+	}))
+	defer srv.Close()
+
+	c := &sseClient{url: srv.URL,
+		retryBase: 20 * time.Millisecond, retryCap: 160 * time.Millisecond,
+		rng: rand.New(rand.NewSource(7))}
+	m := newModel(srv.URL, "j1")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.follow(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.done() {
+		t.Fatal("client did not finish the job after the storm")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != drops+1 {
+		t.Fatalf("%d connections, want %d", len(times), drops+1)
+	}
+	first := times[1].Sub(times[0])
+	last := times[drops].Sub(times[drops-1])
+	// Schedule 20,40,80,160,160ms with ±25% jitter: the first gap is at most
+	// 25ms, the last at least 120ms. Scheduling delay only widens gaps.
+	if first > 60*time.Millisecond {
+		t.Errorf("first reconnect gap %v, want near base", first)
+	}
+	if last < 100*time.Millisecond {
+		t.Errorf("gap after %d drops is %v: backoff is not escalating", drops, last)
+	}
+	if last <= first {
+		t.Errorf("gaps not growing: first %v, last %v", first, last)
+	}
+}
+
+// 429/503 load shedding is retryable — even on the very first attempt — and
+// the server's Retry-After hint overrides the exponential schedule.
+func TestSSEClientHonorsRetryAfter(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		times []time.Time
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		times = append(times, time.Now())
+		n := len(times)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shedding load", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		raw, _ := json.Marshal(obs.Event{Ev: "job_done", Job: "j1"})
+		fmt.Fprintf(w, "id: 1\ndata: %s\n\n", raw)
+		w.(http.Flusher).Flush()
+	}))
+	defer srv.Close()
+
+	// A tiny retryBase proves the 1s wait came from Retry-After, not the
+	// exponential schedule.
+	c := &sseClient{url: srv.URL, retryBase: time.Millisecond, retryCap: 4 * time.Millisecond,
+		rng: rand.New(rand.NewSource(3))}
+	m := newModel(srv.URL, "j1")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.follow(ctx, m); err != nil {
+		t.Fatalf("503 on first attempt must retry, got %v", err)
+	}
+	if !m.done() {
+		t.Fatal("client did not finish the job")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(times) != 2 {
+		t.Fatalf("%d connections, want 2", len(times))
+	}
+	if gap := times[1].Sub(times[0]); gap < 700*time.Millisecond {
+		t.Errorf("reconnect gap %v: Retry-After: 1 was not honored", gap)
+	}
+}
+
+// Other non-200 statuses (auth failures, bad paths) stay hard errors.
+func TestSSEClientFailsHardOnNonRetryableStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such stream", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := &sseClient{url: srv.URL}
+	m := newModel(srv.URL, "")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.follow(ctx, m); err == nil {
+		t.Fatal("404 must be a hard error")
+	}
+}

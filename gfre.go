@@ -50,6 +50,7 @@ import (
 	"github.com/galoisfield/gfre/internal/opt"
 	"github.com/galoisfield/gfre/internal/polytab"
 	"github.com/galoisfield/gfre/internal/rewrite"
+	"github.com/galoisfield/gfre/internal/shard"
 )
 
 // Core types, re-exported from the implementation packages.
@@ -373,6 +374,24 @@ func Lint(n *Netlist, opts LintOptions) *LintReport { return netlint.Analyze(n, 
 // "verilog" or "" to auto-detect.
 func LintSource(data []byte, filename, format string, opts LintOptions) *LintReport {
 	return netlint.AnalyzeSource(data, filename, format, opts)
+}
+
+// ShardOptions tunes the scheduling side of ExtractSharded; the extraction
+// semantics stay in Options.
+type ShardOptions = shard.ExtractOptions
+
+// ShardStats carries the robustness counters of a sharded run (lease
+// expiries, steals, fenced zombie results, cache reuse).
+type ShardStats = shard.Stats
+
+// ExtractSharded reverse engineers P(x) with lease-based sharded rewriting:
+// every output cone becomes an independently failable lease executed by a
+// pool of local workers (and remote gfred peers when a hub is configured).
+// Worker death, duplicated submissions and stragglers are absorbed by lease
+// expiry, the epoch fence and work stealing; failed cones degrade into
+// consensus extraction instead of hanging the run.
+func ExtractSharded(n *Netlist, opts Options, sopts ShardOptions) (*Extraction, *Diagnosis, ShardStats, error) {
+	return shard.Extract(n, opts, sopts)
 }
 
 // ExtractDiagnose is fault-tolerant extraction with localization: up to

@@ -52,6 +52,12 @@ type Config struct {
 	// is hard-cancelled at a random cone boundary and resumed from its
 	// checkpoint, asserting P(x) recovery and exact cone reuse.
 	Resume bool
+	// Chaos turns every multiplier case into a KindChaos case: the
+	// extraction runs through the lease-based shard scheduler while the
+	// harness kills workers, expires leases, and delays, duplicates and
+	// reorders submissions — asserting exact P(x) recovery and zero
+	// double-counted cones.
+	Chaos bool
 
 	// SimTrials is the 64-vector word count per simulation oracle (default 2).
 	SimTrials int
@@ -118,6 +124,32 @@ func NewCase(idx int, cfg Config) Case {
 	}
 	if cfg.Adversarial > 0 && idx%cfg.Adversarial == cfg.Adversarial-1 {
 		c.Kind = KindAdversarial
+		return c
+	}
+	if cfg.Chaos {
+		// Chaos cases bypass optimization/format/scramble stages: the oracle
+		// under test is the lease scheduler's fault recovery, and the raw
+		// generated netlist keeps per-cone work small enough that dozens of
+		// lease expiries fit in one case.
+		c.Kind = KindChaos
+		c.M = cfg.MinM + r.Intn(cfg.MaxM-cfg.MinM+1)
+		p, err := gf2poly.RandomIrreducible(r, c.M)
+		if err != nil {
+			p = gf2poly.MustParse("x^8+x^4+x^3+x+1")
+			c.M = 8
+		}
+		c.P = p
+		c.Arch = cfg.Archs[r.Intn(len(cfg.Archs))]
+		if c.Arch == ArchDigitSerial {
+			max := c.M - 1
+			if max > 8 {
+				max = 8
+			}
+			if max < 1 {
+				max = 1
+			}
+			c.Digit = 1 + r.Intn(max)
+		}
 		return c
 	}
 	if cfg.Resume {
@@ -252,6 +284,14 @@ type Summary struct {
 	// checkpoints across them.
 	Resumed     int
 	ReusedCones int
+
+	// Chaos aggregates of a chaos campaign (Config.Chaos): Chaosed counts
+	// KindChaos cases; the totals tally the fault-recovery machinery those
+	// cases exercised (a healthy campaign has all three well above zero).
+	Chaosed      int
+	ChaosExpired int // leases that expired and re-queued
+	ChaosFenced  int // zombie submissions rejected by the epoch fence
+	ChaosStolen  int // straggler leases split by work stealing
 }
 
 // LocPrecision is LocHits / Diagnosed, the fraction of diagnosis cases
@@ -339,6 +379,12 @@ func RunCampaign(cfg Config) (*Summary, error) {
 		if res.Resumed {
 			v["reused"] = int64(res.Reused)
 		}
+		if res.Chaosed {
+			v["kills"] = int64(res.Kills)
+			v["expired"] = int64(res.Expired)
+			v["fenced"] = int64(res.Fenced)
+			v["stolen"] = int64(res.Stolen)
+		}
 		rec.Emit(ev, res.Case.Label(), v)
 		rec.Metrics().Counter("diffcheck_" + string(res.Status)).Inc()
 	}
@@ -365,6 +411,14 @@ func RunCampaign(cfg Config) (*Summary, error) {
 			if res.Resumed {
 				sum.Resumed++
 				sum.ReusedCones += res.Reused
+			}
+		case KindChaos:
+			key = "chaos"
+			if res.Chaosed {
+				sum.Chaosed++
+				sum.ChaosExpired += res.Expired
+				sum.ChaosFenced += res.Fenced
+				sum.ChaosStolen += res.Stolen
 			}
 		}
 		sum.ByArch[key]++

@@ -104,6 +104,12 @@ const (
 	// P(x) and the cone-reuse count match the snapshot (the crash-safety
 	// oracle of package checkpoint).
 	KindResume Kind = "resume"
+	// KindChaos runs the extraction through the lease-based shard scheduler
+	// under injected faults — killed workers, expired leases, delayed,
+	// duplicated and reordered submissions — and asserts the planted P(x) is
+	// still recovered exactly, with zero double-counted cones (the
+	// distributed-robustness oracle of package shard).
+	KindChaos Kind = "chaos"
 )
 
 // Case is one deterministic differential test: everything Run does is a
@@ -144,6 +150,9 @@ func (c Case) Label() string {
 	}
 	if c.Kind == KindResume {
 		return fmt.Sprintf("resume/%s/m=%d", c.Arch, c.M)
+	}
+	if c.Kind == KindChaos {
+		return fmt.Sprintf("chaos/%s/m=%d", c.Arch, c.M)
 	}
 	parts := []string{string(c.Arch), fmt.Sprintf("m=%d", c.M)}
 	if c.Arch == ArchDigitSerial {
@@ -210,6 +219,13 @@ type Result struct {
 	// Resume-case outcome (KindResume only).
 	Resumed bool // the case ran the interrupt→resume pipeline
 	Reused  int  // cones the resumed run adopted from the checkpoint
+
+	// Chaos-case outcome (KindChaos only).
+	Chaosed bool // the case ran the fault-injected shard scheduler
+	Kills   int  // workers killed mid-lease by the harness
+	Expired int  // leases that missed their heartbeat and re-queued
+	Fenced  int  // zombie submissions rejected by the epoch fence
+	Stolen  int  // straggler leases split by work stealing
 }
 
 // Binding names the multiplier ports of a netlist: operand input names (LSB
@@ -306,6 +322,9 @@ func Run(c Case) (res Result) {
 	}
 	if c.Kind == KindResume {
 		return runResume(c, &stage, fail)
+	}
+	if c.Kind == KindChaos {
+		return runChaos(c, &stage, fail)
 	}
 
 	stage = "gen"

@@ -1,0 +1,113 @@
+package extract
+
+import (
+	"fmt"
+
+	"github.com/galoisfield/gfre/internal/netlint"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// Preflight exposes the static-analysis gate to out-of-package schedulers
+// (the lease-based sharded extractor) that run the rewriting phase
+// themselves. Behavior matches the in-package path: nil report when
+// opts.Preflight is unset, error-level findings abort, and on a clean pass
+// the cone-cost predictor fills any zero-valued governor knob in opts.
+func Preflight(n *netlist.Netlist, opts *Options) (*netlint.Report, error) {
+	return preflight(n, opts)
+}
+
+// FromRewriteResult assembles an Extraction from an already-computed
+// rewrite result — the back half of IrreduciblePolynomial/Diagnose for
+// callers that scheduled the per-cone rewriting externally (package shard).
+// Routing mirrors the monolithic paths: Tolerate > 0, Diagnose, or any
+// failed cone selects consensus extraction with localization; otherwise the
+// strict Algorithm 2 path with the golden-model equivalence check runs.
+//
+// rw must have one entry per output bit of n. The checkpoint hooks in opts
+// apply only to finalization here (the scheduler owns per-cone recording).
+func FromRewriteResult(n *netlist.Netlist, rw *rewrite.Result, opts Options) (*Extraction, *Diagnosis, error) {
+	if opts.PrefixA == "" {
+		opts.PrefixA = "a"
+	}
+	if opts.PrefixB == "" {
+		opts.PrefixB = "b"
+	}
+	m := len(n.Outputs())
+	if m < 2 {
+		return nil, nil, errNotMultiplierOutputs(m)
+	}
+	a, b, err := identifyPorts(n, m, opts.PrefixA, opts.PrefixB)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Tolerate > 0 || opts.Diagnose || len(rw.Failed) > 0 {
+		return assembleConsensus(n, rw, a, b, opts)
+	}
+
+	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw}
+	span := opts.Recorder.StartSpan("extract", map[string]int64{"m": int64(m)})
+	ext.P, err = FromExpressions(rw, a, b)
+	span.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := finalizeCheckpoint(opts, ext); err != nil {
+		return ext, nil, err
+	}
+	if !opts.SkipVerify {
+		if err := verifyObserved(n, ext, opts.Recorder); err != nil {
+			return ext, nil, err
+		}
+		ext.Verified = true
+	}
+	return ext, nil, nil
+}
+
+// assembleConsensus is the fault-tolerant back half: per-bit verdicts,
+// consensus arbitration, tampering marks and localization, exactly as in
+// Diagnose after its rewriting phase.
+func assembleConsensus(n *netlist.Netlist, rw *rewrite.Result, a, b []int, opts Options) (*Extraction, *Diagnosis, error) {
+	m := len(rw.Bits)
+	diag := &Diagnosis{Tolerate: opts.Tolerate}
+	diag.Bits = bitDiagnoses(rw)
+	diag.FailedCones = append([]int(nil), rw.Failed...)
+	ext := &Extraction{M: m, AInputs: a, BInputs: b, Rewrite: rw, Diag: diag}
+
+	rec := opts.Recorder
+	span := rec.StartSpan("consensus", map[string]int64{
+		"m": int64(m), "tolerate": int64(opts.Tolerate), "failed": int64(len(rw.Failed)),
+	})
+	p, tampered, tried, err := consensusP(rw, a, b, opts.Tolerate)
+	span.End()
+	diag.CandidatesTried = tried
+	if err != nil {
+		return ext, diag, err
+	}
+	ext.P = p
+	diag.P = p.String()
+	diag.Recovered = true
+	diag.Tampered = tampered
+	for _, i := range tampered {
+		diag.Bits[i].State = BitTampered
+	}
+	diag.Faults = len(rw.Failed) + len(tampered)
+	if diag.Faults == 0 {
+		ext.Verified = true
+		if err := finalizeCheckpoint(opts, ext); err != nil {
+			return ext, diag, err
+		}
+		return ext, diag, nil
+	}
+	span = rec.StartSpan("localize", map[string]int64{"deviating": int64(diag.Faults)})
+	diag.Suspects = localize(n, ext, diag)
+	span.End()
+	if err := finalizeCheckpoint(opts, ext); err != nil {
+		return ext, diag, err
+	}
+	return ext, diag, nil
+}
+
+func errNotMultiplierOutputs(m int) error {
+	return fmt.Errorf("%w: %d outputs", ErrNotMultiplier, m)
+}

@@ -125,6 +125,20 @@ type eqnParser struct {
 	n  *Netlist
 }
 
+// EQNName extracts the netlist name recorded in a serialized EQN body's
+// leading "# <name>" comment, or fallback when there is none. WriteEQN
+// always emits the header, so WriteEQN → EQNName → ReadEQN → WriteEQN
+// reproduces the original bytes — which is what lets a shipped netlist's
+// content hash (checkpoint.HashNetlist) verify on the receiving side.
+func EQNName(eqn, fallback string) string {
+	if rest, ok := strings.CutPrefix(eqn, "# "); ok {
+		if name, _, ok := strings.Cut(rest, "\n"); ok && name != "" {
+			return name
+		}
+	}
+	return fallback
+}
+
 // ReadEQN parses an equation-format netlist. All syntax and structure
 // failures are wrapped in ErrParse.
 func ReadEQN(r io.Reader, name string) (*Netlist, error) {

@@ -55,6 +55,15 @@
 // stage is armed (EnableConeAnomalies), cones whose actual peak approaches
 // or exceeds the statically predicted no-cancellation bound emit
 // cone_anomaly events and bump the cone_anomalies counter.
+//
+// The sharded scheduler (internal/shard) adds the lease lifecycle events
+// lease_grant / lease_expire / lease_steal / cone_leased / shard_result
+// (see the Ev constants) and the metrics leases_granted, leases_renewed,
+// leases_expired, leases_stolen, leases_active (gauge),
+// shard_results_accepted, shard_results_fenced, shard_results_duplicate,
+// shard_cones_requeued, shard_cones_cached and shard_cones_pending
+// (gauge). The gfred spool adds spool_corrupt, counting quarantined
+// entries skipped during restart replay.
 package obs
 
 import (
@@ -97,6 +106,17 @@ const (
 	EvBitFinish   = "bit_finish"
 	EvHeap        = "heap"
 	EvConeAnomaly = "cone_anomaly"
+
+	// Lease lifecycle events of the sharded scheduler (internal/shard).
+	// Name carries the lease ID; payloads carry epoch plus cone counts
+	// (lease_grant/lease_expire/lease_steal) or the per-cone bit
+	// (cone_leased, which drives the gftop lease heat grid). shard_result
+	// summarizes one submission: accepted/duplicate/fenced/failed counts.
+	EvLeaseGrant  = "lease_grant"
+	EvLeaseExpire = "lease_expire"
+	EvLeaseSteal  = "lease_steal"
+	EvConeLeased  = "cone_leased"
+	EvShardResult = "shard_result"
 )
 
 // Sink consumes telemetry events. Emit must be safe for concurrent use;

@@ -60,6 +60,11 @@ type JobSpec struct {
 	// MaxAttempts bounds how often the job is tried before it fails
 	// permanently (0 = the queue's default).
 	MaxAttempts int `json:"max_attempts,omitempty"`
+
+	// Shard routes the job through the lease-based sharded extractor with
+	// this many local workers (negative = none: remote peers via the
+	// daemon's hub do all the rewriting). 0 keeps the monolithic path.
+	Shard int `json:"shard,omitempty"`
 }
 
 // JobResult is the payload of a completed extraction.
@@ -69,6 +74,8 @@ type JobResult struct {
 	Verified       bool    `json:"verified"`
 	ReusedCones    int     `json:"reused_cones,omitempty"`
 	Retries        int     `json:"retries,omitempty"`
+	LeasesExpired  int     `json:"leases_expired,omitempty"`
+	LeasesStolen   int     `json:"leases_stolen,omitempty"`
 	RuntimeSeconds float64 `json:"runtime_seconds"`
 }
 

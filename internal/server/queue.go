@@ -16,6 +16,7 @@ import (
 	"github.com/galoisfield/gfre/internal/netlint"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/obs"
+	"github.com/galoisfield/gfre/internal/shard"
 )
 
 // Queue failure classes; test with errors.Is.
@@ -81,6 +82,13 @@ type Config struct {
 	Journal *obs.Journal
 	// RetrySeed seeds the backoff jitter (0 = wall clock).
 	RetrySeed int64
+	// Hub, when non-nil, exposes sharded jobs' cone leases to remote gfred
+	// peers over the /shards endpoints. Jobs with JobSpec.Shard == 0 never
+	// touch it.
+	Hub *shard.Hub
+	// ShardLeaseTTL is the heartbeat deadline for sharded jobs' leases
+	// (0 = shard.DefaultLeaseTTL).
+	ShardLeaseTTL time.Duration
 }
 
 type jobEntry struct {
@@ -104,6 +112,10 @@ type Queue struct {
 	runnable chan string
 	draining bool
 	rng      *rand.Rand
+
+	// shardStore is the cross-job content-addressed cone cache: a resubmitted
+	// netlist (same content hash) reuses every completed cone outright.
+	shardStore *shard.Store
 
 	wg   sync.WaitGroup
 	done chan struct{} // closed when Drain has fully finished
@@ -152,14 +164,15 @@ func NewQueue(cfg Config) (*Queue, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		cfg:       cfg,
-		rec:       cfg.Recorder,
-		journal:   cfg.Journal,
-		runCtx:    ctx,
-		cancelRun: cancel,
-		jobs:      make(map[string]*jobEntry),
-		rng:       rand.New(rand.NewSource(seed)),
-		done:      make(chan struct{}),
+		cfg:        cfg,
+		rec:        cfg.Recorder,
+		journal:    cfg.Journal,
+		runCtx:     ctx,
+		cancelRun:  cancel,
+		jobs:       make(map[string]*jobEntry),
+		rng:        rand.New(rand.NewSource(seed)),
+		done:       make(chan struct{}),
+		shardStore: shard.NewStore(0),
 	}
 	// The channel must hold every job that can ever be runnable at once, so
 	// sends under mu never block: live capacity plus whatever a previous
@@ -194,8 +207,12 @@ func (q *Queue) recover(ids []string) error {
 			st = &JobState{ID: id, Status: StatusQueued,
 				MaxAttempts: q.cfg.MaxAttempts, SubmittedUnixNS: now.UnixNano()}
 		} else if err != nil {
+			// Quarantine: skip the damaged entry (leaving its files for the
+			// operator) and keep replaying the rest of the spool — one
+			// truncated state file must not cost the healthy jobs around it.
+			q.counter("spool_corrupt").Inc()
 			q.emit("spool_corrupt", id, nil)
-			continue // quarantine: leave the files for the operator
+			continue
 		}
 		entry := &jobEntry{state: st}
 		q.jobs[id] = entry
@@ -385,6 +402,60 @@ func (q *Queue) Journal() *obs.Journal { return q.journal }
 // Recorder returns the queue's recorder (never nil once NewQueue returns).
 func (q *Queue) Recorder() *obs.Recorder { return q.rec }
 
+// Hub returns the shard hub remote peers lease cones from (nil when the
+// daemon runs without one).
+func (q *Queue) Hub() *shard.Hub { return q.cfg.Hub }
+
+// RetryAfterHint estimates how long a client rejected with ErrQueueFull
+// should wait before resubmitting, from the actual queue state: if every
+// active job is parked in retry backoff, nothing can finish before the
+// earliest backoff expires, so that expiry (plus a grace second) is the
+// honest hint; otherwise jobs are actively draining and the hint scales
+// with how many must finish per worker before a slot frees.
+func (q *Queue) RetryAfterHint() time.Duration {
+	const (
+		floor = time.Second
+		ceil  = 5 * time.Minute
+	)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	active, parked := 0, 0
+	var earliest time.Duration = -1
+	for _, e := range q.jobs {
+		st := e.state
+		if st.Status.Terminal() {
+			continue
+		}
+		active++
+		if st.Status == StatusQueued && st.NextRetryUnixNS > 0 {
+			if wait := time.Unix(0, st.NextRetryUnixNS).Sub(now); wait > 0 {
+				parked++
+				if earliest < 0 || wait < earliest {
+					earliest = wait
+				}
+			}
+		}
+	}
+	var hint time.Duration
+	switch {
+	case active == 0:
+		hint = floor
+	case parked == active && earliest > 0:
+		hint = earliest + floor
+	default:
+		perWorker := (active - parked + q.cfg.Workers - 1) / q.cfg.Workers
+		hint = floor * time.Duration(perWorker)
+	}
+	if hint < floor {
+		hint = floor
+	}
+	if hint > ceil {
+		hint = ceil
+	}
+	return hint
+}
+
 // worker pulls runnable job IDs until the queue closes.
 func (q *Queue) worker() {
 	defer q.wg.Done()
@@ -521,10 +592,24 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 		Resume:     true,
 	}
 	start := time.Now()
-	var ext *extract.Extraction
-	if spec.Tolerate > 0 {
+	var (
+		ext    *extract.Extraction
+		sstats shard.Stats
+	)
+	switch {
+	case spec.Shard != 0:
+		// Lease-scheduled rewriting: local workers plus any peers reached
+		// through the hub. The job ID keys the hub registration so peers'
+		// telemetry can be correlated with this job.
+		ext, _, sstats, err = shard.Extract(n, opts, shard.ExtractOptions{
+			Workers: spec.Shard,
+			Hub:     q.cfg.Hub, HubKey: id,
+			Store:    q.shardStore,
+			LeaseTTL: q.cfg.ShardLeaseTTL,
+		})
+	case spec.Tolerate > 0:
 		ext, _, err = extract.Diagnose(n, opts)
-	} else {
+	default:
 		ext, err = extract.IrreduciblePolynomial(n, opts)
 	}
 	if err != nil {
@@ -536,6 +621,8 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 		Verified:       ext.Verified,
 		ReusedCones:    ext.Rewrite.Reused,
 		Retries:        ext.Rewrite.Retries,
+		LeasesExpired:  sstats.Expired,
+		LeasesStolen:   sstats.Stolen,
 		RuntimeSeconds: time.Since(start).Seconds(),
 	}, nil
 }

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// injectJob plants a synthetic job entry directly in the queue map, so the
+// hint can be probed against exact queue states without racing real workers.
+func injectJob(q *Queue, id string, status JobStatus, nextRetry time.Time) {
+	st := &JobState{ID: id, Status: status}
+	if !nextRetry.IsZero() {
+		st.NextRetryUnixNS = nextRetry.UnixNano()
+	}
+	q.mu.Lock()
+	q.jobs[id] = &jobEntry{state: st}
+	q.mu.Unlock()
+}
+
+// RetryAfterHint must be derived from the actual queue state: short when
+// jobs are actively draining, long when everything is parked in backoff.
+func TestRetryAfterHintTracksQueueState(t *testing.T) {
+	q, err := NewQueue(Config{Dir: t.TempDir(), Workers: 2, RetrySeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(time.Second)
+
+	// Empty queue: the floor.
+	if h := q.RetryAfterHint(); h != time.Second {
+		t.Fatalf("empty-queue hint = %v, want 1s", h)
+	}
+
+	// Terminal jobs are not load.
+	injectJob(q, "d1", StatusDone, time.Time{})
+	injectJob(q, "f1", StatusFailed, time.Time{})
+	if h := q.RetryAfterHint(); h != time.Second {
+		t.Fatalf("terminal-only hint = %v, want 1s", h)
+	}
+
+	// Actively draining: 4 running jobs on 2 workers ≈ 2 turns per worker.
+	for _, id := range []string{"r1", "r2", "r3", "r4"} {
+		injectJob(q, id, StatusRunning, time.Time{})
+	}
+	if h := q.RetryAfterHint(); h != 2*time.Second {
+		t.Fatalf("draining hint = %v, want 2s (4 jobs / 2 workers)", h)
+	}
+
+	// Everything parked in retry backoff: nothing can finish before the
+	// earliest backoff expires, so the hint must cover that wait.
+	q.mu.Lock()
+	for id, e := range q.jobs {
+		if !e.state.Status.Terminal() {
+			e.state.Status = StatusQueued
+			e.state.NextRetryUnixNS = time.Now().Add(30 * time.Second).UnixNano()
+			if id == "r2" {
+				e.state.NextRetryUnixNS = time.Now().Add(10 * time.Second).UnixNano()
+			}
+		}
+	}
+	q.mu.Unlock()
+	h := q.RetryAfterHint()
+	if h < 10*time.Second || h > 12*time.Second {
+		t.Fatalf("all-parked hint = %v, want earliest backoff (~10s) + grace", h)
+	}
+
+	// The hint is clamped to an honest ceiling even for absurd backoffs.
+	q.mu.Lock()
+	for _, e := range q.jobs {
+		if !e.state.Status.Terminal() {
+			e.state.NextRetryUnixNS = time.Now().Add(2 * time.Hour).UnixNano()
+		}
+	}
+	q.mu.Unlock()
+	if h := q.RetryAfterHint(); h != 5*time.Minute {
+		t.Fatalf("clamped hint = %v, want 5m ceiling", h)
+	}
+}

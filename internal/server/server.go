@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/galoisfield/gfre/internal/obs"
+	"github.com/galoisfield/gfre/internal/shard"
 )
 
 // maxUploadBytes bounds a job submission body. The largest generated
@@ -30,6 +32,9 @@ const maxUploadBytes = 256 << 20
 //	GET  /metrics          metrics registry: JSON by default, Prometheus text
 //	                       format 0.0.4 under Accept: text/plain (or
 //	                       ?format=prometheus)
+//	POST /shards/lease       lease a batch of cone IDs (204 = no work)
+//	POST /shards/{id}/renew  heartbeat a lease (410 = fenced)
+//	POST /shards/{id}/result submit packed cone results (410 = fenced)
 type Server struct {
 	queue *Queue
 	rec   *obs.Recorder
@@ -52,6 +57,9 @@ func NewServer(q *Queue, rec *obs.Recorder) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /shards/lease", s.handleShardLease)
+	s.mux.HandleFunc("POST /shards/{id}/renew", s.handleShardRenew)
+	s.mux.HandleFunc("POST /shards/{id}/result", s.handleShardResult)
 	return s
 }
 
@@ -93,8 +101,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}{Error: lintRej.Error(), Findings: lintRej.Report.Findings})
 		return
 	case errors.Is(err, ErrQueueFull):
-		// Shed load: tell the client when a slot plausibly frees up.
-		w.Header().Set("Retry-After", "15")
+		// Shed load, with an honest hint derived from the queue's actual
+		// state: seconds until the earliest parked backoff expires when
+		// everything is backing off, or the estimated per-worker drain when
+		// jobs are actively running.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.queue.RetryAfterHint()))
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -152,6 +163,94 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.rec.Snapshot())
+}
+
+// retryAfterSeconds renders a duration as the integral seconds form of the
+// Retry-After header, rounding up so the client never retries early.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// handleShardLease hands a batch of cone leases to a remote peer. 204 means
+// no leasable work right now (retry shortly); 404 means this daemon runs
+// without a hub.
+func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
+	hub := s.queue.Hub()
+	if hub == nil {
+		httpError(w, http.StatusNotFound, "shard hub not enabled")
+		return
+	}
+	var req shard.LeaseRequest
+	if err := readJSON(r, 1<<20, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "lease request: %v", err)
+		return
+	}
+	g, err := hub.Lease(req.Worker, req.Max, req.Have)
+	if err != nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+// handleShardRenew heartbeats a lease; 410 Gone is the epoch fence.
+func (s *Server) handleShardRenew(w http.ResponseWriter, r *http.Request) {
+	hub := s.queue.Hub()
+	if hub == nil {
+		httpError(w, http.StatusNotFound, "shard hub not enabled")
+		return
+	}
+	var req shard.RenewRequest
+	if err := readJSON(r, 1<<20, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "renew request: %v", err)
+		return
+	}
+	deadline, err := hub.Renew(r.PathValue("id"), req.Epoch)
+	if err != nil {
+		httpError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, shard.RenewReply{DeadlineUnixNS: deadline.UnixNano()})
+}
+
+// handleShardResult accepts a peer's result envelope. The per-cone verdicts
+// ride back in the SubmitReply; a fully fenced lease gets 410 so the peer
+// abandons it.
+func (s *Server) handleShardResult(w http.ResponseWriter, r *http.Request) {
+	hub := s.queue.Hub()
+	if hub == nil {
+		httpError(w, http.StatusNotFound, "shard hub not enabled")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	env, err := shard.DecodeResultEnvelope(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "result envelope: %v", err)
+		return
+	}
+	reply, err := hub.Submit(r.PathValue("id"), env.Epoch, env.Cones)
+	if err != nil {
+		httpError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// readJSON decodes a bounded JSON request body into v.
+func readJSON(r *http.Request, limit int64, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

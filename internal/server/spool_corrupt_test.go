@@ -1,0 +1,60 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A truncated .state file (torn write during a crash) must quarantine that
+// entry only: the counter ticks, the files stay on disk for the operator,
+// and every healthy neighbor still replays and runs to completion.
+func TestSpoolReplaySkipsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now().UnixNano()
+
+	healthy := "00000000000000ab"
+	if err := saveSpec(dir, healthy, &JobSpec{Netlist: eqnText(t, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveState(dir, &JobState{
+		ID: healthy, Status: StatusQueued, MaxAttempts: 3, SubmittedUnixNS: now,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := "00000000000000cc"
+	if err := saveSpec(dir, corrupt, &JobSpec{Netlist: eqnText(t, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte(`{"id":"00000000000000cc","status":"runni`)
+	if err := os.WriteFile(filepath.Join(dir, corrupt+stateSuffix), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := NewQueue(Config{Dir: dir, RetrySeed: 1})
+	if err != nil {
+		t.Fatalf("one torn state file must not fail the whole replay: %v", err)
+	}
+	defer q.Drain(5 * time.Second)
+
+	final := waitStatus(t, q, healthy)
+	if final.Status != StatusDone {
+		t.Fatalf("healthy neighbor ended %s: %s", final.Status, final.Error)
+	}
+	if _, err := q.Get(corrupt); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if v := q.Recorder().Metrics().Counter("spool_corrupt").Value(); v != 1 {
+		t.Fatalf("spool_corrupt = %d, want 1", v)
+	}
+	// The damaged files are evidence, not garbage: both must survive for
+	// post-mortem.
+	for _, name := range []string{corrupt + specSuffix, corrupt + stateSuffix} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("quarantined file %s removed: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Extract is the lease-scheduled form of extract.IrreduciblePolynomial:
+// the same pipeline (preflight → rewrite → Algorithm 2 → golden model /
+// consensus), with the rewriting phase turned into a Pool of cone leases
+// executed by local workers and any remote peers reached through a Hub.
+package shard
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/checkpoint"
+	"github.com/galoisfield/gfre/internal/extract"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/rewrite"
+)
+
+// ExtractOptions tunes the scheduling side of a sharded extraction; the
+// extraction semantics (ports, tolerance, verification, checkpointing)
+// stay in extract.Options.
+type ExtractOptions struct {
+	// Workers is the local lease-executing goroutine count. 0 selects 1;
+	// negative runs no local workers (pure coordinator — remote peers via
+	// Hub do all the work).
+	Workers int
+	// MaxCones caps the cones per lease (0 = DefaultMaxCones).
+	MaxCones int
+	// LeaseTTL / MaxAttempts / BackoffBase / BackoffCap / StealAge / Seed
+	// forward to Config.
+	LeaseTTL                time.Duration
+	MaxAttempts             int
+	BackoffBase, BackoffCap time.Duration
+	StealAge                time.Duration
+	Seed                    int64
+	// Store is the cross-job result cache; nil allocates a private one.
+	Store *Store
+	// Hub, when non-nil, exposes the pool to remote peers under HubKey for
+	// the duration of the run.
+	Hub *Hub
+	// HubKey names the pool in the hub ("" selects the content hash).
+	HubKey string
+}
+
+// Extract reverse engineers P(x) with lease-based sharded rewriting. The
+// returned Stats carry the robustness counters (expiries, steals, fenced
+// zombies, reuse) of the run; the Extraction/Diagnosis pair matches what
+// the monolithic extract paths produce for the same options.
+func Extract(n *netlist.Netlist, eopts extract.Options, sopts ExtractOptions) (*extract.Extraction, *extract.Diagnosis, Stats, error) {
+	m := len(n.Outputs())
+	rec := eopts.Recorder
+	root := rec.StartSpan("extraction", map[string]int64{"m": int64(m), "sharded": 1})
+	var rootErr error
+	defer func() {
+		if rootErr != nil {
+			root.SetStatus("error")
+		}
+		root.End()
+	}()
+
+	lint, err := extract.Preflight(n, &eopts)
+	if err != nil {
+		rootErr = err
+		return &extract.Extraction{M: m, Lint: lint}, nil, Stats{}, err
+	}
+
+	hash, err := checkpoint.HashNetlist(n)
+	if err != nil {
+		rootErr = err
+		return nil, nil, Stats{}, err
+	}
+
+	// Checkpoint seam, mirroring extract's rewriteCheckpointed: Resume
+	// feeds the snapshot into Config.Prior, fresh runs Begin a snapshot,
+	// and every newly terminal cone lands in it through OnResult.
+	var (
+		prior    []rewrite.BitResult
+		onResult func(rewrite.BitResult)
+	)
+	if ckpt := eopts.Checkpoint; ckpt != nil {
+		if eopts.Resume {
+			if prior, err = ckpt.Restore(n); err != nil {
+				rootErr = err
+				return nil, nil, Stats{}, err
+			}
+		} else if err := ckpt.Begin(n); err != nil {
+			rootErr = err
+			return nil, nil, Stats{}, err
+		}
+		onResult = ckpt.Record
+	}
+
+	pool, err := NewPool(Config{
+		Hash: hash, Bits: m,
+		LeaseTTL: sopts.LeaseTTL, MaxConesPerLease: sopts.MaxCones,
+		MaxAttempts: sopts.MaxAttempts,
+		BackoffBase: sopts.BackoffBase, BackoffCap: sopts.BackoffCap,
+		StealAge:    sopts.StealAge,
+		BudgetTerms: eopts.BudgetTerms, ConeDeadline: eopts.ConeDeadline,
+		Store: sopts.Store, Prior: prior, OnResult: onResult,
+		Recorder: rec, Seed: sopts.Seed,
+	})
+	if err != nil {
+		rootErr = err
+		return nil, nil, Stats{}, err
+	}
+	defer pool.Close()
+
+	if sopts.Hub != nil {
+		key := sopts.HubKey
+		if key == "" {
+			key = hash
+		}
+		if err := sopts.Hub.Register(key, pool, n); err != nil {
+			rootErr = err
+			return nil, nil, Stats{}, err
+		}
+		defer sopts.Hub.Unregister(key)
+	}
+
+	ctx := eopts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	span := rec.StartSpan("rewrite", map[string]int64{"bits": int64(m), "sharded": 1})
+	if sopts.Workers >= 0 {
+		workers := sopts.Workers
+		if workers == 0 {
+			workers = 1
+		}
+		// RunWorkers returns on ErrDone; remote peers may race it to the
+		// last cone, which simply makes the local loop exit early.
+		RunWorkers(ctx, pool, n, WorkerConfig{
+			Workers: workers, MaxCones: sopts.MaxCones,
+			Rewrite: rewrite.Options{Recorder: rec, Threads: eopts.Threads},
+		})
+	}
+	waitErr := pool.Wait(ctx)
+	span.End()
+
+	rw := pool.Result()
+	rw.Runtime = time.Since(start)
+	rw.Threads = sopts.Workers
+	stats := pool.Stats()
+	if ckpt := eopts.Checkpoint; ckpt != nil {
+		if serr := ckpt.Sync(); serr != nil && waitErr == nil {
+			waitErr = serr
+		}
+	}
+	// A cancelled/expired wait still assembles: pending cones surface as
+	// cancelled bits the consensus path can vote around. Other errors
+	// (checkpoint I/O) abort.
+	if waitErr != nil && !errors.Is(waitErr, context.Canceled) && !errors.Is(waitErr, context.DeadlineExceeded) {
+		rootErr = waitErr
+		return nil, nil, stats, waitErr
+	}
+
+	ext, diag, err := extract.FromRewriteResult(n, rw, eopts)
+	if ext != nil {
+		ext.Lint = lint
+	}
+	if err == nil && waitErr != nil {
+		err = waitErr
+	}
+	rootErr = err
+	return ext, diag, stats, err
+}

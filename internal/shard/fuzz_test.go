@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/checkpoint"
+)
+
+// validEnvelopeJSON builds a well-formed result envelope for seeding.
+func validEnvelopeJSON(tb testing.TB) []byte {
+	tb.Helper()
+	env := ResultEnvelope{
+		Epoch:  3,
+		Worker: "w-0",
+		Cones:  pack(okResult(0), okResult(5), failResult(2)),
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func FuzzResultEnvelope(f *testing.F) {
+	f.Add(validEnvelopeJSON(f))
+	f.Add([]byte(`{"epoch":1,"cones":[{"bit":0,"status":"budget","err":"x"}]}`))
+	f.Add([]byte(`{"epoch":0,"cones":[]}`))
+	f.Add([]byte(`{"epoch":1,"cones":[{"bit":-1}]}`))
+	f.Add([]byte(`{"epoch":1,"cones":[{"bit":2,"status":"ok","expr":"garbage","final_terms":9}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeResultEnvelope(data)
+		if err != nil {
+			return
+		}
+		// Whatever the decoder accepts must uphold the envelope invariants
+		// the pool relies on: a live epoch, a bounded batch, distinct
+		// non-negative bits, and per-cone expressions that unpack.
+		if env.Epoch == 0 {
+			t.Fatal("accepted envelope with epoch 0")
+		}
+		if len(env.Cones) == 0 || len(env.Cones) > maxEnvelopeCones {
+			t.Fatalf("accepted envelope with %d cones", len(env.Cones))
+		}
+		seen := map[int]bool{}
+		for _, c := range env.Cones {
+			if c.Bit < 0 || seen[c.Bit] {
+				t.Fatalf("accepted bad bit %d", c.Bit)
+			}
+			seen[c.Bit] = true
+			if _, err := c.BitResult(); err != nil {
+				t.Fatalf("accepted cone whose result does not decode: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzGrant(f *testing.F) {
+	valid, err := json.Marshal(Grant{
+		Lease: "0123456789abcdef", Epoch: 1, Hash: testHash,
+		Cones: []int{0, 1, 2}, DeadlineUnixNS: 1 << 50,
+		BudgetTerms: 1000, ConeDeadlineMS: 5000, Netlist: "# x\nINORDER = a;\nOUTORDER = z;\nz = a;\n",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"lease":"XYZ","epoch":1,"hash":"` + testHash + `","cones":[0]}`))
+	f.Add([]byte(`{"lease":"0123456789abcdef","epoch":1,"hash":"short","cones":[0]}`))
+	f.Add([]byte(`{"lease":"0123456789abcdef","epoch":1,"hash":"` + testHash + `","cones":[0,0]}`))
+	f.Add([]byte(`{"lease":"0123456789abcdef","epoch":1,"hash":"` + testHash + `","cones":[0],"budget_terms":-1}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeGrant(data)
+		if err != nil {
+			return
+		}
+		if !validLeaseID(g.Lease) || g.Epoch == 0 {
+			t.Fatalf("accepted grant with bad identity: %+v", g)
+		}
+		if len(g.Hash) != 64 {
+			t.Fatalf("accepted grant with bad hash %q", g.Hash)
+		}
+		if len(g.Cones) == 0 || len(g.Cones) > maxEnvelopeCones {
+			t.Fatalf("accepted grant with %d cones", len(g.Cones))
+		}
+		if g.BudgetTerms < 0 || g.ConeDeadlineMS < 0 {
+			t.Fatal("accepted grant with negative governance hints")
+		}
+	})
+}
+
+// TestEnvelopeRoundTrip pins the wire form: a packed envelope decodes to
+// bit-identical results.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	data := validEnvelopeJSON(t)
+	env, err := DecodeResultEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Epoch != 3 || len(env.Cones) != 3 {
+		t.Fatalf("decoded %+v", env)
+	}
+	br, err := env.Cones[0].BitResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := okResult(0)
+	if br.Bit != want.Bit || br.Status != want.Status || br.Expr.String() != want.Expr.String() {
+		t.Fatalf("round trip drifted: %+v vs %+v", br, want)
+	}
+	// Re-encode and decode again: stable.
+	again, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResultEnvelope(again); err != nil {
+		t.Fatal(err)
+	}
+	var c checkpoint.Cone
+	if err := json.Unmarshal([]byte(`{"bit":1,"status":"ok","expr":"!!!","final_terms":1}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BitResult(); err == nil {
+		t.Fatal("corrupt packed expression must not decode")
+	}
+}

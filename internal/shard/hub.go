@@ -1,0 +1,148 @@
+// Hub is the server-side registry that exposes the active pools of one
+// gfred process to remote peers: one lease namespace over any number of
+// concurrently sharded jobs. Grants carry the netlist body on a worker's
+// first encounter with a content hash; renewals and submissions route by
+// lease ID alone.
+package shard
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/checkpoint"
+	"github.com/galoisfield/gfre/internal/netlist"
+)
+
+// Hub multiplexes lease traffic across registered pools.
+type Hub struct {
+	mu       sync.Mutex
+	entries  map[string]*hubEntry // key = job ID (or caller-chosen key)
+	keys     []string             // registration order, for round-robin
+	rr       int
+	leaseIdx map[string]string // lease ID -> pool key
+}
+
+type hubEntry struct {
+	pool *Pool
+	eqn  string
+}
+
+// NewHub builds an empty registry.
+func NewHub() *Hub {
+	return &Hub{entries: map[string]*hubEntry{}, leaseIdx: map[string]string{}}
+}
+
+// Register exposes a pool under key, serializing n once so grants can ship
+// the netlist to peers that lack its hash. Re-registering a key replaces
+// the previous pool.
+func (h *Hub) Register(key string, p *Pool, n *netlist.Netlist) error {
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.entries[key]; !ok {
+		h.keys = append(h.keys, key)
+	}
+	h.entries[key] = &hubEntry{pool: p, eqn: buf.String()}
+	return nil
+}
+
+// Unregister withdraws a pool; its outstanding leases fence at the hub.
+func (h *Hub) Unregister(key string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.entries, key)
+	for i, k := range h.keys {
+		if k == key {
+			h.keys = append(h.keys[:i], h.keys[i+1:]...)
+			break
+		}
+	}
+	for id, k := range h.leaseIdx {
+		if k == key {
+			delete(h.leaseIdx, id)
+		}
+	}
+}
+
+// Pools returns the number of registered pools.
+func (h *Hub) Pools() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Lease round-robins over registered pools for leasable work. The grant's
+// Netlist body is filled unless the worker's have list contains the pool's
+// hash. Returns ErrNoWork when no pool has leasable cones.
+func (h *Hub) Lease(worker string, max int, have []string) (*Grant, error) {
+	h.mu.Lock()
+	keys := append([]string(nil), h.keys...)
+	start := h.rr
+	h.rr++
+	h.mu.Unlock()
+	if len(keys) == 0 {
+		return nil, ErrNoWork
+	}
+	haveSet := map[string]bool{}
+	for _, hash := range have {
+		haveSet[hash] = true
+	}
+	for i := 0; i < len(keys); i++ {
+		key := keys[(start+i)%len(keys)]
+		h.mu.Lock()
+		e := h.entries[key]
+		h.mu.Unlock()
+		if e == nil {
+			continue
+		}
+		g, err := e.pool.Lease(worker, max)
+		if err != nil {
+			continue // done or empty: try the next pool
+		}
+		h.mu.Lock()
+		h.leaseIdx[g.Lease] = key
+		h.mu.Unlock()
+		if !haveSet[g.Hash] {
+			g.Netlist = e.eqn
+		}
+		return g, nil
+	}
+	return nil, ErrNoWork
+}
+
+// Renew routes a heartbeat to the lease's pool. Unknown leases (expired,
+// or their pool unregistered) get ErrLeaseExpired.
+func (h *Hub) Renew(leaseID string, epoch uint64) (time.Time, error) {
+	p := h.poolOf(leaseID)
+	if p == nil {
+		return time.Time{}, ErrLeaseExpired
+	}
+	return p.Renew(leaseID, epoch)
+}
+
+// Submit routes a result envelope to the lease's pool.
+func (h *Hub) Submit(leaseID string, epoch uint64, cones []checkpoint.Cone) (SubmitReply, error) {
+	p := h.poolOf(leaseID)
+	if p == nil {
+		return SubmitReply{Fenced: len(cones)}, ErrLeaseExpired
+	}
+	return p.Submit(leaseID, epoch, cones)
+}
+
+func (h *Hub) poolOf(leaseID string) *Pool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key, ok := h.leaseIdx[leaseID]
+	if !ok {
+		return nil
+	}
+	e := h.entries[key]
+	if e == nil {
+		return nil
+	}
+	return e.pool
+}
