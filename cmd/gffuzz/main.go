@@ -12,6 +12,7 @@
 //	gffuzz -selfcheck                      # prove the harness catches bugs
 //	gffuzz -n 50 -diagnose -inject 2       # trojan-localization campaign
 //	gffuzz -n 40 -chaos                    # fault-injected shard scheduling
+//	gffuzz -n 10 -overload                 # adversarial multi-tenant queues
 //
 // A campaign is fully determined by (-seed, -n, the sampling flags): case i
 // depends only on the seed and i, never on scheduling, so any failure can be
@@ -113,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		diagnose    = fs.Bool("diagnose", false, "fault-tolerance campaign: plant -inject trojans (default 1) in distinct cones, require P(x) recovery by consensus AND trojan localization")
 		resume      = fs.Bool("resume", false, "crash-recovery campaign: hard-cancel each extraction at a random cone boundary, resume from its checkpoint, require exact P(x) and cone reuse")
 		chaos       = fs.Bool("chaos", false, "chaos campaign: run each extraction through the lease-based shard scheduler while killing workers, expiring leases and duplicating/reordering submissions; require exact P(x) and zero double-counted cones")
+		overload    = fs.Bool("overload", false, "overload campaign: attack a small gfred queue with a greedy batch-flooder and a deadline-abuser while a well-behaved tenant submits; require exact P(x) at bounded p99 and zero quota violations")
 		ndjson      = fs.String("ndjson", "", "stream per-case telemetry events to this NDJSON file")
 		repro       = fs.String("repro", "", "write a minimized .eqn repro per failure into this directory")
 		selfcheck   = fs.Bool("selfcheck", false, "inject a reduction-network bug and verify it is caught and minimized")
@@ -155,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MinM: minM, MaxM: maxM, Archs: archList, Formats: formatList,
 		MaxOptPasses: *optPasses, Scramble: *scramble,
 		Adversarial: *adversarial, Inject: *inject, Diagnose: *diagnose,
-		Resume: *resume, Chaos: *chaos,
+		Resume: *resume, Chaos: *chaos, Overload: *overload,
 		Recorder: rec, ReproDir: *repro,
 	}
 	if *verbose {
@@ -223,6 +225,10 @@ func printSummary(w io.Writer, sum *diffcheck.Summary) {
 	if sum.Chaosed > 0 {
 		fmt.Fprintf(w, "  chaos: %d fault-injected runs recovered (%d leases expired, %d zombies fenced, %d leases stolen)\n",
 			sum.Chaosed, sum.ChaosExpired, sum.ChaosFenced, sum.ChaosStolen)
+	}
+	if sum.Overloaded > 0 {
+		fmt.Fprintf(w, "  overload: %d attacked queues stayed fair (%d quota rejects, %d shed rejects, %d deduped, %d deadlines expired, worst well-tenant p99 %dms)\n",
+			sum.Overloaded, sum.QuotaRejects, sum.ShedRejects, sum.Deduped, sum.DeadlinesExpired, sum.WorstWellP99MS)
 	}
 	if sum.Diagnosed > 0 {
 		fmt.Fprintf(w, "  localization: %d/%d cases fully localized (precision %.0f%%), median best-suspect rank %d\n",

@@ -8,18 +8,29 @@
 // API:
 //
 //	POST /jobs             submit (JSON job spec, or raw netlist with ?format=)
+//	POST /jobs/batch       submit a JSON array of job specs with content-hash
+//	                       dedup forced (identical items share one extraction)
 //	GET  /jobs             list jobs
 //	GET  /jobs/{id}        job status and result
 //	GET  /jobs/{id}/events live job telemetry as SSE (resumable via Last-Event-ID)
 //	GET  /events           the whole telemetry journal as SSE
+//	GET  /tenants          per-tenant admission state (active, rejected, ...)
 //	GET  /debug/live       browser live view (queue, per-job progress, cone heatmap)
 //	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining)
+//	GET  /readyz           readiness as JSON (503 while draining or at the
+//	                       load-shed controller's reject-everything stage)
 //	GET  /metrics          metrics: JSON by default, Prometheus text format
 //	                       with Accept: text/plain or ?format=prometheus
 //	POST /shards/lease       lease a batch of cone IDs to a peer (204 = no work)
 //	POST /shards/{id}/renew  heartbeat a lease (410 = fenced)
 //	POST /shards/{id}/result submit packed cone results (410 = fenced)
+//
+// Submissions are attributed to tenants (X-Tenant header, or an API key via
+// "Authorization: Bearer" resolved through the -tenants policy file); each
+// tenant gets token-bucket admission, resource quotas and a weighted-fair
+// share of the dispatcher. Over-quota submissions get 429 with a per-tenant
+// Retry-After; overload engages staged shedding (lowest priorities first,
+// then coordinator-only, then readyz flips) instead of global collapse.
 //
 // Jobs submitted with "shard" > 0 run under the lease-based sharded
 // extractor: their cones are leased to local workers and to any gfred
@@ -38,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -79,6 +92,10 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		peers       = fs.String("peers", "", "comma-separated base URLs of other gfred nodes to execute cone leases for (distributed extraction)")
 		peerWorkers = fs.Int("peer-workers", 1, "concurrent lease-executing goroutines per peer URL")
 		leaseTTL    = fs.Duration("lease-ttl", 0, "shard lease heartbeat deadline (0 = default); leases not renewed within it re-queue")
+		tenants     = fs.String("tenants", "", "tenant admission policy file (JSON TenantPolicy: quotas, weights, API keys); empty = one unlimited default tenant")
+		aging       = fs.Duration("aging", 0, "dispatcher starvation-aging interval: a queued job gains one priority class per interval waited (0 = default 30s)")
+		shed        = fs.String("shed", "", "load-shed stage thresholds as three load fractions, e.g. 0.75,0.90,0.97 (empty = defaults)")
+		shedMem     = fs.Int64("shed-mem", 0, "heap in-use bytes forcing at least shed stage 2 (coordinator-only); 0 = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +122,22 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		}
 	}()
 
+	policy, err := loadTenantPolicy(*tenants)
+	if err != nil {
+		return err
+	}
+	shedCfg, err := parseShed(*shed)
+	if err != nil {
+		return err
+	}
+	shedCfg.MemHighBytes = uint64(*shedMem)
+
+	// The hub is always on: it costs nothing until a job asks for sharding,
+	// and peers can join at any time. The recorder lets its per-peer circuit
+	// breakers surface as metrics and events.
+	hub := shard.NewHub()
+	hub.SetRecorder(rec)
+
 	q, err := server.NewQueue(server.Config{
 		Dir:         *spool,
 		Capacity:    *capacity,
@@ -115,11 +148,12 @@ func run(args []string, stderr io.Writer) (retErr error) {
 		Recorder:    rec,
 		// NewQueue attaches the journal to the recorder itself; it must not
 		// be attached here too or every event would be delivered twice.
-		Journal: obs.NewJournal(*journalCap),
-		// The hub is always on: it costs nothing until a job asks for
-		// sharding, and peers can join at any time.
-		Hub:           shard.NewHub(),
+		Journal:       obs.NewJournal(*journalCap),
+		Hub:           hub,
 		ShardLeaseTTL: *leaseTTL,
+		Policy:        policy,
+		AgingStep:     *aging,
+		Shed:          shedCfg,
 	})
 	if err != nil {
 		return err
@@ -171,4 +205,41 @@ func run(args []string, stderr io.Writer) (retErr error) {
 	case err := <-serveErr:
 		return err
 	}
+}
+
+// loadTenantPolicy reads the -tenants JSON policy file ("" = zero policy:
+// one unlimited default tenant).
+func loadTenantPolicy(path string) (server.TenantPolicy, error) {
+	var p server.TenantPolicy
+	if path == "" {
+		return p, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("tenant policy %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// parseShed parses "-shed a,b,c" into the three stage-entry load fractions.
+func parseShed(s string) (server.ShedConfig, error) {
+	var cfg server.ShedConfig
+	if s == "" {
+		return cfg, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return cfg, fmt.Errorf("-shed wants three comma-separated load fractions, got %q", s)
+	}
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return cfg, fmt.Errorf("-shed threshold %q: want a load fraction in (0,1]", part)
+		}
+		cfg.Enter[i] = v
+	}
+	return cfg, nil
 }

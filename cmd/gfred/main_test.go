@@ -182,3 +182,204 @@ func TestGfredLifecycle(t *testing.T) {
 		t.Fatalf("restarted daemon lost the job: %+v", again)
 	}
 }
+
+// postJSON submits a JSON body with extra headers and returns the response;
+// the caller closes the body.
+func postJSON(t *testing.T, url string, body any, hdr map[string]string) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// awaitDone polls a job until it completes with the expected polynomial.
+func awaitDone(t *testing.T, baseURL, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	st := getJob(t, baseURL, id)
+	for !st.Status.Terminal() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		st = getJob(t, baseURL, id)
+	}
+	if st.Status != server.StatusDone {
+		t.Fatalf("job %s ended %s: %s", id, st.Status, st.Error)
+	}
+	if st.Result == nil || st.Result.Polynomial != want {
+		t.Fatalf("job %s result: %+v", id, st.Result)
+	}
+}
+
+// TestGfredTenantQuotasAndBatch exercises the multi-tenant surface of a live
+// daemon started with a -tenants policy file: per-tenant quota rejection with
+// Retry-After, tenant isolation (one tenant at quota does not slow another),
+// API-key authentication, the /tenants admission report, and batch submission
+// with forced content-hash dedup.
+func TestGfredTenantQuotasAndBatch(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eqn := buf.String()
+
+	policyPath := filepath.Join(t.TempDir(), "tenants.json")
+	policy := `{"tenants": {"alice": {"max_active": 1}}, "api_keys": {"s3kr1t": "carol"}}`
+	if err := os.WriteFile(policyPath, []byte(policy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	spool := filepath.Join(t.TempDir(), "spool")
+	// -retry-base 60s keeps a failed job parked (non-terminal, thus active)
+	// for the whole test, so alice's quota state is deterministic.
+	cmd, baseURL := startDaemon(t, spool,
+		"-tenants", policyPath, "-retry-base", "60s", "-retry-cap", "60s")
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		cmd.Wait()                          //nolint:errcheck
+	}()
+
+	// Pin alice's single active slot: a budget-starved job fails its first
+	// attempt almost immediately and parks in a one-minute backoff, staying
+	// non-terminal without occupying the worker.
+	starved := map[string]any{"netlist": eqn, "budget_terms": 1, "max_attempts": 3}
+	resp := postJSON(t, baseURL+"/jobs", starved, map[string]string{"X-Tenant": "alice"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice's first submit: %s", resp.Status)
+	}
+
+	// Her second submission must bounce off max_active=1 with a retry hint.
+	resp = postJSON(t, baseURL+"/jobs", starved, map[string]string{"X-Tenant": "alice"})
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over quota: got %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	// Bob has no quota entry and is not affected by alice's saturation.
+	resp = postJSON(t, baseURL+"/jobs", map[string]any{"netlist": eqn},
+		map[string]string{"X-Tenant": "bob"})
+	if resp.StatusCode != http.StatusAccepted {
+		resp.Body.Close()
+		t.Fatalf("bob's submit: %s", resp.Status)
+	}
+	bobSt := &server.JobState{}
+	if err := json.NewDecoder(resp.Body).Decode(bobSt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if bobSt.Tenant != "bob" {
+		t.Fatalf("bob's job attributed to %q", bobSt.Tenant)
+	}
+	awaitDone(t, baseURL, bobSt.ID, p.String())
+
+	// An API key resolves to its tenant; an unknown key is refused outright.
+	resp = postJSON(t, baseURL+"/jobs", map[string]any{"netlist": eqn},
+		map[string]string{"Authorization": "Bearer s3kr1t"})
+	if resp.StatusCode != http.StatusAccepted {
+		resp.Body.Close()
+		t.Fatalf("carol's keyed submit: %s", resp.Status)
+	}
+	carolSt := &server.JobState{}
+	if err := json.NewDecoder(resp.Body).Decode(carolSt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if carolSt.Tenant != "carol" {
+		t.Fatalf("API key resolved to tenant %q, want carol", carolSt.Tenant)
+	}
+	resp = postJSON(t, baseURL+"/jobs", map[string]any{"netlist": eqn},
+		map[string]string{"Authorization": "Bearer wrong"})
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unknown API key: got %s, want 401", resp.Status)
+	}
+
+	// The admission report shows alice saturated and rejected.
+	resp, err = http.Get(baseURL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tenants []server.TenantStatus
+	if err := json.NewDecoder(resp.Body).Decode(&tenants); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byName := map[string]server.TenantStatus{}
+	for _, ts := range tenants {
+		byName[ts.Tenant] = ts
+	}
+	if a := byName["alice"]; a.Active != 1 || a.Rejected < 1 {
+		t.Fatalf("alice's admission state: %+v", a)
+	}
+	if b := byName["bob"]; b.Admitted < 1 {
+		t.Fatalf("bob's admission state: %+v", b)
+	}
+
+	// A batch of identical specs dedups onto one leader: the followers carry
+	// DedupOf and every job still reports the planted polynomial.
+	batch := []map[string]any{
+		{"netlist": eqn, "tolerate": 1},
+		{"netlist": eqn, "tolerate": 1},
+		{"netlist": eqn, "tolerate": 1},
+	}
+	resp = postJSON(t, baseURL+"/jobs/batch", batch, map[string]string{"X-Tenant": "bob"})
+	if resp.StatusCode != http.StatusAccepted {
+		resp.Body.Close()
+		t.Fatalf("batch submit: %s", resp.Status)
+	}
+	var reply struct {
+		Accepted int `json:"accepted"`
+		Rejected int `json:"rejected"`
+		Items    []struct {
+			Job *server.JobState `json:"job"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if reply.Accepted != 3 || reply.Rejected != 0 {
+		t.Fatalf("batch reply: accepted %d rejected %d", reply.Accepted, reply.Rejected)
+	}
+	followers := 0
+	for _, item := range reply.Items {
+		if item.Job == nil {
+			t.Fatalf("accepted batch item without job state: %+v", reply)
+		}
+		if item.Job.DedupOf != "" {
+			followers++
+		}
+	}
+	if followers != 2 {
+		t.Fatalf("batch of 3 identical specs produced %d followers, want 2", followers)
+	}
+	for _, item := range reply.Items {
+		awaitDone(t, baseURL, item.Job.ID, p.String())
+	}
+}

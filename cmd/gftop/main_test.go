@@ -315,3 +315,35 @@ func TestRunOnceRendersFile(t *testing.T) {
 		t.Errorf("-once frame must not use escape codes:\n%s", frame)
 	}
 }
+
+// The admission plane's telemetry renders on the job line (tenant, priority)
+// and as a banner while the daemon is shedding load — and the banner drops
+// again when the shed stage returns to zero.
+func TestModelTenantColumnsAndOverloadBanner(t *testing.T) {
+	m := newModel("test", "")
+	m.apply(obs.Event{Ev: "job_submitted", Job: "j1", Name: "acme",
+		V: map[string]int64{"priority": 2, "seq": 7}})
+	frame := m.render()
+	if !strings.Contains(frame, "job j1: queued   tenant acme   prio 2") {
+		t.Errorf("frame lacks tenant/priority columns:\n%s", frame)
+	}
+	if strings.Contains(frame, "OVERLOAD") {
+		t.Errorf("banner shown at shed stage 0:\n%s", frame)
+	}
+
+	m.apply(obs.Event{Ev: "shed_stage", V: map[string]int64{"stage": 2, "from": 1, "load_pct": 91}})
+	if frame = m.render(); !strings.Contains(frame, "OVERLOAD: load-shed stage 2") {
+		t.Errorf("frame lacks overload banner:\n%s", frame)
+	}
+
+	// The job restarting must not erase its admission attributes.
+	m.apply(obs.Event{Ev: "job_start", Job: "j1", V: map[string]int64{"attempt": 1}})
+	if frame = m.render(); !strings.Contains(frame, "tenant acme") {
+		t.Errorf("job_start erased the tenant column:\n%s", frame)
+	}
+
+	m.apply(obs.Event{Ev: "shed_stage", V: map[string]int64{"stage": 0, "from": 2, "load_pct": 40}})
+	if frame = m.render(); strings.Contains(frame, "OVERLOAD") {
+		t.Errorf("banner lingers after recovery:\n%s", frame)
+	}
+}

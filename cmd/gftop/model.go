@@ -38,6 +38,9 @@ type model struct {
 
 	job       string // job currently displayed ("" for plain gfre streams)
 	jobStatus string
+	tenant    string // owning tenant of the displayed job, from job_submitted
+	priority  int64  // scheduling class of the displayed job (0 = unknown)
+	shedStage int64  // daemon's load-shed stage (>0 renders the OVERLOAD banner)
 	phase     string
 	total     int // output bits, from the rewrite span_start "bits" attr
 	cones     map[int]*cone
@@ -100,7 +103,13 @@ func (m *model) apply(ev obs.Event) bool {
 	case "job_submitted":
 		if m.job == "" || m.job == ev.Job {
 			m.job, m.jobStatus = ev.Job, "queued"
+			// The submission event carries the admission attributes: the
+			// owning tenant in Name, the scheduling class in the payload.
+			m.tenant = ev.Name
+			m.priority = ev.V["priority"]
 		}
+	case "shed_stage":
+		m.shedStage = ev.V["stage"]
 	case "job_start":
 		// A (re)starting job resets the cone board: an earlier attempt's
 		// progress is stale, the new attempt rewrites every cone again.
@@ -215,8 +224,18 @@ func (m *model) render() string {
 		fmt.Fprintf(&b, "  (%s)", m.connNote)
 	}
 	b.WriteByte('\n')
+	if m.shedStage > 0 {
+		fmt.Fprintf(&b, "!!! OVERLOAD: load-shed stage %d — daemon is rejecting new work\n", m.shedStage)
+	}
 	if m.job != "" {
-		fmt.Fprintf(&b, "job %s: %s\n", m.job, m.jobStatus)
+		fmt.Fprintf(&b, "job %s: %s", m.job, m.jobStatus)
+		if m.tenant != "" {
+			fmt.Fprintf(&b, "   tenant %s", m.tenant)
+		}
+		if m.priority > 0 {
+			fmt.Fprintf(&b, "   prio %d", m.priority)
+		}
+		b.WriteByte('\n')
 	}
 
 	total := m.total

@@ -141,6 +141,24 @@ func HashNetlist(n *netlist.Netlist) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// HashSubmission computes the content-hash key the server's dedup layer
+// groups identical submissions under: the hex SHA-256 of the raw netlist
+// source, its format, and every extraction knob that changes the result,
+// NUL-separated so no field pair can collide by concatenation. Unlike
+// HashNetlist it hashes source text without parsing — it keys admissions,
+// not snapshots, and must work on inputs that have not been validated yet.
+func HashSubmission(source, format string, knobs ...string) string {
+	h := sha256.New()
+	io.WriteString(h, format) //nolint:errcheck — sha256 never errors
+	h.Write([]byte{0})
+	io.WriteString(h, source) //nolint:errcheck
+	for _, k := range knobs {
+		h.Write([]byte{0})
+		io.WriteString(h, k) //nolint:errcheck
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // packExpr serializes an ANF polynomial: uvarint term count, then per
 // monomial a uvarint variable count followed by the delta-encoded uvarint
 // variables (ascending), base64-wrapped for JSON transport. The canonical

@@ -58,6 +58,12 @@ type Config struct {
 	// reorders submissions — asserting exact P(x) recovery and zero
 	// double-counted cones.
 	Chaos bool
+	// Overload turns every multiplier case into a KindOverload case: a small
+	// gfred queue is attacked by a greedy batch-flooder and a deadline-abuser
+	// while a well-behaved tenant submits normally — asserting exact P(x)
+	// recovery for the polite tenant at bounded p99, zero quota violations,
+	// and exactly one terminal event per accepted job.
+	Overload bool
 
 	// SimTrials is the 64-vector word count per simulation oracle (default 2).
 	SimTrials int
@@ -124,6 +130,40 @@ func NewCase(idx int, cfg Config) Case {
 	}
 	if cfg.Adversarial > 0 && idx%cfg.Adversarial == cfg.Adversarial-1 {
 		c.Kind = KindAdversarial
+		return c
+	}
+	if cfg.Overload {
+		// Overload cases bypass optimization/format/scramble stages: the
+		// oracle under test is the queue's admission plane, not the synthesis
+		// pipeline, and each case submits dozens of jobs — small fields keep
+		// every extraction fast enough that the well-behaved tenant's latency
+		// bound measures scheduling, not rewriting.
+		c.Kind = KindOverload
+		maxM := cfg.MaxM
+		if maxM > 10 {
+			maxM = 10
+		}
+		if maxM < cfg.MinM {
+			maxM = cfg.MinM
+		}
+		c.M = cfg.MinM + r.Intn(maxM-cfg.MinM+1)
+		p, err := gf2poly.RandomIrreducible(r, c.M)
+		if err != nil {
+			p = gf2poly.MustParse("x^8+x^4+x^3+x+1")
+			c.M = 8
+		}
+		c.P = p
+		c.Arch = cfg.Archs[r.Intn(len(cfg.Archs))]
+		if c.Arch == ArchDigitSerial {
+			max := c.M - 1
+			if max > 8 {
+				max = 8
+			}
+			if max < 1 {
+				max = 1
+			}
+			c.Digit = 1 + r.Intn(max)
+		}
 		return c
 	}
 	if cfg.Chaos {
@@ -292,6 +332,17 @@ type Summary struct {
 	ChaosExpired int // leases that expired and re-queued
 	ChaosFenced  int // zombie submissions rejected by the epoch fence
 	ChaosStolen  int // straggler leases split by work stealing
+
+	// Overload aggregates of an overload campaign (Config.Overload):
+	// Overloaded counts KindOverload cases; the totals tally the admission
+	// machinery those cases engaged, and WorstWellP99MS is the worst
+	// well-behaved-tenant p99 observed across them.
+	Overloaded       int
+	QuotaRejects     int   // submissions rejected by per-tenant quotas
+	ShedRejects      int   // submissions rejected by the staged load-shedder
+	Deduped          int   // batch submissions collapsed onto dedup leaders
+	DeadlinesExpired int   // jobs that hit their deadline
+	WorstWellP99MS   int64 // max well-tenant p99 across overload cases
 }
 
 // LocPrecision is LocHits / Diagnosed, the fraction of diagnosis cases
@@ -385,6 +436,13 @@ func RunCampaign(cfg Config) (*Summary, error) {
 			v["fenced"] = int64(res.Fenced)
 			v["stolen"] = int64(res.Stolen)
 		}
+		if res.Overloaded {
+			v["quota_rejects"] = int64(res.QuotaRejects)
+			v["shed_rejects"] = int64(res.ShedRejects)
+			v["deduped"] = int64(res.Deduped)
+			v["deadline_expired"] = int64(res.DeadlineExpired)
+			v["well_p99_ms"] = res.WellP99MS
+		}
 		rec.Emit(ev, res.Case.Label(), v)
 		rec.Metrics().Counter("diffcheck_" + string(res.Status)).Inc()
 	}
@@ -419,6 +477,18 @@ func RunCampaign(cfg Config) (*Summary, error) {
 				sum.ChaosExpired += res.Expired
 				sum.ChaosFenced += res.Fenced
 				sum.ChaosStolen += res.Stolen
+			}
+		case KindOverload:
+			key = "overload"
+			if res.Overloaded {
+				sum.Overloaded++
+				sum.QuotaRejects += res.QuotaRejects
+				sum.ShedRejects += res.ShedRejects
+				sum.Deduped += res.Deduped
+				sum.DeadlinesExpired += res.DeadlineExpired
+				if res.WellP99MS > sum.WorstWellP99MS {
+					sum.WorstWellP99MS = res.WellP99MS
+				}
 			}
 		}
 		sum.ByArch[key]++

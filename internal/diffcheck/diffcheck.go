@@ -110,6 +110,13 @@ const (
 	// still recovered exactly, with zero double-counted cones (the
 	// distributed-robustness oracle of package shard).
 	KindChaos Kind = "chaos"
+	// KindOverload attacks a small gfred queue with adversarial tenants — a
+	// greedy batch-flooder and a deadline-abuser — while one well-behaved
+	// tenant slow-drips jobs, and asserts the admission plane isolated them:
+	// exact P(x) for the polite tenant at bounded p99, zero quota violations,
+	// dedup and deadline expiry observed, one terminal event per accepted job
+	// (the multi-tenant-resilience oracle of package server).
+	KindOverload Kind = "overload"
 )
 
 // Case is one deterministic differential test: everything Run does is a
@@ -153,6 +160,9 @@ func (c Case) Label() string {
 	}
 	if c.Kind == KindChaos {
 		return fmt.Sprintf("chaos/%s/m=%d", c.Arch, c.M)
+	}
+	if c.Kind == KindOverload {
+		return fmt.Sprintf("overload/%s/m=%d", c.Arch, c.M)
 	}
 	parts := []string{string(c.Arch), fmt.Sprintf("m=%d", c.M)}
 	if c.Arch == ArchDigitSerial {
@@ -226,6 +236,14 @@ type Result struct {
 	Expired int  // leases that missed their heartbeat and re-queued
 	Fenced  int  // zombie submissions rejected by the epoch fence
 	Stolen  int  // straggler leases split by work stealing
+
+	// Overload-case outcome (KindOverload only).
+	Overloaded      bool  // the case ran the adversarial-tenant queue attack
+	QuotaRejects    int   // submissions rejected by per-tenant quotas
+	ShedRejects     int   // submissions rejected by the staged load-shedder
+	Deduped         int   // batch submissions collapsed onto a leader
+	DeadlineExpired int   // jobs whose deadline expired before/while running
+	WellP99MS       int64 // well-behaved tenant's p99 latency, milliseconds
 }
 
 // Binding names the multiplier ports of a netlist: operand input names (LSB
@@ -325,6 +343,9 @@ func Run(c Case) (res Result) {
 	}
 	if c.Kind == KindChaos {
 		return runChaos(c, &stage, fail)
+	}
+	if c.Kind == KindOverload {
+		return runOverload(c, &stage, fail)
 	}
 
 	stage = "gen"

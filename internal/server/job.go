@@ -61,6 +61,25 @@ type JobSpec struct {
 	// permanently (0 = the queue's default).
 	MaxAttempts int `json:"max_attempts,omitempty"`
 
+	// Tenant attributes the job for admission control and fair scheduling.
+	// The HTTP layer fills it from the X-Tenant header or API key; empty
+	// means DefaultTenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the scheduling class, 1 (highest) to 9 (lowest);
+	// 0 = the tenant's default.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS is a wall-clock completion budget measured from admission.
+	// When it expires, the job is cancelled everywhere — queued jobs fail
+	// at dispatch, running extractions are cancelled through the governor
+	// context, and sharded jobs' lease TTLs are capped to the remaining
+	// budget so remote workers stop within one TTL. 0 = no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Dedup opts the job into content-hash deduplication: if an identical
+	// submission (same netlist and extraction knobs) is already in flight,
+	// this job becomes a follower that shares the leader's single
+	// extraction and completes when it does. POST /jobs/batch forces it.
+	Dedup bool `json:"dedup,omitempty"`
+
 	// Shard routes the job through the lease-based sharded extractor with
 	// this many local workers (negative = none: remote peers via the
 	// daemon's hub do all the rewriting). 0 keeps the monolithic path.
@@ -87,6 +106,18 @@ type JobState struct {
 	Attempts int       `json:"attempts"`
 	// MaxAttempts is the resolved retry bound (spec value or queue default).
 	MaxAttempts int `json:"max_attempts"`
+
+	// Tenant and Priority are the resolved admission attributes; Seq is the
+	// global enqueue sequence — spool replay re-enqueues in Seq order so a
+	// restart never reorders a tenant's pipeline.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
+	// DeadlineUnixNS is the absolute completion deadline (0 = none).
+	DeadlineUnixNS int64 `json:"deadline_unix_ns,omitempty"`
+	// DedupOf names the leader job whose extraction this job shares; a
+	// follower never runs itself, it completes when its leader does.
+	DedupOf string `json:"dedup_of,omitempty"`
 
 	SubmittedUnixNS int64 `json:"submitted_unix_ns"`
 	StartedUnixNS   int64 `json:"started_unix_ns,omitempty"`

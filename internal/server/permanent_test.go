@@ -1,0 +1,75 @@
+// Lives in the external test package: it needs diffcheck's trojan mutator,
+// and diffcheck's overload harness imports server — an in-package test
+// importing diffcheck would be an import cycle.
+package server_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/diffcheck"
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/polytab"
+	"github.com/galoisfield/gfre/internal/server"
+)
+
+func awaitTerminal(t *testing.T, q *server.Queue, id string) *server.JobState {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := q.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job did not reach a terminal state in 30s")
+	return nil
+}
+
+func TestPermanentErrorFailsFast(t *testing.T) {
+	// A trojaned multiplier fails verification — retrying cannot fix the
+	// netlist, so the job must burn exactly one attempt.
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.MastrovitoMatrix(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := diffcheck.FlipXor(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bad.WriteEQN(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := server.NewQueue(server.Config{
+		Dir: t.TempDir(), MaxAttempts: 5, RetryBase: time.Millisecond, RetrySeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(time.Second)
+	st, err := q.Submit(&server.JobSpec{Netlist: buf.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitTerminal(t, q, st.ID)
+	if final.Status != server.StatusFailed {
+		t.Fatalf("trojaned job ended %s", final.Status)
+	}
+	if final.Attempts != 1 {
+		t.Fatalf("permanent failure took %d attempts, want 1", final.Attempts)
+	}
+	if final.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +34,10 @@ var (
 	// ErrBadSpec tags submissions the queue refuses outright (empty or
 	// unparseable netlist, unknown format) — these never enter the spool.
 	ErrBadSpec = errors.New("server: bad job spec")
+	// ErrDeadlineExceeded marks jobs whose wall-clock deadline expired
+	// before they could finish; they fail permanently (retrying cannot beat
+	// an absolute deadline).
+	ErrDeadlineExceeded = errors.New("server: job deadline exceeded")
 )
 
 // LintRejection is returned by Submit when the preflight static analysis
@@ -89,12 +95,26 @@ type Config struct {
 	// ShardLeaseTTL is the heartbeat deadline for sharded jobs' leases
 	// (0 = shard.DefaultLeaseTTL).
 	ShardLeaseTTL time.Duration
+	// Policy is the tenant admission policy (zero value: one unlimited
+	// default tenant).
+	Policy TenantPolicy
+	// AgingStep is the dispatcher's starvation-aging interval: a queued
+	// job's effective priority improves one class per step waited
+	// (0 = DefaultAgingStep).
+	AgingStep time.Duration
+	// Shed parameterizes the staged load-shed controller.
+	Shed ShedConfig
 }
 
 type jobEntry struct {
 	state *JobState
 	// retryTimer re-enqueues a backed-off job; stopped on drain.
 	retryTimer *time.Timer
+	// bytes is the netlist size charged against the tenant's queued-bytes
+	// quota until the job is terminal.
+	bytes int64
+	// dedupKey indexes q.dedup while this job leads a dedup group.
+	dedupKey string
 }
 
 // Queue is a bounded durable job queue: every accepted job is on disk
@@ -109,9 +129,20 @@ type Queue struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*jobEntry
-	runnable chan string
 	draining bool
 	rng      *rand.Rand
+	seq      uint64 // next enqueue sequence (persisted per job for replay order)
+
+	// sched is the weighted-fair priority dispatcher feeding the workers.
+	sched *dispatcher
+	// tenants holds per-tenant admission state (token buckets, counters).
+	tenants map[string]*tenantState
+	// shed is the staged overload controller.
+	shed *shedder
+	// dedup maps content-hash keys to in-flight leader job IDs; followers
+	// of each leader wait in dedupWaiters until the leader is terminal.
+	dedup       map[string]string
+	dedupWaiter map[string][]string
 
 	// shardStore is the cross-job content-addressed cone cache: a resubmitted
 	// netlist (same content hash) reuses every completed cone outright.
@@ -164,25 +195,27 @@ func NewQueue(cfg Config) (*Queue, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		cfg:        cfg,
-		rec:        cfg.Recorder,
-		journal:    cfg.Journal,
-		runCtx:     ctx,
-		cancelRun:  cancel,
-		jobs:       make(map[string]*jobEntry),
-		rng:        rand.New(rand.NewSource(seed)),
-		done:       make(chan struct{}),
-		shardStore: shard.NewStore(0),
+		cfg:         cfg,
+		rec:         cfg.Recorder,
+		journal:     cfg.Journal,
+		runCtx:      ctx,
+		cancelRun:   cancel,
+		jobs:        make(map[string]*jobEntry),
+		rng:         rand.New(rand.NewSource(seed)),
+		done:        make(chan struct{}),
+		shardStore:  shard.NewStore(0),
+		seq:         1,
+		sched:       newDispatcher(cfg.AgingStep, nil),
+		tenants:     make(map[string]*tenantState),
+		shed:        newShedder(cfg.Shed),
+		dedup:       make(map[string]string),
+		dedupWaiter: make(map[string][]string),
 	}
-	// The channel must hold every job that can ever be runnable at once, so
-	// sends under mu never block: live capacity plus whatever a previous
-	// daemon (possibly configured larger) left in the spool.
 	spooled, err := listSpool(cfg.Dir)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	q.runnable = make(chan string, cfg.Capacity+len(spooled))
 	if err := q.recover(spooled); err != nil {
 		cancel()
 		return nil, err
@@ -197,8 +230,13 @@ func NewQueue(cfg Config) (*Queue, error) {
 // recover replays the spool: terminal jobs are kept for status queries,
 // interrupted ones (queued, running, or mid-backoff when the daemon died)
 // are re-enqueued — a job that was running resumes from its checkpoint.
+// Live jobs re-enqueue in their original enqueue-sequence order (not
+// directory-scan order), so a restart never reorders a tenant's pipeline;
+// dedup groups re-link, and followers of an already-finished leader
+// complete immediately.
 func (q *Queue) recover(ids []string) error {
 	now := time.Now()
+	var live []*jobEntry
 	for _, id := range ids {
 		st, err := loadState(q.cfg.Dir, id)
 		if errors.Is(err, os.ErrNotExist) {
@@ -216,10 +254,66 @@ func (q *Queue) recover(ids []string) error {
 		}
 		entry := &jobEntry{state: st}
 		q.jobs[id] = entry
+		if st.Seq >= q.seq {
+			q.seq = st.Seq + 1
+		}
 		if st.Status.Terminal() {
 			continue
 		}
+		live = append(live, entry)
+	}
+	// Original admission order: by persisted sequence, falling back to
+	// submission time for pre-sequence spools.
+	sort.Slice(live, func(i, j int) bool {
+		a, b := live[i].state, live[j].state
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.SubmittedUnixNS != b.SubmittedUnixNS {
+			return a.SubmittedUnixNS < b.SubmittedUnixNS
+		}
+		return a.ID < b.ID
+	})
+	var fanout []*jobEntry
+	for _, entry := range live {
+		st := entry.state
+		if st.Seq == 0 {
+			st.Seq = q.seq
+			q.seq++
+		}
+		st.Tenant = normalizeTenant(st.Tenant)
+		st.Priority = clampPriority(st.Priority, DefaultPriority)
+		spec, specErr := loadSpec(q.cfg.Dir, st.ID)
+		if specErr == nil {
+			entry.bytes = int64(len(spec.Netlist))
+		}
+		ts := q.tenantLocked(st.Tenant)
+		ts.active++
+		ts.queuedBytes += entry.bytes
 		q.counter("jobs_recovered").Inc()
+		q.gauge("queue_depth").Add(1)
+
+		if st.DedupOf != "" {
+			// Follower: re-attach to its leader if the leader is still
+			// live; complete from the leader's result if it already
+			// finished; run standalone if the leader is gone.
+			if le, ok := q.jobs[st.DedupOf]; ok && !le.state.Status.Terminal() {
+				q.dedupWaiter[st.DedupOf] = append(q.dedupWaiter[st.DedupOf], st.ID)
+				continue
+			} else if ok && le.state.Status.Terminal() {
+				fanout = append(fanout, entry)
+				continue
+			}
+			st.DedupOf = ""
+			saveState(q.cfg.Dir, st) //nolint:errcheck — re-saved on next transition
+		}
+		if specErr == nil && spec.Dedup {
+			key := dedupKey(spec)
+			if _, taken := q.dedup[key]; !taken {
+				q.dedup[key] = st.ID
+				entry.dedupKey = key
+			}
+		}
 		if st.Status == StatusRunning {
 			// Interrupted mid-extraction; its checkpoint directory holds the
 			// completed cones and the resumed run reuses them.
@@ -229,15 +323,44 @@ func (q *Queue) recover(ids []string) error {
 		if wait := time.Until(time.Unix(0, st.NextRetryUnixNS)); st.NextRetryUnixNS > 0 && wait > 0 {
 			q.scheduleRetryLocked(entry, wait)
 		} else {
-			q.runnable <- id
+			q.pushLocked(st)
 		}
-		q.gauge("queue_depth").Add(1)
 	}
+	for _, entry := range fanout {
+		leader := q.jobs[entry.state.DedupOf].state
+		q.completeFollowerLocked(entry, leader)
+	}
+	q.updateShedLocked()
 	return nil
+}
+
+// normalizeTenant maps empty or invalid names to DefaultTenant; Submit
+// validates eagerly, this guards replayed spools.
+func normalizeTenant(t string) string {
+	if t == "" || !validTenantName(t) {
+		return DefaultTenant
+	}
+	return t
+}
+
+// pushLocked hands a queued job to the dispatcher under its tenant's
+// scheduling parameters; the caller holds q.mu.
+func (q *Queue) pushLocked(st *JobState) {
+	quota := q.cfg.Policy.Quota(st.Tenant)
+	q.sched.Push(schedEntry{
+		id: st.ID, tenant: st.Tenant, priority: st.Priority, seq: st.Seq,
+	}, quota.Weight, quota.MaxRunning)
 }
 
 // Submit validates, persists and enqueues a job. The spec is on disk before
 // Submit returns — an accepted job survives any subsequent crash.
+//
+// Admission applies, in order: lint preflight, drain state, the staged
+// load-shed controller, queue capacity, then the tenant's token-bucket and
+// resource quotas. With JobSpec.Dedup set, an identical in-flight
+// submission turns this job into a follower of that leader: accepted and
+// durable, but it never runs — it completes when the leader does (or
+// instantly, when the leader already succeeded).
 func (q *Queue) Submit(spec *JobSpec) (*JobState, error) {
 	if strings.TrimSpace(spec.Netlist) == "" {
 		return nil, fmt.Errorf("%w: empty netlist", ErrBadSpec)
@@ -246,6 +369,19 @@ func (q *Queue) Submit(spec *JobSpec) (*JobState, error) {
 	case "", "eqn", "blif", "verilog":
 	default:
 		return nil, fmt.Errorf("%w: unknown netlist format %q", ErrBadSpec, spec.Format)
+	}
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if !validTenantName(tenant) {
+		return nil, fmt.Errorf("%w: invalid tenant name %q", ErrBadSpec, spec.Tenant)
+	}
+	if spec.DeadlineMS < 0 {
+		return nil, fmt.Errorf("%w: negative deadline_ms", ErrBadSpec)
+	}
+	if spec.Priority < 0 || spec.Priority > numPriorities {
+		return nil, fmt.Errorf("%w: priority %d out of range 1..%d", ErrBadSpec, spec.Priority, numPriorities)
 	}
 	// Lint eagerly so defective uploads fail the submission (HTTP 422 with
 	// the findings in the body), not the first extraction attempt. The
@@ -271,12 +407,38 @@ func (q *Queue) Submit(spec *JobSpec) (*JobState, error) {
 		q.counter("jobs_rejected").Inc()
 		return nil, ErrDraining
 	}
+	quota := q.cfg.Policy.Quota(tenant)
+	priority := clampPriority(spec.Priority, clampPriority(quota.Priority, DefaultPriority))
+	// A hard-full queue is ErrQueueFull regardless of shed stage; the staged
+	// controller owns the soft watermarks below capacity.
 	if q.activeLocked() >= q.cfg.Capacity {
 		q.counter("jobs_rejected").Inc()
+		q.tenantLocked(tenant).rejected++
+		q.updateShedLocked()
 		return nil, ErrQueueFull
 	}
+	// Overload next: a shedding queue rejects before any quota is charged.
+	if stage := q.updateShedLocked(); stage > 0 {
+		if err := q.shed.admitStage(stage, spec, priority); err != nil {
+			q.counter("jobs_rejected").Inc()
+			q.counter("jobs_shed").Inc()
+			q.tenantLocked(tenant).rejected++
+			return nil, err
+		}
+	}
+	now := time.Now()
+	size := int64(len(spec.Netlist))
+	ts := q.tenantLocked(tenant)
+	if err := ts.admit(now, size); err != nil {
+		q.counter("jobs_rejected").Inc()
+		q.counter("jobs_quota_rejected").Inc()
+		q.tenantCounter("tenant_rejected", tenant).Inc()
+		return nil, err
+	}
+	// Admitted: any failure past this point must return the charge.
 	id, err := newJobID()
 	if err != nil {
+		ts.release(size)
 		return nil, err
 	}
 	maxAttempts := spec.MaxAttempts
@@ -285,22 +447,91 @@ func (q *Queue) Submit(spec *JobSpec) (*JobState, error) {
 	}
 	st := &JobState{
 		ID: id, Name: spec.Name, Status: StatusQueued,
-		MaxAttempts: maxAttempts, SubmittedUnixNS: time.Now().UnixNano(),
+		MaxAttempts: maxAttempts, SubmittedUnixNS: now.UnixNano(),
+		Tenant: tenant, Priority: priority, Seq: q.seq,
+	}
+	if spec.DeadlineMS > 0 {
+		st.DeadlineUnixNS = now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond).UnixNano()
+	}
+	// Dedup: an identical in-flight submission makes this job a follower; a
+	// leader that already succeeded completes the follower instantly from
+	// its result (a failed leader is forgotten, so identical content can be
+	// retried fresh).
+	var key, leaderID string
+	var doneLeader *JobState
+	if spec.Dedup {
+		key = dedupKey(spec)
+		if lid, ok := q.dedup[key]; ok {
+			if le, live := q.jobs[lid]; live {
+				switch {
+				case !le.state.Status.Terminal():
+					leaderID = lid
+					st.DedupOf = lid
+				case le.state.Status == StatusDone:
+					doneLeader = le.state
+					st.DedupOf = lid
+				}
+			}
+		}
 	}
 	// Durability order: spec first, then state, then the in-memory enqueue.
-	if err := saveSpec(q.cfg.Dir, id, spec); err != nil {
+	sp := *spec
+	sp.Tenant = tenant
+	if err := saveSpec(q.cfg.Dir, id, &sp); err != nil {
+		ts.release(size)
 		return nil, err
 	}
 	if err := saveState(q.cfg.Dir, st); err != nil {
+		ts.release(size)
 		return nil, err
 	}
-	q.jobs[id] = &jobEntry{state: st}
-	q.runnable <- id
+	q.seq++
+	entry := &jobEntry{state: st, bytes: size}
+	q.jobs[id] = entry
+	switch {
+	case doneLeader != nil:
+		q.counter("jobs_deduped").Inc()
+		q.completeFollowerLocked(entry, doneLeader)
+	case leaderID != "":
+		q.dedupWaiter[leaderID] = append(q.dedupWaiter[leaderID], id)
+		q.counter("jobs_deduped").Inc()
+	default:
+		if key != "" {
+			q.dedup[key] = id
+			entry.dedupKey = key
+		}
+		q.pushLocked(st)
+	}
 	q.counter("jobs_submitted").Inc()
+	q.tenantCounter("tenant_submitted", tenant).Inc()
 	q.gauge("queue_depth").Add(1)
-	q.emit("job_submitted", id, nil)
+	q.updateShedLocked()
+	q.rec.EmitJob(id, "job_submitted", tenant, map[string]int64{
+		"priority": int64(priority), "seq": int64(st.Seq),
+	})
 	cp := *st
 	return &cp, nil
+}
+
+// BatchItem is one outcome of SubmitBatch, positionally matching the input.
+type BatchItem struct {
+	State *JobState
+	Err   error
+}
+
+// SubmitBatch admits specs as one batch with content-hash dedup forced: N
+// identical submissions admit a single extraction, whose result fans out
+// to every accepted job when the leader finishes. Outcomes are per-item —
+// one rejection (quota, capacity, lint) does not fail the rest.
+func (q *Queue) SubmitBatch(specs []*JobSpec) []BatchItem {
+	out := make([]BatchItem, len(specs))
+	for i, spec := range specs {
+		sp := *spec
+		sp.Dedup = true
+		st, err := q.Submit(&sp)
+		out[i] = BatchItem{State: st, Err: err}
+	}
+	return out
 }
 
 // Get returns a copy of the job's current state.
@@ -384,7 +615,7 @@ func (q *Queue) Drain(grace time.Duration) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	q.cancelRun()
-	close(q.runnable)
+	q.sched.Close()
 	q.wg.Wait()
 	q.emit("drain_end", "", map[string]int64{"active_left": int64(q.Active())})
 	close(q.done)
@@ -456,22 +687,27 @@ func (q *Queue) RetryAfterHint() time.Duration {
 	return hint
 }
 
-// worker pulls runnable job IDs until the queue closes.
+// worker pulls dispatched jobs until the queue closes. The dispatcher
+// charges the popped entry's tenant a running slot; it is returned here no
+// matter how the attempt ends.
 func (q *Queue) worker() {
 	defer q.wg.Done()
-	for id := range q.runnable {
-		if q.runCtx.Err() != nil {
-			// Drained mid-loop; leave the job queued for the next start.
-			continue
+	for {
+		e, ok := q.sched.Next()
+		if !ok {
+			return
 		}
-		q.runJob(id)
+		if q.runCtx.Err() == nil {
+			q.runJob(e.id)
+		}
+		// Drained mid-loop: the job stays queued for the next start.
+		q.sched.Release(e.tenant)
 	}
 }
 
 // scheduleRetryLocked arms the re-enqueue timer for a backed-off job; the
 // caller holds q.mu.
 func (q *Queue) scheduleRetryLocked(entry *jobEntry, wait time.Duration) {
-	id := entry.state.ID
 	entry.retryTimer = time.AfterFunc(wait, func() {
 		q.mu.Lock()
 		defer q.mu.Unlock()
@@ -479,7 +715,7 @@ func (q *Queue) scheduleRetryLocked(entry *jobEntry, wait time.Duration) {
 			return
 		}
 		entry.retryTimer = nil
-		q.runnable <- id
+		q.pushLocked(entry.state)
 	})
 }
 
@@ -492,28 +728,46 @@ func (q *Queue) runJob(id string) {
 		return
 	}
 	st := entry.state
+	if st.DeadlineUnixNS > 0 && time.Now().UnixNano() >= st.DeadlineUnixNS {
+		// Expired while queued: fail without burning a worker on it.
+		st.Status = StatusFailed
+		st.Error = ErrDeadlineExceeded.Error()
+		st.FinishedUnixNS = time.Now().UnixNano()
+		q.counter("jobs_deadline_expired").Inc()
+		q.finishAccountingLocked(entry, StatusFailed)
+		q.settleDedupLocked(entry)
+		q.updateShedLocked()
+		saveState(q.cfg.Dir, st) //nolint:errcheck — terminal state, best effort
+		q.emit("job_failed", id, map[string]int64{"attempt": 0, "deadline": 1})
+		q.mu.Unlock()
+		return
+	}
 	st.Status = StatusRunning
 	st.Attempts++
 	st.StartedUnixNS = time.Now().UnixNano()
 	st.NextRetryUnixNS = 0
 	saveState(q.cfg.Dir, st) //nolint:errcheck — worst case the attempt repeats
 	q.gauge("jobs_running").Add(1)
+	q.counter("extractions_started").Inc()
+	deadlineNS := st.DeadlineUnixNS
 	q.mu.Unlock()
 	q.emit("job_start", id, map[string]int64{"attempt": int64(st.Attempts)})
 
-	result, err := q.extract(id)
+	result, err := q.extract(id, deadlineNS)
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.gauge("jobs_running").Add(-1)
+	now := time.Now()
+	deadlineHit := err != nil && deadlineNS > 0 &&
+		(errors.Is(err, context.DeadlineExceeded) || now.UnixNano() >= deadlineNS)
 	switch {
 	case err == nil:
 		st.Status = StatusDone
 		st.Result = result
 		st.Error = ""
-		st.FinishedUnixNS = time.Now().UnixNano()
-		q.counter("jobs_done").Inc()
-		q.gauge("queue_depth").Add(-1)
+		st.FinishedUnixNS = now.UnixNano()
+		q.finishAccountingLocked(entry, StatusDone)
 		q.emit("job_done", id, map[string]int64{"attempt": int64(st.Attempts)})
 
 	case q.runCtx.Err() != nil:
@@ -524,12 +778,22 @@ func (q *Queue) runJob(id string) {
 		st.Attempts--
 		q.emit("job_interrupted", id, nil)
 
+	case deadlineHit:
+		// The job's own deadline expired mid-extraction: the governed
+		// context already cancelled the rewrite (and released shard leases
+		// via pool shutdown); no retry can beat an absolute deadline.
+		st.Status = StatusFailed
+		st.Error = ErrDeadlineExceeded.Error() + ": " + err.Error()
+		st.FinishedUnixNS = now.UnixNano()
+		q.counter("jobs_deadline_expired").Inc()
+		q.finishAccountingLocked(entry, StatusFailed)
+		q.emit("job_failed", id, map[string]int64{"attempt": int64(st.Attempts), "deadline": 1})
+
 	case permanentError(err) || st.Attempts >= st.MaxAttempts:
 		st.Status = StatusFailed
 		st.Error = err.Error()
-		st.FinishedUnixNS = time.Now().UnixNano()
-		q.counter("jobs_failed").Inc()
-		q.gauge("queue_depth").Add(-1)
+		st.FinishedUnixNS = now.UnixNano()
+		q.finishAccountingLocked(entry, StatusFailed)
 		q.emit("job_failed", id, map[string]int64{"attempt": int64(st.Attempts)})
 
 	default:
@@ -542,7 +806,7 @@ func (q *Queue) runJob(id string) {
 		wait := backoff(q.cfg.RetryBase, q.cfg.RetryCap, st.Attempts, q.rng.Float64())
 		st.Status = StatusQueued
 		st.Error = err.Error()
-		st.NextRetryUnixNS = time.Now().Add(wait).UnixNano()
+		st.NextRetryUnixNS = now.Add(wait).UnixNano()
 		q.counter("jobs_retried").Inc()
 		q.emit("job_retry", id, map[string]int64{
 			"attempt": int64(st.Attempts), "backoff_ms": wait.Milliseconds(),
@@ -551,7 +815,68 @@ func (q *Queue) runJob(id string) {
 			q.scheduleRetryLocked(entry, wait)
 		}
 	}
+	if st.Status.Terminal() {
+		q.settleDedupLocked(entry)
+		q.updateShedLocked()
+	}
 	saveState(q.cfg.Dir, st) //nolint:errcheck — state rewrites on every later transition
+}
+
+// finishAccountingLocked books one job's terminal transition: the done or
+// failed counter, the queue-depth gauge, and the tenant's quota charge.
+func (q *Queue) finishAccountingLocked(entry *jobEntry, status JobStatus) {
+	if status == StatusDone {
+		q.counter("jobs_done").Inc()
+		q.tenantCounter("tenant_done", entry.state.Tenant).Inc()
+	} else {
+		q.counter("jobs_failed").Inc()
+		q.tenantCounter("tenant_failed", entry.state.Tenant).Inc()
+	}
+	q.gauge("queue_depth").Add(-1)
+	q.tenantLocked(entry.state.Tenant).release(entry.bytes)
+}
+
+// settleDedupLocked settles a terminal job's dedup bookkeeping: every
+// follower completes with a copy of its outcome. A successful leader keeps
+// its content key so identical later submissions reuse the result without
+// extracting; a failed leader releases the key so the content can be
+// retried fresh.
+func (q *Queue) settleDedupLocked(entry *jobEntry) {
+	st := entry.state
+	if entry.dedupKey != "" && st.Status != StatusDone {
+		if q.dedup[entry.dedupKey] == st.ID {
+			delete(q.dedup, entry.dedupKey)
+		}
+		entry.dedupKey = ""
+	}
+	waiters := q.dedupWaiter[st.ID]
+	delete(q.dedupWaiter, st.ID)
+	for _, fid := range waiters {
+		if fe := q.jobs[fid]; fe != nil && !fe.state.Status.Terminal() {
+			q.completeFollowerLocked(fe, st)
+		}
+	}
+}
+
+// completeFollowerLocked finishes a dedup follower from its leader's
+// terminal state: same status, same error, a copy of the result.
+func (q *Queue) completeFollowerLocked(entry *jobEntry, leader *JobState) {
+	st := entry.state
+	st.Status = leader.Status
+	st.Error = leader.Error
+	st.Result = nil
+	if leader.Result != nil {
+		r := *leader.Result
+		st.Result = &r
+	}
+	st.FinishedUnixNS = time.Now().UnixNano()
+	saveState(q.cfg.Dir, st) //nolint:errcheck — terminal state, best effort
+	q.finishAccountingLocked(entry, st.Status)
+	ev := "job_done"
+	if st.Status == StatusFailed {
+		ev = "job_failed"
+	}
+	q.rec.EmitJob(st.ID, ev, st.Tenant, map[string]int64{"dedup": 1})
 }
 
 // ckptDir is the job's checkpoint directory inside the spool.
@@ -559,8 +884,12 @@ func (q *Queue) ckptDir(id string) string {
 	return filepath.Join(q.cfg.Dir, id+ckptSuffix)
 }
 
-// extract runs one governed, checkpointed extraction attempt.
-func (q *Queue) extract(id string) (*JobResult, error) {
+// extract runs one governed, checkpointed extraction attempt. A nonzero
+// deadlineNS is the job's absolute completion deadline: it propagates as a
+// context deadline through the governor (cancelling every rewrite worker),
+// caps the per-cone deadline, and clamps sharded jobs' lease TTLs so remote
+// workers holding leases past expiry lose them within one heartbeat.
+func (q *Queue) extract(id string, deadlineNS int64) (*JobResult, error) {
 	spec, err := loadSpec(q.cfg.Dir, id)
 	if err != nil {
 		return nil, err
@@ -569,6 +898,31 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	runCtx := q.runCtx
+	coneDeadline := time.Duration(spec.ConeDeadlineMS) * time.Millisecond
+	leaseTTL := q.cfg.ShardLeaseTTL
+	if deadlineNS > 0 {
+		deadline := time.Unix(0, deadlineNS)
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithDeadline(runCtx, deadline)
+		defer cancel()
+		remaining := time.Until(deadline)
+		if remaining < time.Millisecond {
+			remaining = time.Millisecond
+		}
+		if coneDeadline <= 0 || coneDeadline > remaining {
+			coneDeadline = remaining
+		}
+		if leaseTTL <= 0 {
+			leaseTTL = shard.DefaultLeaseTTL
+		}
+		if min := 10 * time.Millisecond; leaseTTL > remaining {
+			leaseTTL = remaining
+			if leaseTTL < min {
+				leaseTTL = min
+			}
+		}
+	}
 	opts := extract.Options{
 		Threads:      spec.Threads,
 		PrefixA:      spec.PrefixA,
@@ -576,12 +930,12 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 		SkipVerify:   spec.SkipVerify,
 		Tolerate:     spec.Tolerate,
 		BudgetTerms:  spec.BudgetTerms,
-		ConeDeadline: time.Duration(spec.ConeDeadlineMS) * time.Millisecond,
+		ConeDeadline: coneDeadline,
 		// Re-lint at run time: a job replayed from an old spool never went
 		// through submit-time lint, and the cost predictor fills unset
 		// budget/deadline knobs either way.
 		Preflight: true,
-		Ctx:       q.runCtx,
+		Ctx:       runCtx,
 		// Per-attempt child recorder: every rewrite/extract event and span of
 		// this attempt carries the job ID, so SSE consumers and the live
 		// dashboard can follow one job through the shared journal.
@@ -605,7 +959,7 @@ func (q *Queue) extract(id string) (*JobResult, error) {
 			Workers: spec.Shard,
 			Hub:     q.cfg.Hub, HubKey: id,
 			Store:    q.shardStore,
-			LeaseTTL: q.cfg.ShardLeaseTTL,
+			LeaseTTL: leaseTTL,
 		})
 	case spec.Tolerate > 0:
 		ext, _, err = extract.Diagnose(n, opts)
@@ -656,6 +1010,41 @@ func permanentError(err error) bool {
 		errors.Is(err, extract.ErrMismatch) ||
 		errors.Is(err, extract.ErrBadPorts) ||
 		errors.Is(err, extract.ErrConsensus)
+}
+
+// dedupKey is the content-hash grouping identical submissions: the netlist
+// source plus every knob that changes the extraction's outcome. Tenant,
+// priority, deadline, and name are deliberately excluded — two tenants
+// submitting the same work share one extraction.
+func dedupKey(spec *JobSpec) string {
+	return checkpoint.HashSubmission(spec.Netlist, spec.Format,
+		spec.PrefixA, spec.PrefixB,
+		strconv.Itoa(spec.BudgetTerms),
+		strconv.FormatInt(spec.ConeDeadlineMS, 10),
+		strconv.Itoa(spec.Tolerate),
+		strconv.FormatBool(spec.SkipVerify),
+		strconv.Itoa(spec.Shard),
+	)
+}
+
+// metricSafe maps a tenant name into the Prometheus metric-name alphabet
+// ([a-zA-Z0-9_]): dots and dashes become underscores. Tenant names are
+// already restricted to those four character classes by validTenantName.
+func metricSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// tenantCounter is a per-tenant labelled counter, flattened into the metric
+// name (the obs plane is label-free by design).
+func (q *Queue) tenantCounter(name, tenant string) *obs.Counter {
+	return q.counter(name + "_" + metricSafe(tenant))
 }
 
 // counter/gauge/emit are nil-safe metric helpers. Lifecycle events carry the

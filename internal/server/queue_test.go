@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"github.com/galoisfield/gfre/internal/checkpoint"
-	"github.com/galoisfield/gfre/internal/diffcheck"
 	"github.com/galoisfield/gfre/internal/gen"
 	"github.com/galoisfield/gfre/internal/netlist"
 	"github.com/galoisfield/gfre/internal/obs"
@@ -155,47 +154,6 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 	}
 	if q.Active() != 0 {
 		t.Fatalf("rejected specs entered the queue: active=%d", q.Active())
-	}
-}
-
-func TestPermanentErrorFailsFast(t *testing.T) {
-	// A trojaned multiplier fails verification — retrying cannot fix the
-	// netlist, so the job must burn exactly one attempt.
-	p, err := polytab.Default(8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n, err := gen.MastrovitoMatrix(8, p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bad, err := diffcheck.FlipXor(n, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := bad.WriteEQN(&buf); err != nil {
-		t.Fatal(err)
-	}
-
-	q, err := NewQueue(Config{Dir: t.TempDir(), MaxAttempts: 5, RetryBase: time.Millisecond, RetrySeed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer q.Drain(time.Second)
-	st, err := q.Submit(&JobSpec{Netlist: buf.String()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	final := waitStatus(t, q, st.ID)
-	if final.Status != StatusFailed {
-		t.Fatalf("trojaned job ended %s", final.Status)
-	}
-	if final.Attempts != 1 {
-		t.Fatalf("permanent failure took %d attempts, want 1", final.Attempts)
-	}
-	if final.Error == "" {
-		t.Fatal("failed job carries no error")
 	}
 }
 

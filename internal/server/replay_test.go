@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/obs"
+)
+
+// TestReplayPreservesEnqueueOrder is the regression test for spool replay
+// ordering: jobs land back in the dispatcher in their original enqueue
+// sequence, not the directory-scan order of the spool. The fixture writes
+// three spool entries whose state files carry Seq 3, 1, 2 (IDs chosen so a
+// lexical directory scan would yield yet another order), then boots a
+// single-worker queue and asserts the journal's job_start order follows the
+// sequence numbers.
+func TestReplayPreservesEnqueueOrder(t *testing.T) {
+	dir := t.TempDir()
+	small := eqnText(t, 8)
+	now := time.Now().UnixNano()
+
+	// IDs are valid 16-hex spool names; lexical order (aaaa.. < bbbb.. <
+	// cccc..) disagrees with sequence order (bbbb=1, cccc=2, aaaa=3) so a
+	// scan-order replay fails the test.
+	fixture := []struct {
+		id  string
+		seq uint64
+	}{
+		{"aaaaaaaaaaaaaaaa", 3},
+		{"bbbbbbbbbbbbbbbb", 1},
+		{"cccccccccccccccc", 2},
+	}
+	for _, f := range fixture {
+		if err := saveSpec(dir, f.id, &JobSpec{Netlist: small, Name: f.id[:4]}); err != nil {
+			t.Fatal(err)
+		}
+		st := &JobState{
+			ID: f.id, Status: StatusQueued, MaxAttempts: 3,
+			Tenant: DefaultTenant, Priority: DefaultPriority,
+			Seq: f.seq, SubmittedUnixNS: now + int64(f.seq),
+		}
+		if err := saveState(dir, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q, err := NewQueue(Config{Dir: dir, RetrySeed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Drain(5 * time.Second)
+
+	wantOrder := []string{"bbbbbbbbbbbbbbbb", "cccccccccccccccc", "aaaaaaaaaaaaaaaa"}
+	for _, f := range fixture {
+		if st := waitStatus(t, q, f.id); st.Status != StatusDone {
+			t.Fatalf("job %s ended %s: %s", f.id, st.Status, st.Error)
+		}
+	}
+	events, _ := q.Journal().ReplaySince(0)
+	var started []string
+	for _, ev := range events {
+		if ev.Ev == "job_start" {
+			started = append(started, ev.Job)
+		}
+	}
+	if len(started) != 3 {
+		t.Fatalf("job_start events = %v, want 3", started)
+	}
+	for i, id := range wantOrder {
+		if started[i] != id {
+			t.Fatalf("replay start order %v, want %v (seq order, not scan order)", started, wantOrder)
+		}
+	}
+}
+
+// TestBatchSubmitVersusDrain races concurrent batch submissions against a
+// SIGTERM-style drain, then replays the spool in a second queue generation:
+// every job that was ACCEPTED must reach exactly one terminal state across
+// the two generations — completed in generation 1, or replayed and completed
+// in generation 2 — and no job may complete twice.
+func TestBatchSubmitVersusDrain(t *testing.T) {
+	dir := t.TempDir()
+	small := eqnText(t, 8)
+	journal := obs.NewJournal(1 << 16)
+	q, err := NewQueue(Config{
+		Dir: dir, RetrySeed: 1, Capacity: 256, Workers: 2, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		accepted []string
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Batch dedup collapses identical items onto one leader, so
+				// the drain must also settle follower fan-out correctly —
+				// every accepted ID still owes exactly one terminal event.
+				items := q.SubmitBatch([]*JobSpec{
+					{Netlist: small, Name: "race"},
+					{Netlist: small, Name: "race"},
+				})
+				mu.Lock()
+				for _, it := range items {
+					if it.Err == nil {
+						accepted = append(accepted, it.State.ID)
+					}
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	q.Drain(20 * time.Millisecond) // cut the grace short: interrupt mid-flight
+	close(stop)
+	wg.Wait()
+
+	countTerminals := func(j *obs.Journal) map[string]int {
+		counts := map[string]int{}
+		events, _ := j.ReplaySince(0)
+		for _, ev := range events {
+			if ev.Ev == "job_done" || ev.Ev == "job_failed" {
+				counts[ev.Job]++
+			}
+		}
+		return counts
+	}
+	gen1 := countTerminals(journal)
+
+	// Generation 2: replay the spool and let everything finish.
+	journal2 := obs.NewJournal(1 << 16)
+	q2, err := NewQueue(Config{Dir: dir, RetrySeed: 2, Capacity: 256, Workers: 2, Journal: journal2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range accepted {
+		st := waitStatus(t, q2, id)
+		if st.Status != StatusDone {
+			t.Fatalf("accepted job %s ended %s after replay: %s", id, st.Status, st.Error)
+		}
+	}
+	q2.Drain(5 * time.Second)
+	gen2 := countTerminals(journal2)
+
+	for _, id := range accepted {
+		total := gen1[id] + gen2[id]
+		if total != 1 {
+			t.Fatalf("job %s reached %d terminal events across generations (gen1=%d gen2=%d), want exactly 1",
+				id, total, gen1[id], gen2[id])
+		}
+	}
+	if len(accepted) == 0 {
+		t.Fatal("race window accepted zero jobs; the test exercised nothing")
+	}
+}

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	// numPriorities is the number of priority classes: 1 (highest) through
+	// 9 (lowest).
+	numPriorities = 9
+	// DefaultPriority is assigned when neither the spec nor the tenant
+	// policy sets one.
+	DefaultPriority = 5
+	// DefaultAgingStep is the starvation-aging interval: a queued job's
+	// effective priority improves by one class per step waited, so even
+	// priority-9 work under a saturated priority-1 flood runs within
+	// 8 steps.
+	DefaultAgingStep = 30 * time.Second
+)
+
+// clampPriority normalizes a client- or policy-supplied priority into the
+// 1..numPriorities scale (0 = unset → fallback).
+func clampPriority(p, fallback int) int {
+	if p == 0 {
+		p = fallback
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > numPriorities {
+		p = numPriorities
+	}
+	return p
+}
+
+// schedEntry is one queued job in the dispatcher.
+type schedEntry struct {
+	id       string
+	tenant   string
+	priority int // 1..numPriorities after clamping
+	seq      uint64
+	enqueued time.Time
+}
+
+// tenantSched is the per-tenant scheduling state: one FIFO bucket per
+// priority class, a stride-scheduling pass value, and the running count the
+// MaxRunning quota is enforced against.
+type tenantSched struct {
+	name    string
+	pass    float64
+	weight  int
+	maxRun  int
+	buckets [numPriorities][]schedEntry
+	queued  int
+	running int
+}
+
+// dispatcher replaces the strict-FIFO runnable channel with weighted-fair
+// priority scheduling:
+//
+//   - within a tenant, the lowest effective priority class runs first, FIFO
+//     within a class. Effective priority ages: a bucket's head improves by
+//     one class per aging step it has waited, so low-priority work always
+//     drains (starvation freedom);
+//   - across tenants tied on effective priority, stride scheduling picks
+//     the smallest pass value and advances it by 1/weight — a weight-3
+//     tenant drains three jobs per one of a weight-1 tenant;
+//   - a tenant at its MaxRunning cap is skipped entirely, so one tenant's
+//     long jobs can never occupy every worker.
+//
+// All methods are safe for concurrent use; Next blocks until work is
+// dispatchable or Close is called.
+type dispatcher struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	aging   time.Duration
+	clock   func() time.Time
+	tenants map[string]*tenantSched
+	queued  int
+}
+
+func newDispatcher(aging time.Duration, clock func() time.Time) *dispatcher {
+	if aging <= 0 {
+		aging = DefaultAgingStep
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	d := &dispatcher{aging: aging, clock: clock, tenants: map[string]*tenantSched{}}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// Push enqueues an entry under its tenant, adopting weight and maxRun from
+// the tenant's quota. A tenant (re)entering the active set starts at the
+// current minimum pass, so idling never banks credit to monopolize later.
+func (d *dispatcher) Push(e schedEntry, weight, maxRun int) {
+	e.priority = clampPriority(e.priority, DefaultPriority)
+	if weight < 1 {
+		weight = 1
+	}
+	if e.enqueued.IsZero() {
+		e.enqueued = d.clock()
+	}
+	d.mu.Lock()
+	t := d.tenants[e.tenant]
+	if t == nil {
+		t = &tenantSched{name: e.tenant}
+		d.tenants[e.tenant] = t
+	}
+	t.weight, t.maxRun = weight, maxRun
+	if t.queued == 0 && t.running == 0 {
+		minPass, found := 0.0, false
+		for _, o := range d.tenants {
+			if o == t || (o.queued == 0 && o.running == 0) {
+				continue
+			}
+			if !found || o.pass < minPass {
+				minPass, found = o.pass, true
+			}
+		}
+		if found && t.pass < minPass {
+			t.pass = minPass
+		}
+	}
+	t.buckets[e.priority-1] = append(t.buckets[e.priority-1], e)
+	t.queued++
+	d.queued++
+	d.mu.Unlock()
+	d.cond.Signal()
+}
+
+// Next blocks for the next dispatchable entry. ok is false once the
+// dispatcher is closed — entries still queued stay queued (they are durable
+// in the spool; a drain hands them to the next daemon start). The popped
+// entry's tenant is charged one running slot; the caller must Release it.
+func (d *dispatcher) Next() (schedEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return schedEntry{}, false
+		}
+		if e, ok := d.popLocked(d.clock()); ok {
+			return e, true
+		}
+		// Either nothing is queued, or everything queued belongs to tenants
+		// at their MaxRunning cap — both resolve via Push or Release, so a
+		// plain wait suffices (aging changes ordering, never eligibility).
+		d.cond.Wait()
+	}
+}
+
+func (d *dispatcher) popLocked(now time.Time) (schedEntry, bool) {
+	var (
+		best       *tenantSched
+		bestEff    = numPriorities + 1
+		bestBucket = -1
+	)
+	for _, t := range d.tenants {
+		if t.queued == 0 || (t.maxRun > 0 && t.running >= t.maxRun) {
+			continue
+		}
+		eff, bucket := t.bestBucketLocked(now, d.aging)
+		if eff < bestEff ||
+			(eff == bestEff && (t.pass < best.pass ||
+				(t.pass == best.pass && t.name < best.name))) {
+			best, bestEff, bestBucket = t, eff, bucket
+		}
+	}
+	if best == nil {
+		return schedEntry{}, false
+	}
+	b := best.buckets[bestBucket]
+	e := b[0]
+	copy(b, b[1:])
+	best.buckets[bestBucket] = b[:len(b)-1]
+	best.queued--
+	d.queued--
+	best.running++
+	best.pass += 1.0 / float64(best.weight)
+	return e, true
+}
+
+// bestBucketLocked finds the tenant's most urgent non-empty bucket: lowest
+// aged effective priority, ties broken by oldest head sequence. Buckets are
+// FIFO, so the head is the oldest entry and the bucket's best effective
+// priority is computable from it alone.
+func (t *tenantSched) bestBucketLocked(now time.Time, aging time.Duration) (eff, bucket int) {
+	eff, bucket = numPriorities+1, -1
+	var bestSeq uint64
+	for p := range t.buckets {
+		b := t.buckets[p]
+		if len(b) == 0 {
+			continue
+		}
+		e := p + 1
+		if w := now.Sub(b[0].enqueued); w > 0 && aging > 0 {
+			e -= int(w / aging)
+		}
+		if e < 1 {
+			e = 1
+		}
+		if e < eff || (e == eff && b[0].seq < bestSeq) {
+			eff, bucket, bestSeq = e, p, b[0].seq
+		}
+	}
+	return eff, bucket
+}
+
+// Release returns a tenant's running slot once its job leaves the running
+// state (terminal, retry-parked, or drain-interrupted).
+func (d *dispatcher) Release(tenant string) {
+	d.mu.Lock()
+	if t := d.tenants[tenant]; t != nil && t.running > 0 {
+		t.running--
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// Running reports a tenant's currently dispatched job count.
+func (d *dispatcher) Running(tenant string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t := d.tenants[tenant]; t != nil {
+		return t.running
+	}
+	return 0
+}
+
+// Len is the total queued entry count.
+func (d *dispatcher) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queued
+}
+
+// Close wakes every blocked Next with ok=false. Queued entries are left in
+// place — the spool owns durability.
+func (d *dispatcher) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ErrOverloaded tags submissions rejected by the load-shed controller; the
+// HTTP layer maps it to 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// OverloadError reports which shed stage rejected the submission.
+type OverloadError struct {
+	Stage  int
+	Reason string
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded (shed stage %d: %s)", e.Stage, e.Reason)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// ShedConfig parameterizes the staged load-shed controller. Load is the
+// queue's active fraction (non-terminal jobs / capacity); memory pressure
+// escalates independently. The stages degrade in documented order:
+//
+//	stage 1 — reject new submissions at priority >= ShedPriority (the
+//	          lowest classes), everything else admits;
+//	stage 2 — coordinator-only: additionally reject every job that would
+//	          consume local extraction capacity (only JobSpec.Shard < 0
+//	          jobs, whose rewriting is done entirely by remote peers,
+//	          still admit);
+//	stage 3 — reject everything and flip /readyz to 503 so load balancers
+//	          stop routing here.
+//
+// Stages disengage with hysteresis (Enter[i] - Hysteresis) so the
+// controller cannot flap around a watermark.
+type ShedConfig struct {
+	// Enter holds the load fractions at which stages 1..3 engage.
+	// Defaults {0.75, 0.90, 0.97}.
+	Enter [3]float64
+	// Hysteresis is subtracted from Enter for the disengage thresholds
+	// (default 0.10).
+	Hysteresis float64
+	// MemHighBytes, when nonzero, forces at least stage 2 while the Go
+	// heap's in-use bytes sit at or above it.
+	MemHighBytes uint64
+	// ShedPriority is the priority class at which stage 1 starts
+	// rejecting (default 7: classes 7-9 shed first).
+	ShedPriority int
+	// MemProbe overrides the heap probe for tests; nil reads
+	// runtime.MemStats.HeapInuse (rate-limited).
+	MemProbe func() uint64
+}
+
+// shedder tracks the current shed stage. Callers hold q.mu.
+type shedder struct {
+	cfg   ShedConfig
+	stage int
+
+	lastProbe time.Time
+	lastHeap  uint64
+}
+
+func newShedder(cfg ShedConfig) *shedder {
+	if cfg.Enter[0] <= 0 {
+		cfg.Enter = [3]float64{0.75, 0.90, 0.97}
+	}
+	if cfg.Enter[1] < cfg.Enter[0] {
+		cfg.Enter[1] = cfg.Enter[0]
+	}
+	if cfg.Enter[2] < cfg.Enter[1] {
+		cfg.Enter[2] = cfg.Enter[1]
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 0.10
+	}
+	if cfg.ShedPriority <= 0 {
+		cfg.ShedPriority = 7
+	}
+	return &shedder{cfg: cfg}
+}
+
+// recompute maps the current load to a stage, honoring hysteresis and the
+// memory watermark, and returns it.
+func (s *shedder) recompute(load float64) int {
+	stage := s.stage
+	for stage < 3 && load >= s.cfg.Enter[stage] {
+		stage++
+	}
+	for stage > 0 && load < s.cfg.Enter[stage-1]-s.cfg.Hysteresis {
+		stage--
+	}
+	if s.cfg.MemHighBytes > 0 && stage < 2 && s.heap() >= s.cfg.MemHighBytes {
+		stage = 2
+	}
+	s.stage = stage
+	return stage
+}
+
+// heap reads the in-use heap bytes, at most once per 100ms — ReadMemStats
+// stops the world and admission is on the submit path.
+func (s *shedder) heap() uint64 {
+	if s.cfg.MemProbe != nil {
+		return s.cfg.MemProbe()
+	}
+	if now := time.Now(); now.Sub(s.lastProbe) >= 100*time.Millisecond {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.lastHeap = ms.HeapInuse
+		s.lastProbe = now
+	}
+	return s.lastHeap
+}
+
+// admitStage applies the stage's rejection rules to one submission.
+func (s *shedder) admitStage(stage int, spec *JobSpec, priority int) error {
+	switch {
+	case stage >= 3:
+		return &OverloadError{Stage: stage, Reason: "queue saturated, rejecting all submissions"}
+	case stage >= 2 && spec.Shard >= 0:
+		return &OverloadError{Stage: stage, Reason: "coordinator-only mode, local extraction suspended"}
+	case stage >= 1 && priority >= s.cfg.ShedPriority:
+		return &OverloadError{Stage: stage, Reason: fmt.Sprintf("shedding priority >= %d", s.cfg.ShedPriority)}
+	}
+	return nil
+}
+
+// updateShedLocked recomputes the shed stage from the queue's load and
+// publishes transitions (shed_stage gauge + event); the caller holds q.mu.
+func (q *Queue) updateShedLocked() int {
+	load := float64(q.activeLocked()) / float64(q.cfg.Capacity)
+	old := q.shed.stage
+	stage := q.shed.recompute(load)
+	if stage != old {
+		q.gauge("shed_stage").Set(int64(stage))
+		if stage > old {
+			q.counter("shed_escalations").Inc()
+		}
+		q.rec.Emit("shed_stage", "", map[string]int64{
+			"stage": int64(stage), "from": int64(old),
+			"load_pct": int64(load * 100),
+		})
+	}
+	return stage
+}
+
+// ShedStage reports the load-shed controller's current stage (0 = normal).
+func (q *Queue) ShedStage() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.updateShedLocked()
+}
+
+// ReadyState is the /readyz payload: readiness plus the queue pressure that
+// justifies it, so operators see why a node flipped.
+type ReadyState struct {
+	Ready     bool   `json:"ready"`
+	Reason    string `json:"reason,omitempty"`
+	Draining  bool   `json:"draining"`
+	ShedStage int    `json:"shed_stage"`
+	Active    int    `json:"active"`
+	Capacity  int    `json:"capacity"`
+}
+
+// ReadyState reports whether the queue should receive traffic: not draining
+// and not at shed stage 3.
+func (q *Queue) ReadyState() ReadyState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rs := ReadyState{
+		Ready:     true,
+		Draining:  q.draining,
+		ShedStage: q.updateShedLocked(),
+		Active:    q.activeLocked(),
+		Capacity:  q.cfg.Capacity,
+	}
+	switch {
+	case rs.Draining:
+		rs.Ready, rs.Reason = false, "draining"
+	case rs.ShedStage >= 3:
+		rs.Ready, rs.Reason = false, "overloaded: queue saturated"
+	}
+	return rs
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultTenant is the tenant jobs are attributed to when the submission
+// carries no X-Tenant header, API key, or spec field.
+const DefaultTenant = "default"
+
+// TenantQuota bounds one tenant's use of the queue. The zero value is
+// unlimited on every axis — a single-user deployment behaves exactly as it
+// did before tenancy existed.
+type TenantQuota struct {
+	// Rate is the sustained admission rate in jobs per second, enforced by
+	// a token bucket of Burst capacity (0 = unlimited). Burst defaults to
+	// max(1, ceil(Rate)) when Rate is set.
+	Rate  float64 `json:"rate,omitempty"`
+	Burst int     `json:"burst,omitempty"`
+	// MaxActive caps the tenant's non-terminal jobs (queued + running +
+	// backing off); 0 = unlimited.
+	MaxActive int `json:"max_active,omitempty"`
+	// MaxRunning caps the tenant's concurrently extracting jobs; the
+	// dispatcher never starts a job past it (0 = unlimited).
+	MaxRunning int `json:"max_running,omitempty"`
+	// MaxQueuedBytes caps the netlist bytes the tenant may hold in the
+	// spool across its non-terminal jobs; 0 = unlimited.
+	MaxQueuedBytes int64 `json:"max_queued_bytes,omitempty"`
+	// Weight is the tenant's weighted-fair share in the dispatcher's stride
+	// scheduler (0 = 1). A weight-3 tenant drains three jobs for every one
+	// of a weight-1 tenant at equal priority.
+	Weight int `json:"weight,omitempty"`
+	// Priority is the default priority of the tenant's jobs, 1 (highest)
+	// to 9 (lowest); 0 = DefaultPriority. A JobSpec.Priority overrides it.
+	Priority int `json:"priority,omitempty"`
+}
+
+// TenantPolicy is the admission policy of a queue: quotas per tenant name
+// plus the default applied to unknown tenants. The zero value admits
+// everything under one unlimited default tenant.
+type TenantPolicy struct {
+	// Default applies to every tenant without an explicit entry.
+	Default TenantQuota `json:"default"`
+	// Tenants maps tenant name to quota.
+	Tenants map[string]TenantQuota `json:"tenants,omitempty"`
+	// APIKeys maps bearer tokens to tenant names, so clients can
+	// authenticate with "Authorization: Bearer <key>" instead of the plain
+	// X-Tenant header.
+	APIKeys map[string]string `json:"api_keys,omitempty"`
+}
+
+// Quota resolves the quota for a tenant name.
+func (p *TenantPolicy) Quota(tenant string) TenantQuota {
+	if q, ok := p.Tenants[tenant]; ok {
+		return q
+	}
+	return p.Default
+}
+
+// ErrQuotaExceeded tags admissions rejected by a per-tenant quota; the HTTP
+// layer maps it to 429 with a Retry-After derived from the tenant's own
+// state (token refill time), not the global queue.
+var ErrQuotaExceeded = errors.New("server: tenant quota exceeded")
+
+// QuotaError carries which tenant hit which quota and when retrying could
+// succeed.
+type QuotaError struct {
+	Tenant     string
+	Reason     string // "rate", "active", "bytes"
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("server: tenant %q quota exceeded (%s)", e.Tenant, e.Reason)
+}
+
+func (e *QuotaError) Unwrap() error { return ErrQuotaExceeded }
+
+// validTenantName bounds tenant names to metric- and header-safe strings.
+func validTenantName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tenantState is the live admission state of one tenant: a token bucket and
+// the resource counters its quotas are enforced against.
+type tenantState struct {
+	name  string
+	quota TenantQuota
+
+	tokens     float64
+	lastRefill time.Time
+
+	active      int   // non-terminal jobs
+	queuedBytes int64 // netlist bytes of non-terminal jobs
+
+	admitted int64
+	rejected int64
+}
+
+// tenantLocked returns (creating if needed) the tenant's admission state;
+// the caller holds q.mu.
+func (q *Queue) tenantLocked(name string) *tenantState {
+	ts := q.tenants[name]
+	if ts == nil {
+		quota := q.cfg.Policy.Quota(name)
+		ts = &tenantState{name: name, quota: quota, lastRefill: time.Now()}
+		if quota.Rate > 0 {
+			ts.tokens = float64(ts.burst())
+		}
+		q.tenants[name] = ts
+	}
+	return ts
+}
+
+func (ts *tenantState) burst() int {
+	if ts.quota.Burst > 0 {
+		return ts.quota.Burst
+	}
+	b := int(ts.quota.Rate + 0.999)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// admit charges one submission of size bytes against the tenant's quotas.
+// It either consumes a token and reserves the resources, or returns a
+// QuotaError with a retry hint; nothing is charged on rejection.
+func (ts *tenantState) admit(now time.Time, size int64) error {
+	if ts.quota.Rate > 0 {
+		ts.refill(now)
+		if ts.tokens < 1 {
+			ts.rejected++
+			wait := time.Duration((1 - ts.tokens) / ts.quota.Rate * float64(time.Second))
+			return &QuotaError{Tenant: ts.name, Reason: "rate", RetryAfter: wait}
+		}
+	}
+	if ts.quota.MaxActive > 0 && ts.active >= ts.quota.MaxActive {
+		ts.rejected++
+		return &QuotaError{Tenant: ts.name, Reason: "active", RetryAfter: time.Second}
+	}
+	if ts.quota.MaxQueuedBytes > 0 && ts.queuedBytes+size > ts.quota.MaxQueuedBytes {
+		ts.rejected++
+		return &QuotaError{Tenant: ts.name, Reason: "bytes", RetryAfter: time.Second}
+	}
+	if ts.quota.Rate > 0 {
+		ts.tokens--
+	}
+	ts.active++
+	ts.queuedBytes += size
+	ts.admitted++
+	return nil
+}
+
+// release returns a terminal job's resources to the tenant.
+func (ts *tenantState) release(size int64) {
+	if ts.active > 0 {
+		ts.active--
+	}
+	ts.queuedBytes -= size
+	if ts.queuedBytes < 0 {
+		ts.queuedBytes = 0
+	}
+}
+
+func (ts *tenantState) refill(now time.Time) {
+	if d := now.Sub(ts.lastRefill); d > 0 {
+		ts.tokens += ts.quota.Rate * d.Seconds()
+		if max := float64(ts.burst()); ts.tokens > max {
+			ts.tokens = max
+		}
+	}
+	ts.lastRefill = now
+}
+
+// TenantStatus is one tenant's point-in-time admission state, for tests,
+// the chaos harness, and operators.
+type TenantStatus struct {
+	Tenant      string `json:"tenant"`
+	Active      int    `json:"active"`
+	Running     int    `json:"running"`
+	QueuedBytes int64  `json:"queued_bytes"`
+	Admitted    int64  `json:"admitted"`
+	Rejected    int64  `json:"rejected"`
+}
+
+// Tenants snapshots every tenant the queue has seen, sorted by name.
+func (q *Queue) Tenants() []TenantStatus {
+	q.mu.Lock()
+	out := make([]TenantStatus, 0, len(q.tenants))
+	for _, ts := range q.tenants {
+		out = append(out, TenantStatus{
+			Tenant: ts.name, Active: ts.active, QueuedBytes: ts.queuedBytes,
+			Admitted: ts.admitted, Rejected: ts.rejected,
+		})
+	}
+	q.mu.Unlock()
+	for i := range out {
+		out[i].Running = q.sched.Running(out[i].Tenant)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// ResolveAPIKey maps a bearer token to its tenant name.
+func (q *Queue) ResolveAPIKey(key string) (string, bool) {
+	tenant, ok := q.cfg.Policy.APIKeys[key]
+	return tenant, ok
+}

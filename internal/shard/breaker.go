@@ -1,0 +1,120 @@
+// Per-peer circuit breakers for the Hub: a remote worker whose leases keep
+// expiring (crashed, wedged, or partitioned — it takes work and never
+// returns it) stops receiving grants until a cooldown passes, then gets a
+// single half-open probe lease. One flapping peer therefore costs the run a
+// bounded number of lease-TTL round trips instead of a steady drip of
+// expired cones re-queued with backoff.
+package shard
+
+import "time"
+
+// Breaker states.
+const (
+	breakerClosed   = "closed"    // healthy: grants flow
+	breakerOpen     = "open"      // tripped: no grants until cooldown passes
+	breakerHalfOpen = "half-open" // probing: exactly one grant in flight
+)
+
+// BreakerConfig parameterizes the hub's per-peer circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (0 selects 3). A failure is a lease that expired unfinished or a
+	// fenced renew/submit.
+	Threshold int
+	// Cooldown is how long a freshly tripped breaker stays open before the
+	// first half-open probe (0 selects 2s). A failed probe doubles it, up
+	// to CooldownCap.
+	Cooldown time.Duration
+	// CooldownCap bounds the doubling (0 selects 30s).
+	CooldownCap time.Duration
+	// Clock is a test seam; nil selects time.Now.
+	Clock func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.CooldownCap <= 0 {
+		c.CooldownCap = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// breaker is one peer's circuit state. The owner (Hub) serializes access.
+type breaker struct {
+	cfg      BreakerConfig
+	state    string
+	failures int           // consecutive failures while closed
+	cooldown time.Duration // current open duration (doubles per failed probe)
+	openedAt time.Time
+	probing  bool // a half-open probe lease is outstanding
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, state: breakerClosed, cooldown: cfg.Cooldown}
+}
+
+// allow reports whether the peer may receive a grant right now. In the open
+// state it transitions to half-open once the cooldown has passed, admitting
+// exactly one probe until success or failure resolves it.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed lease: the breaker closes and the cooldown
+// resets to its base value.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.cooldown = b.cfg.Cooldown
+}
+
+// failure records an expired or fenced lease. It reports true when this
+// failure tripped the breaker open (from closed or from a failed half-open
+// probe, which also doubles the cooldown).
+func (b *breaker) failure(now time.Time) bool {
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.CooldownCap {
+			b.cooldown = b.cfg.CooldownCap
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}

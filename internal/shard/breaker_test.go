@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: 2 * time.Second, CooldownCap: 30 * time.Second})
+
+	for i := 0; i < 2; i++ {
+		if b.failure(now) {
+			t.Fatalf("failure %d tripped early", i+1)
+		}
+		if !b.allow(now) {
+			t.Fatalf("breaker closed after %d failures, want open admission", i+1)
+		}
+	}
+	if !b.failure(now) {
+		t.Fatal("third consecutive failure did not trip the breaker")
+	}
+	if b.allow(now) {
+		t.Fatal("open breaker allowed a grant before cooldown")
+	}
+
+	// Cooldown passes: exactly one half-open probe admits.
+	later := now.Add(2 * time.Second)
+	if !b.allow(later) {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state = %s, want %s", b.state, breakerHalfOpen)
+	}
+	if b.allow(later) {
+		t.Fatal("second grant admitted while a probe is outstanding")
+	}
+
+	b.success()
+	if b.state != breakerClosed || b.failures != 0 {
+		t.Fatalf("after probe success: state=%s failures=%d, want closed/0", b.state, b.failures)
+	}
+	if b.cooldown != 2*time.Second {
+		t.Fatalf("cooldown = %v after success, want reset to 2s", b.cooldown)
+	}
+}
+
+func TestBreakerFailedProbeDoublesCooldown(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, CooldownCap: 3 * time.Second})
+
+	if !b.failure(now) {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	cooldowns := []time.Duration{2 * time.Second, 3 * time.Second, 3 * time.Second} // doubling, capped
+	for i, want := range cooldowns {
+		now = now.Add(b.cooldown)
+		if !b.allow(now) {
+			t.Fatalf("round %d: probe refused after cooldown", i)
+		}
+		if !b.failure(now) {
+			t.Fatalf("round %d: failed probe did not re-open", i)
+		}
+		if b.cooldown != want {
+			t.Fatalf("round %d: cooldown = %v, want %v", i, b.cooldown, want)
+		}
+		if b.allow(now) {
+			t.Fatalf("round %d: re-opened breaker admitted immediately", i)
+		}
+	}
+}
+
+func TestHubBreakerSuspendsFlappingPeer(t *testing.T) {
+	n, hash := testMultiplier(t, 4)
+	pool := newTestPool(t, 4, nil, func(c *Config) {
+		c.Hash = hash
+		c.MaxConesPerLease = 1
+	})
+
+	h := NewHub()
+	h.SetBreakerConfig(BreakerConfig{Threshold: 2, Cooldown: time.Hour})
+	if err := h.Register("job", pool, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flaky peer takes leases and never submits: each expiry is a
+	// breaker failure once the sweep sees it.
+	for i := 0; i < 2; i++ {
+		g, err := h.Lease("flaky", 1, nil)
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if !pool.ExpireLease(g.Lease) {
+			t.Fatalf("lease %d: force-expiry failed", i)
+		}
+		// The sweep inside the next Lease call attributes the death.
+	}
+	if _, err := h.Lease("flaky", 1, nil); !errors.Is(err, ErrPeerSuspended) {
+		t.Fatalf("third lease err = %v, want ErrPeerSuspended", err)
+	}
+	if st := h.BreakerStates()["flaky"]; st != breakerOpen {
+		t.Fatalf("breaker state = %q, want open", st)
+	}
+
+	// A healthy peer is unaffected by the flaky one's breaker.
+	if _, err := h.Lease("steady", 1, nil); err != nil {
+		t.Fatalf("healthy peer lease: %v", err)
+	}
+}

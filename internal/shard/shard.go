@@ -689,6 +689,17 @@ func (p *Pool) expireLocked(now time.Time) {
 	}
 }
 
+// LeaseLive reports whether a lease is still current (granted and neither
+// fully submitted, expired, nor stolen away). The hub's per-peer circuit
+// breakers use it to classify a tracked lease that disappeared without a
+// successful submit as a peer failure.
+func (p *Pool) LeaseLive(leaseID string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.leases[leaseID]
+	return ok
+}
+
 // ExpireLease force-expires one lease immediately — the chaos harness's
 // handle for "the network partitioned this worker away".
 func (p *Pool) ExpireLease(leaseID string) bool {
@@ -743,13 +754,23 @@ func (p *Pool) Finished() bool {
 	return p.open == 0
 }
 
-// Close stops the expiry monitor. Idempotent.
+// Close stops the expiry monitor and fences every outstanding lease — a
+// closed pool (job finished, cancelled, or past its deadline) must not hold
+// grants alive, and late submits against them classify as fenced. Idempotent.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if !p.stopped {
-		p.stopped = true
-		close(p.stopc)
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	close(p.stopc)
+	for _, l := range p.leases {
+		delete(p.leases, l.id)
+		p.fence[l.id] = l.epoch
+	}
+	if p.met != nil {
+		p.met.active.Set(0)
 	}
 }
 
