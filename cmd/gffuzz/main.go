@@ -13,6 +13,7 @@
 //	gffuzz -n 50 -diagnose -inject 2       # trojan-localization campaign
 //	gffuzz -n 40 -chaos                    # fault-injected shard scheduling
 //	gffuzz -n 10 -overload                 # adversarial multi-tenant queues
+//	gffuzz -n 30 -obfuscate                # logic-locking detection arms race
 //
 // A campaign is fully determined by (-seed, -n, the sampling flags): case i
 // depends only on the seed and i, never on scheduling, so any failure can be
@@ -115,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		resume      = fs.Bool("resume", false, "crash-recovery campaign: hard-cancel each extraction at a random cone boundary, resume from its checkpoint, require exact P(x) and cone reuse")
 		chaos       = fs.Bool("chaos", false, "chaos campaign: run each extraction through the lease-based shard scheduler while killing workers, expiring leases and duplicating/reordering submissions; require exact P(x) and zero double-counted cones")
 		overload    = fs.Bool("overload", false, "overload campaign: attack a small gfred queue with a greedy batch-flooder and a deadline-abuser while a well-behaved tenant submits; require exact P(x) at bounded p99 and zero quota violations")
+		obfuscate   = fs.Bool("obfuscate", false, "obfuscation campaign: logic-lock each multiplier with random key gates (xor/mux/opaque), require correct-key equivalence, exact key-input recovery by the semantic detector, and zero false positives on the clean design")
 		ndjson      = fs.String("ndjson", "", "stream per-case telemetry events to this NDJSON file")
 		repro       = fs.String("repro", "", "write a minimized .eqn repro per failure into this directory")
 		selfcheck   = fs.Bool("selfcheck", false, "inject a reduction-network bug and verify it is caught and minimized")
@@ -157,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MinM: minM, MaxM: maxM, Archs: archList, Formats: formatList,
 		MaxOptPasses: *optPasses, Scramble: *scramble,
 		Adversarial: *adversarial, Inject: *inject, Diagnose: *diagnose,
-		Resume: *resume, Chaos: *chaos, Overload: *overload,
+		Resume: *resume, Chaos: *chaos, Overload: *overload, Obfuscate: *obfuscate,
 		Recorder: rec, ReproDir: *repro,
 	}
 	if *verbose {
@@ -229,6 +231,10 @@ func printSummary(w io.Writer, sum *diffcheck.Summary) {
 	if sum.Overloaded > 0 {
 		fmt.Fprintf(w, "  overload: %d attacked queues stayed fair (%d quota rejects, %d shed rejects, %d deduped, %d deadlines expired, worst well-tenant p99 %dms)\n",
 			sum.Overloaded, sum.QuotaRejects, sum.ShedRejects, sum.Deduped, sum.DeadlinesExpired, sum.WorstWellP99MS)
+	}
+	if sum.Obfuscated > 0 {
+		fmt.Fprintf(w, "  obfuscate: %d locked designs analyzed, %d/%d planted keys detected, %d opaque constants exposed\n",
+			sum.Obfuscated, sum.KeysDetected, sum.KeysPlanted, sum.OpaqueHits)
 	}
 	if sum.Diagnosed > 0 {
 		fmt.Fprintf(w, "  localization: %d/%d cases fully localized (precision %.0f%%), median best-suspect rank %d\n",

@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -58,6 +61,27 @@ func TestDeadGateFixtureFlagged(t *testing.T) {
 	code, _, _ = runLint(t, "-strict", fixture("lint", "deadgate8.eqn"))
 	if code != 1 {
 		t.Errorf("-strict exit = %d, want 1", code)
+	}
+}
+
+func TestLockedFixturesFlagged(t *testing.T) {
+	for _, fx := range []string{"keyxor8.eqn", "keyopaque8.eqn"} {
+		code, out, _ := runLint(t, "-multiplier", fixture("lint", fx))
+		if code != 0 {
+			t.Fatalf("%s: exit = %d, want 0 (locks warn, not error)\n%s", fx, code, out)
+		}
+		if !strings.Contains(out, "key-gate") || !strings.Contains(out, "k0") {
+			t.Errorf("%s: key-gate warning missing:\n%s", fx, out)
+		}
+		// -strict is the submission gate: locked designs must not pass it.
+		if code, _, _ := runLint(t, "-strict", "-multiplier", fixture("lint", fx)); code != 1 {
+			t.Errorf("%s: -strict exit = %d, want 1", fx, code)
+		}
+	}
+	// The opaque lock additionally plants an AND tree over key bits.
+	_, out, _ := runLint(t, "-multiplier", fixture("lint", "keyopaque8.eqn"))
+	if !strings.Contains(out, "opaque-constant") {
+		t.Errorf("opaque fixture missing opaque-constant warning:\n%s", out)
 	}
 }
 
@@ -148,6 +172,47 @@ func TestRulesListing(t *testing.T) {
 	for _, rule := range []string{"cycle", "multi-driven", "undriven", "dead-gate", "fingerprint", "cone-cost"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("rule listing missing %q:\n%s", rule, out)
+		}
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the -json rendering byte-for-byte against a committed
+// golden file. The one nondeterministic field (the semantic sweep's wall
+// time) is normalized before comparison; everything else — findings, degree
+// bounds, content hash, governor suggestions — must be reproducible from
+// the source bytes alone.
+func TestJSONGolden(t *testing.T) {
+	code, out, _ := runLint(t, "-json", "-multiplier", fixture("trojan8.eqn"))
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	norm := regexp.MustCompile(`"analysis_micros": \d+`).
+		ReplaceAllString(out, `"analysis_micros": 0`)
+
+	golden := fixture("golden", "trojan8.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(norm), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if norm != string(want) {
+		t.Errorf("JSON output drifted from golden (run with -update if intended)\ngot:\n%s", norm)
+	}
+
+	// The golden must carry the semantic layer's verdict on the trojan:
+	// a nonlinear-cone warning and the algebra digest.
+	for _, needle := range []string{`"nonlinear-cone"`, `"algebra"`, `"content_hash"`, `"deg_tot"`} {
+		if !strings.Contains(norm, needle) {
+			t.Errorf("JSON report missing %s", needle)
 		}
 	}
 }

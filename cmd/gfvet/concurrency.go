@@ -1,0 +1,439 @@
+package main
+
+// Concurrency analyzers for the service layer (internal/server and
+// internal/shard): the queue, scheduler, hub and lease machinery are the
+// only long-lived multi-goroutine subsystems in the repository, so the
+// disciplines below are enforced there and nowhere else.
+//
+//	lockorder    — builds a package-wide lock acquisition graph from
+//	               receiver-qualified mutex calls (Queue.mu -> Pool.mu means
+//	               some function acquired Pool.mu while holding Queue.mu)
+//	               and reports any cycle: two functions acquiring the same
+//	               pair of locks in opposite orders is a latent deadlock
+//	               that no test reliably reproduces.
+//	ctxpropagate — a function that already receives a context.Context must
+//	               not mint fresh roots with context.Background()/TODO():
+//	               the derived context loses the caller's cancellation and
+//	               deadline. The `if ctx == nil { ctx = ... }` defaulting
+//	               idiom is exempt.
+//	timeafter    — time.After inside a select inside a loop allocates a
+//	               timer per iteration that survives until it fires; idle
+//	               polling loops must reuse a time.Timer instead.
+//	goleak       — a `go func(){...}()` launch whose body neither signals a
+//	               WaitGroup nor sends on/closes a channel cannot be joined:
+//	               nothing can ever wait for it, so shutdown becomes racy.
+//	               Named-call launches (go p.loop()) are exempt — lifecycle
+//	               loops answer to their owning struct's Close path.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ---------------------------------------------------------------- lockorder --
+
+// lockEdge records "to was acquired while from was held" at pos.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+}
+
+// collectLockEdges walks every function in the file and records lock-order
+// edges. Locks are named by receiver type plus field path (Queue.mu) so
+// acquisitions unify across methods; locks rooted at locals or parameters
+// are function-scoped (resolveNetlist:mu) — they cannot participate in
+// cross-function cycles but still order against package locks held around
+// them.
+func collectLockEdges(fset *token.FileSet, file *ast.File) []lockEdge {
+	var edges []lockEdge
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// Resolve identifier -> type name from the signature, so q.mu in a
+		// Queue method and p.mu on a *Pool parameter both get type-qualified
+		// lock names that unify across functions.
+		typeOf := map[string]string{}
+		if fn.Recv != nil && len(fn.Recv.List) == 1 {
+			addFieldTypes(typeOf, fn.Recv.List[0])
+		}
+		if fn.Type.Params != nil {
+			for _, f := range fn.Type.Params.List {
+				addFieldTypes(typeOf, f)
+			}
+		}
+		scope := fn.Name.Name
+		edges = append(edges, lockWalk(fset, fn.Body, typeOf, scope, nil)...)
+	}
+	return edges
+}
+
+// addFieldTypes records name -> bare type name for a receiver or parameter
+// field whose type is T or *T with T a plain identifier.
+func addFieldTypes(typeOf map[string]string, f *ast.Field) {
+	t := f.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return
+	}
+	for _, name := range f.Names {
+		typeOf[name.Name] = id.Name
+	}
+}
+
+// lockWalk traverses stmts in source order tracking the held-lock set.
+// Function literals restart with an empty set: their bodies run on other
+// goroutines (or later), not under the spawner's locks.
+func lockWalk(fset *token.FileSet, body *ast.BlockStmt, typeOf map[string]string, scope string, held []string) []lockEdge {
+	var edges []lockEdge
+	lockName := func(sel ast.Expr) string {
+		chain := exprName(sel)
+		if chain == "" {
+			return ""
+		}
+		root := chain
+		if i := strings.IndexByte(chain, '.'); i >= 0 {
+			root = chain[:i]
+		}
+		if t, ok := typeOf[root]; ok {
+			return t + strings.TrimPrefix(chain, root)
+		}
+		// Locals and captures stay function-scoped: they cannot deadlock
+		// against another function's instance of the same variable.
+		return scope + ":" + chain
+	}
+	acquire := func(name string, pos token.Pos) {
+		for _, h := range held {
+			if h == name {
+				edges = append(edges, lockEdge{from: h, to: name, pos: fset.Position(pos)})
+				return // self-edge recorded once; do not double-hold
+			}
+		}
+		for _, h := range held {
+			edges = append(edges, lockEdge{from: h, to: name, pos: fset.Position(pos)})
+		}
+		held = append(held, name)
+	}
+	release := func(name string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == name {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			inner := map[string]string{}
+			for k, t := range typeOf {
+				inner[k] = t
+			}
+			if v.Type.Params != nil {
+				for _, f := range v.Type.Params.List {
+					addFieldTypes(inner, f)
+				}
+			}
+			edges = append(edges, lockWalk(fset, v.Body, inner, scope, nil)...)
+			return false
+		case *ast.DeferStmt:
+			// defer x.mu.Unlock() keeps the lock held for the rest of the
+			// function — exactly the window later acquisitions order against.
+			return false
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if name := lockName(sel.X); name != "" {
+					acquire(name, v.Pos())
+				}
+			case "Unlock", "RUnlock":
+				if name := lockName(sel.X); name != "" {
+					release(name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return edges
+}
+
+// reportLockCycles runs cycle detection over one package's accumulated
+// edges and reports each cycle once, anchored at the lexically smallest
+// participating edge.
+func reportLockCycles(edges []lockEdge) []finding {
+	adj := map[string][]lockEdge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var out []finding
+	seen := map[string]bool{}
+	// DFS from each node; a back edge to a node on the current path closes
+	// a cycle.
+	for _, start := range nodes {
+		var path []string
+		onPath := map[string]bool{}
+		var dfs func(n string) bool
+		dfs = func(n string) bool {
+			path = append(path, n)
+			onPath[n] = true
+			defer func() { onPath[n] = false; path = path[:len(path)-1] }()
+			for _, e := range adj[n] {
+				if e.to == start && len(path) > 0 {
+					cyc := append(append([]string(nil), path...), start)
+					key := canonicalCycle(cyc)
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, finding{
+							analyzer: "lockorder",
+							pos:      e.pos,
+							msg: fmt.Sprintf("lock acquisition cycle %s: functions acquire these locks in conflicting orders (latent deadlock)",
+								strings.Join(cyc, " -> ")),
+						})
+					}
+					continue
+				}
+				if !onPath[e.to] {
+					dfs(e.to)
+				}
+			}
+			return false
+		}
+		dfs(start)
+	}
+	return out
+}
+
+// canonicalCycle rotates the cycle (last element duplicates the first) to
+// start at its smallest node so each cycle dedupes regardless of the DFS
+// entry point.
+func canonicalCycle(cyc []string) string {
+	body := cyc[:len(cyc)-1]
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), body[min:]...), body[:min]...)
+	return strings.Join(rot, "->")
+}
+
+// ------------------------------------------------------------- ctxpropagate --
+
+// checkCtxPropagate flags context.Background()/context.TODO() calls inside
+// any function (or closure) that has a context.Context parameter in scope.
+func checkCtxPropagate(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	// ctxDepth > 0 while inside at least one function with a ctx parameter.
+	var walk func(n ast.Node, ctxInScope bool, nilGuard bool)
+	walk = func(n ast.Node, ctxInScope bool, nilGuard bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				walk(v.Body, hasCtxParam(v.Type), false)
+			}
+			return
+		case *ast.FuncLit:
+			// A closure with its own ctx parameter rebinds the rule; one
+			// without inherits the enclosing scope's.
+			walk(v.Body, hasCtxParam(v.Type) || ctxInScope, nilGuard)
+			return
+		case *ast.IfStmt:
+			// `if ctx == nil { ctx = context.Background() }` is the
+			// defaulting idiom, not a propagation break.
+			guard := nilGuard || isNilCompare(v.Cond)
+			walk(v.Cond, ctxInScope, nilGuard)
+			walk(v.Body, ctxInScope, guard)
+			if v.Else != nil {
+				walk(v.Else, ctxInScope, nilGuard)
+			}
+			return
+		case *ast.CallExpr:
+			if ctxInScope && !nilGuard &&
+				(isPkgCall(v, "context", "Background") || isPkgCall(v, "context", "TODO")) {
+				out = append(out, finding{
+					analyzer: "ctxpropagate",
+					pos:      fset.Position(v.Pos()),
+					msg: fmt.Sprintf("context.%s() inside a function that receives a context.Context: derive from the parameter or the caller's cancellation is lost",
+						v.Fun.(*ast.SelectorExpr).Sel.Name),
+				})
+			}
+		}
+		// Generic descent preserving flags.
+		for _, child := range childNodes(n) {
+			walk(child, ctxInScope, nilGuard)
+		}
+	}
+	for _, decl := range file.Decls {
+		walk(decl, false, false)
+	}
+	return out
+}
+
+func hasCtxParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if exprName(f.Type) == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilCompare(e ast.Expr) bool {
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if bin.Op == token.LOR || bin.Op == token.LAND {
+		return isNilCompare(bin.X) || isNilCompare(bin.Y)
+	}
+	return bin.Op == token.EQL && (isNilIdent(bin.X) || isNilIdent(bin.Y))
+}
+
+// childNodes enumerates direct children for the generic descent above.
+func childNodes(n ast.Node) []ast.Node {
+	var kids []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			kids = append(kids, c)
+		}
+		return false
+	})
+	return kids
+}
+
+// ---------------------------------------------------------------- timeafter --
+
+// checkTimeAfter flags time.After calls inside a select statement that is
+// itself (transitively) inside a for/range loop: one garbage timer per
+// iteration, alive until it fires. Function literals reset the loop context
+// — a goroutine launched inside a loop gets its own accounting.
+func checkTimeAfter(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	var walk func(n ast.Node, inFor, inSelect bool)
+	walk = func(n ast.Node, inFor, inSelect bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			walk(v.Body, false, false)
+			return
+		case *ast.ForStmt:
+			walk(v.Body, true, false)
+			return
+		case *ast.RangeStmt:
+			walk(v.Body, true, false)
+			return
+		case *ast.SelectStmt:
+			walk(v.Body, inFor, inFor)
+			return
+		case *ast.CallExpr:
+			if inSelect && isPkgCall(v, "time", "After") {
+				out = append(out, finding{
+					analyzer: "timeafter",
+					pos:      fset.Position(v.Pos()),
+					msg:      "time.After in a select inside a loop allocates a timer per iteration (alive until it fires); hoist a time.Timer out of the loop and Reset it",
+				})
+			}
+		}
+		for _, child := range childNodes(n) {
+			walk(child, inFor, inSelect)
+		}
+	}
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			walk(fn.Body, false, false)
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------------- goleak --
+
+// checkGoLeak flags anonymous goroutine launches with no join signal: a
+// body that neither calls a WaitGroup's Done, sends on a channel, nor
+// closes one leaves the spawner nothing to wait on.
+func checkGoLeak(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := goStmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // named launch: lifecycle-managed, out of scope
+		}
+		if hasJoinSignal(lit.Body) {
+			return true
+		}
+		out = append(out, finding{
+			analyzer: "goleak",
+			pos:      fset.Position(goStmt.Pos()),
+			msg:      "goroutine body has no join signal (WaitGroup Done, channel send, or close): nothing can wait for it, so shutdown cannot be clean",
+		})
+		return true
+	})
+	return out
+}
+
+// hasJoinSignal reports whether the goroutine body contains a completion
+// signal observable by another goroutine: wg.Done(), a channel send, or a
+// close(). Nested launches are not credited to the outer body.
+func hasJoinSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				// wg.Done() signals; ctx.Done() merely subscribes — but as a
+				// CallExpr operand of a receive it appears under UnaryExpr
+				// or select cases, and crediting it is harmless: a body
+				// looping on ctx.Done is lifecycle-bound, not orphaned.
+				found = true
+			}
+		case *ast.GoStmt:
+			_ = v
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -19,7 +19,20 @@
 //	  the receiver against nil before touching a field, or consist solely
 //	  of delegation to another method on the same (nil-safe) receiver.
 //
-// Usage: gfvet [-errwrap=false] [-nilrecv=false] [path ...]
+// Four concurrency analyzers guard the service layer (internal/server and
+// internal/shard only — the repository's long-lived multi-goroutine code):
+//
+//	lockorder    — package-wide mutex acquisition graph; any cycle is a
+//	               latent deadlock (see concurrency.go).
+//	ctxpropagate — no context.Background()/TODO() where a context.Context
+//	               parameter is in scope.
+//	timeafter    — no time.After in a select inside a loop (a garbage
+//	               timer per iteration); reuse a time.Timer.
+//	goleak       — anonymous goroutines must carry a join signal
+//	               (WaitGroup Done, channel send, or close).
+//
+// Usage: gfvet [-errwrap=false] [-nilrecv=false] [-lockorder=false]
+// [-ctxpropagate=false] [-timeafter=false] [-goleak=false] [path ...]
 // Paths default to "." and are walked recursively; findings print as
 // file:line: [analyzer] message and any finding exits 1, like go vet.
 package main
@@ -48,6 +61,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.SetOutput(stderr)
 	errwrap := flags.Bool("errwrap", true, "check typed-error discipline in netlist/checkpoint packages")
 	nilrecv := flags.Bool("nilrecv", true, "check nil-receiver safety of obs telemetry handles")
+	lockorder := flags.Bool("lockorder", true, "check for mutex acquisition-order cycles in server/shard packages")
+	ctxprop := flags.Bool("ctxpropagate", true, "check that server/shard functions with a ctx parameter never mint fresh context roots")
+	timeafter := flags.Bool("timeafter", true, "check for time.After in select-inside-loop in server/shard packages")
+	goleak := flags.Bool("goleak", true, "check that server/shard anonymous goroutines carry a join signal")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -70,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var findings []finding
+	lockEdges := map[string][]lockEdge{} // package dir -> accumulated edges
 	fset := token.NewFileSet()
 	for _, root := range roots {
 		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -97,12 +115,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *nilrecv && dir == "obs" {
 				findings = append(findings, checkNilRecv(fset, file)...)
 			}
+			if dir == "server" || dir == "shard" {
+				if *lockorder {
+					pkg := filepath.Dir(path)
+					lockEdges[pkg] = append(lockEdges[pkg], collectLockEdges(fset, file)...)
+				}
+				if *ctxprop {
+					findings = append(findings, checkCtxPropagate(fset, file)...)
+				}
+				if *timeafter {
+					findings = append(findings, checkTimeAfter(fset, file)...)
+				}
+				if *goleak {
+					findings = append(findings, checkGoLeak(fset, file)...)
+				}
+			}
 			return nil
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "gfvet: %v\n", err)
 			return 2
 		}
+	}
+	// Lock-order cycles are a package-level property: edges from every file
+	// of a package must merge before cycle detection.
+	pkgs := make([]string, 0, len(lockEdges))
+	for pkg := range lockEdges {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		findings = append(findings, reportLockCycles(lockEdges[pkg])...)
 	}
 
 	sort.Slice(findings, func(i, j int) bool {

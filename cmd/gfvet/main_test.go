@@ -165,6 +165,273 @@ func (e *Event) Bump() { e.n++ }
 	}
 }
 
+func TestLockOrderFlagsCycle(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "server/bad.go", `package server
+
+import "sync"
+
+type Queue struct{ mu sync.Mutex }
+type Pool struct{ mu sync.Mutex }
+
+// drain acquires Queue.mu then Pool.mu ...
+func (q *Queue) drain(p *Pool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+`)
+	write(t, dir, "server/bad2.go", `package server
+
+// expire acquires them in the opposite order: classic deadlock pair.
+func (p *Pool) expire(q *Queue) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "lockorder") || !strings.Contains(out, "cycle") {
+		t.Fatalf("missing lockorder cycle finding:\n%s", out)
+	}
+}
+
+func TestLockOrderAcceptsConsistentOrder(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "server/good.go", `package server
+
+import "sync"
+
+type Queue struct{ mu sync.Mutex }
+type Pool struct{ mu sync.Mutex }
+
+func (q *Queue) a(p *Pool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// Same order elsewhere: an edge, not a cycle. Sequential (non-nested)
+// acquisitions in a third function add no edge at all.
+func (q *Queue) b(p *Pool) {
+	q.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+func (q *Queue) c(p *Pool) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("consistent order flagged (exit %d):\n%s", code, out)
+	}
+}
+
+func TestLockOrderFlagsSelfDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "shard/bad.go", `package shard
+
+import "sync"
+
+type Hub struct{ mu sync.Mutex }
+
+// Reacquiring a held non-reentrant mutex deadlocks unconditionally.
+func (h *Hub) broken() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.mu.Lock()
+	h.mu.Unlock()
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "Hub.mu -> Hub.mu") {
+		t.Fatalf("missing self-cycle finding:\n%s", out)
+	}
+}
+
+func TestCtxPropagateFlagsFreshRoot(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "server/bad.go", `package server
+
+import "context"
+
+func serve(ctx context.Context) {
+	sub, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_ = sub
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ctxpropagate") {
+		t.Fatalf("missing ctxpropagate finding:\n%s", out)
+	}
+}
+
+func TestCtxPropagateAcceptsDefaultingAndRoots(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "server/good.go", `package server
+
+import "context"
+
+// No ctx parameter: constructing a root context is this function's job.
+func newRoot() context.Context {
+	return context.Background()
+}
+
+// Defaulting a nil context is the documented escape hatch.
+func extract(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestTimeAfterFlagsSelectInLoop(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "shard/bad.go", `package shard
+
+import "time"
+
+func poll(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "timeafter") {
+		t.Fatalf("missing timeafter finding:\n%s", out)
+	}
+}
+
+func TestTimeAfterAcceptsReusableTimerAndOneShot(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "shard/good.go", `package shard
+
+import "time"
+
+func poll(done chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			t.Reset(time.Second)
+		}
+	}
+}
+
+// One-shot select outside any loop is fine.
+func wait(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestGoLeakFlagsOrphanGoroutine(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "server/bad.go", `package server
+
+func spawn(work func()) {
+	go func() {
+		work()
+	}()
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "goleak") {
+		t.Fatalf("missing goleak finding:\n%s", out)
+	}
+}
+
+func TestGoLeakAcceptsJoinSignals(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "server/good.go", `package server
+
+import "sync"
+
+func spawnAll(work func() error) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+
+	wg.Wait()
+	<-done
+	return <-errc
+}
+
+type Pool struct{}
+
+func (p *Pool) loop() {}
+
+// Named launches are lifecycle-managed by their owner: out of scope.
+func (p *Pool) start() {
+	go p.loop()
+}
+`)
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
 // TestRepoIsClean runs both analyzers over the actual repository: the
 // disciplines gfvet enforces must hold on the code as committed.
 func TestRepoIsClean(t *testing.T) {

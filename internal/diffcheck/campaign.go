@@ -64,6 +64,12 @@ type Config struct {
 	// recovery for the polite tenant at bounded p99, zero quota violations,
 	// and exactly one terminal event per accepted job.
 	Overload bool
+	// Obfuscate turns every multiplier case into a KindObfuscate case: the
+	// clean design is lint-checked for key-finding false positives, locked
+	// with 1-4 key gates in a random style (xor/mux/opaque), proven
+	// functionally intact under the correct key, and the semantic detector
+	// must then recover exactly the planted key set.
+	Obfuscate bool
 
 	// SimTrials is the 64-vector word count per simulation oracle (default 2).
 	SimTrials int
@@ -164,6 +170,35 @@ func NewCase(idx int, cfg Config) Case {
 			}
 			c.Digit = 1 + r.Intn(max)
 		}
+		return c
+	}
+	if cfg.Obfuscate {
+		// Obfuscation cases bypass optimization/format/scramble stages: the
+		// oracle under test is the lock→detect arms race, and the detector
+		// must succeed on raw generated structure before it earns credit on
+		// optimized variants.
+		c.Kind = KindObfuscate
+		c.M = cfg.MinM + r.Intn(cfg.MaxM-cfg.MinM+1)
+		p, err := gf2poly.RandomIrreducible(r, c.M)
+		if err != nil {
+			p = gf2poly.MustParse("x^8+x^4+x^3+x+1")
+			c.M = 8
+		}
+		c.P = p
+		c.Arch = cfg.Archs[r.Intn(len(cfg.Archs))]
+		if c.Arch == ArchDigitSerial {
+			max := c.M - 1
+			if max > 8 {
+				max = 8
+			}
+			if max < 1 {
+				max = 1
+			}
+			c.Digit = 1 + r.Intn(max)
+		}
+		styles := LockStyles()
+		c.Lock = styles[r.Intn(len(styles))]
+		c.Keys = 1 + r.Intn(4)
 		return c
 	}
 	if cfg.Chaos {
@@ -343,6 +378,16 @@ type Summary struct {
 	Deduped          int   // batch submissions collapsed onto dedup leaders
 	DeadlinesExpired int   // jobs that hit their deadline
 	WorstWellP99MS   int64 // max well-tenant p99 across overload cases
+
+	// Obfuscation aggregates of a lock→detect campaign (Config.Obfuscate):
+	// Obfuscated counts KindObfuscate cases; KeysPlanted / KeysDetected tally
+	// planted and recovered key inputs (a passing campaign has them equal,
+	// since every case asserts exact set equality); OpaqueHits counts cases
+	// where the opaque-constant rule additionally fired.
+	Obfuscated   int
+	KeysPlanted  int
+	KeysDetected int
+	OpaqueHits   int
 }
 
 // LocPrecision is LocHits / Diagnosed, the fraction of diagnosis cases
@@ -443,6 +488,15 @@ func RunCampaign(cfg Config) (*Summary, error) {
 			v["deadline_expired"] = int64(res.DeadlineExpired)
 			v["well_p99_ms"] = res.WellP99MS
 		}
+		if res.Obfuscated {
+			v["keys_planted"] = int64(res.KeysPlanted)
+			v["keys_detected"] = int64(res.KeysDetected)
+			var opq int64
+			if res.OpaqueHit {
+				opq = 1
+			}
+			v["opaque_hit"] = opq
+		}
 		rec.Emit(ev, res.Case.Label(), v)
 		rec.Metrics().Counter("diffcheck_" + string(res.Status)).Inc()
 	}
@@ -488,6 +542,16 @@ func RunCampaign(cfg Config) (*Summary, error) {
 				sum.DeadlinesExpired += res.DeadlineExpired
 				if res.WellP99MS > sum.WorstWellP99MS {
 					sum.WorstWellP99MS = res.WellP99MS
+				}
+			}
+		case KindObfuscate:
+			key = "obfuscate"
+			if res.Obfuscated {
+				sum.Obfuscated++
+				sum.KeysPlanted += res.KeysPlanted
+				sum.KeysDetected += res.KeysDetected
+				if res.OpaqueHit {
+					sum.OpaqueHits++
 				}
 			}
 		}

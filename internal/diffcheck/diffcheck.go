@@ -110,6 +110,14 @@ const (
 	// still recovered exactly, with zero double-counted cones (the
 	// distributed-robustness oracle of package shard).
 	KindChaos Kind = "chaos"
+	// KindObfuscate locks a generated multiplier with planted key gates
+	// (XOR lock, MUX lock, or opaque AND-tree — gen.Obfuscate) and asserts
+	// the semantic detector's arms-race oracle: the locked design under the
+	// correct (all-zero) key is simulation-equivalent to the clean one, the
+	// clean design produces zero key findings (no false positives), and the
+	// locked design's detected gated-key set equals the planted set exactly
+	// (100% detection, nothing fabricated).
+	KindObfuscate Kind = "obfuscate"
 	// KindOverload attacks a small gfred queue with adversarial tenants — a
 	// greedy batch-flooder and a deadline-abuser — while one well-behaved
 	// tenant slow-drips jobs, and asserts the admission plane isolated them:
@@ -140,6 +148,11 @@ type Case struct {
 	// (the self-check mode of gffuzz).
 	Inject int
 
+	// Obfuscation-case parameters (KindObfuscate): key-gating style name
+	// ("xor" / "mux" / "opaque") and planted key count.
+	Lock string
+	Keys int
+
 	// SimTrials is the number of 64-vector simulation words per oracle.
 	SimTrials int
 	// Threads is the rewriting worker count (campaigns parallelize across
@@ -163,6 +176,9 @@ func (c Case) Label() string {
 	}
 	if c.Kind == KindOverload {
 		return fmt.Sprintf("overload/%s/m=%d", c.Arch, c.M)
+	}
+	if c.Kind == KindObfuscate {
+		return fmt.Sprintf("obfuscate/%s/%s/m=%d/k=%d", c.Lock, c.Arch, c.M, c.Keys)
 	}
 	parts := []string{string(c.Arch), fmt.Sprintf("m=%d", c.M)}
 	if c.Arch == ArchDigitSerial {
@@ -236,6 +252,12 @@ type Result struct {
 	Expired int  // leases that missed their heartbeat and re-queued
 	Fenced  int  // zombie submissions rejected by the epoch fence
 	Stolen  int  // straggler leases split by work stealing
+
+	// Obfuscation-case outcome (KindObfuscate only).
+	Obfuscated   bool // the case ran the lock→detect arms-race oracle
+	KeysPlanted  int  // key inputs planted by the lock transform
+	KeysDetected int  // key inputs the semantic detector reported as gating
+	OpaqueHit    bool // an opaque-constant finding fired (opaque style only)
 
 	// Overload-case outcome (KindOverload only).
 	Overloaded      bool  // the case ran the adversarial-tenant queue attack
@@ -346,6 +368,9 @@ func Run(c Case) (res Result) {
 	}
 	if c.Kind == KindOverload {
 		return runOverload(c, &stage, fail)
+	}
+	if c.Kind == KindObfuscate {
+		return runObfuscate(c, &stage, fail)
 	}
 
 	stage = "gen"

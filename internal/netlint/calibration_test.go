@@ -23,7 +23,7 @@ func TestConeCostCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(t *testing.T, n *netlist.Netlist) {
+	run := func(t *testing.T, n *netlist.Netlist, wantDegreeWin bool) {
 		rep := Analyze(n, Options{})
 		if rep.HasErrors() {
 			t.Fatalf("clean design lint errors: %+v", rep.Findings)
@@ -43,6 +43,19 @@ func TestConeCostCalibration(t *testing.T) {
 			if actual := rw.Bits[i].PeakTerms; cc.PredictedPeakTerms < actual {
 				t.Errorf("cone %s: predicted peak %d < actual peak %d — bound is not an upper bound",
 					cc.Name, cc.PredictedPeakTerms, actual)
+			}
+			// A clean multiplier cone is bilinear; the semantic degree bound
+			// (mixSlack * sum C(2m, d), d <= 2) caps every prediction, so
+			// cost v2 can never predict worse than O(m^2) on a clean design
+			// no matter how pessimistic the syntactic estimate is.
+			if cc.DegA != 1 || cc.DegB != 1 || cc.DegTot != 2 {
+				t.Errorf("cone %s: degrees %d/%d/%d, want 1/1/2", cc.Name, cc.DegA, cc.DegB, cc.DegTot)
+			}
+			if wantDegreeWin && cc.Method != "degree" {
+				t.Errorf("cone %s: bound method %q, want the semantic degree bound to win", cc.Name, cc.Method)
+			}
+			if limit := degreeBound(2*16, 2); cc.PredictedPeakTerms > limit {
+				t.Errorf("cone %s: predicted peak %d exceeds the degree bound %d", cc.Name, cc.PredictedPeakTerms, limit)
 			}
 		}
 		// Run-wide: the suggested budget carries budgetSlack headroom over
@@ -64,18 +77,21 @@ func TestConeCostCalibration(t *testing.T) {
 				deadline, elapsed)
 		}
 	}
+	// Mastrovito's partial-product plane keeps the syntactic term bound
+	// tight (often below the degree bound); Montgomery's carry chain makes
+	// it explode, which is exactly where the degree bound must take over.
 	t.Run("mastrovito", func(t *testing.T) {
 		n, err := gen.Mastrovito(16, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		run(t, n)
+		run(t, n, false)
 	})
 	t.Run("montgomery", func(t *testing.T) {
 		n, err := gen.Montgomery(16, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		run(t, n)
+		run(t, n, true)
 	})
 }

@@ -15,12 +15,22 @@ type ConeCost struct {
 	// Gates is the fanin-cone size (gates + inputs), Depth its logic depth.
 	Gates int `json:"gates"`
 	Depth int `json:"depth"`
-	// PredictedPeakTerms is a no-cancellation upper bound on the ANF term
-	// count reached while rewriting this cone. Saturates at costCap.
+	// PredictedPeakTerms is an upper bound on the ANF term count reached
+	// while rewriting this cone: the smaller of the syntactic
+	// no-cancellation term bound and the semantic degree bound (see
+	// degreeBound). Saturates at costCap.
 	PredictedPeakTerms int `json:"predicted_peak_terms"`
 	// Saturated marks cones whose estimate hit costCap: term growth is
 	// effectively unbounded (obfuscated or non-multiplier logic).
 	Saturated bool `json:"saturated,omitempty"`
+	// DegA / DegB / DegTot are the semantic sweep's ANF degree bounds for
+	// this output (per operand vector and total).
+	DegA   int `json:"deg_a"`
+	DegB   int `json:"deg_b"`
+	DegTot int `json:"deg_tot"`
+	// Method names the bound that won: "degree" (semantic) or "term-bound"
+	// (syntactic).
+	Method string `json:"method"`
 }
 
 // costCap saturates the term-growth estimate. Anything above this predicts
@@ -66,6 +76,41 @@ func satMul(a, b int) int {
 		return costCap
 	}
 	return a * b
+}
+
+// mixSlack pads the semantic degree bound for intermediate rewriting states:
+// mid-substitution, a cone's working polynomial mixes already-substituted
+// primary-input monomials with still-symbolic internal signals, which can
+// transiently hold more terms than the final degree-d form over inputs
+// alone. Empirically (TestConeCostCalibration, m=16 Mastrovito/Montgomery)
+// actual peaks sit under half the unpadded bound; 4x is cheap insurance.
+const mixSlack = 4
+
+// degreeBound bounds the ANF term count of a function with the given support
+// size and total degree: sum of C(supp, d) for d = 0..deg, times mixSlack,
+// saturating at costCap. A degree-2 bilinear cone over 2m inputs comes out
+// O(m^2) — the semantic bound the old doubling-chain estimate could not see
+// past on reconvergent XOR trees.
+func degreeBound(supp, deg int) int {
+	if deg >= supp {
+		// Degenerate or saturated degree: the full 2^supp spectrum.
+		if supp >= 24 {
+			return costCap
+		}
+		return satMul(1<<uint(supp), mixSlack)
+	}
+	total, c := 0, 1 // c walks C(supp, d)
+	for d := 0; d <= deg; d++ {
+		total = satAdd(total, c)
+		if total >= costCap {
+			return costCap
+		}
+		if c > costCap/(supp-d) {
+			return costCap
+		}
+		c = c * (supp - d) / (d + 1)
+	}
+	return satMul(total, mixSlack)
 }
 
 // termBound computes, for every gate, an upper bound on the number of ANF
@@ -176,18 +221,28 @@ func predictCones(c *Context) (cones []ConeCost, budget int, deadlineMS int64) {
 	bounds := termBound(c.N)
 	sizes := coneSizes(c.N, outs)
 	names := c.N.OutputNames()
+	sems := c.Sem()
 	maxPeak, maxGates := 0, 0
 	for i, id := range outs {
 		depth := 0
 		if id < len(c.Levels) {
 			depth = c.Levels[id]
 		}
+		of := sems.Outputs[i]
+		peak, method := bounds[id], "term-bound"
+		if db := degreeBound(of.SupportSize, of.DegTot); db < peak {
+			peak, method = db, "degree"
+		}
 		cc := ConeCost{
 			Output:             i,
 			Gates:              sizes[i],
 			Depth:              depth,
-			PredictedPeakTerms: bounds[id],
-			Saturated:          bounds[id] >= costCap,
+			PredictedPeakTerms: peak,
+			Saturated:          peak >= costCap,
+			DegA:               of.DegA,
+			DegB:               of.DegB,
+			DegTot:             of.DegTot,
+			Method:             method,
 		}
 		if i < len(names) {
 			cc.Name = names[i]

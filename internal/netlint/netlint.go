@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/galoisfield/gfre/internal/checkpoint"
+	"github.com/galoisfield/gfre/internal/netlint/sem"
 	"github.com/galoisfield/gfre/internal/netlist"
 )
 
@@ -121,6 +123,11 @@ type Context struct {
 	cones         []ConeCost
 	coneBudget    int
 	coneDeadlines int64
+
+	// Memoized semantic sweep, shared by the semantic rules and the cost
+	// predictor (see Sem in semantics.go).
+	semOnce bool
+	sem     *sem.Result
 }
 
 // Options configures an analysis run.
@@ -132,6 +139,11 @@ type Options struct {
 	RequireMultiplier bool
 	// Disabled names rules to skip.
 	Disabled []string
+	// ContentHash is a precomputed digest of the netlist content (source
+	// bytes or canonical form). It keys the semantic sweep's cache and is
+	// echoed in the report; when empty, the canonical netlist hash is
+	// computed on demand.
+	ContentHash string
 }
 
 func (o Options) disabled(name string) bool {
@@ -168,6 +180,10 @@ func init() {
 		{Name: "fingerprint", Doc: "XOR/AND composition fingerprint: multiplier architecture classification", Default: SevInfo, Check: checkFingerprint},
 		{Name: "blowup-risk", Doc: "term-growth estimate saturated: rewriting may explode without a budget", Default: SevWarn, Check: nil}, // emitted by cone-cost
 		{Name: "cone-cost", Doc: "per-output cone size, depth and predicted peak terms", Default: SevInfo, Check: checkConeCost},
+		{Name: "nonlinear-cone", Doc: "output ANF degree exceeds the bilinear bound of a GF(2^m) multiplier", Default: SevWarn, Check: checkNonlinearCone},
+		{Name: "key-gate", Doc: "non-operand input gates an output: logic-locking key signature", Default: SevWarn, Check: checkKeyGate},
+		{Name: "opaque-constant", Doc: "key-only logic feeding the datapath: opaque constant under any fixed key", Default: SevWarn, Check: checkOpaqueConstant},
+		{Name: "dead-by-algebra", Doc: "gates provably constant by reconvergent cancellation (beyond constant folding)", Default: SevWarn, Check: checkDeadByAlgebra},
 	}
 }
 
@@ -188,8 +204,15 @@ type Report struct {
 	// Findings holds every rule violation/observation, severity-sorted
 	// (errors first), then rule name, then witness order.
 	Findings []Finding `json:"findings"`
+	// ContentHash is the digest keying the semantic sweep's cache: the
+	// source-byte digest when linted from a file, else the canonical
+	// netlist hash.
+	ContentHash string `json:"content_hash,omitempty"`
 	// Fingerprint is the architecture classification.
 	Fingerprint Fingerprint `json:"fingerprint"`
+	// Algebra is the semantic sweep's digest: operand partition, per-output
+	// degree bounds, key findings.
+	Algebra *AlgebraSummary `json:"algebra,omitempty"`
 	// Cones holds the per-output cost predictions (empty when the netlist
 	// could not be constructed).
 	Cones []ConeCost `json:"cones,omitempty"`
@@ -272,7 +295,13 @@ func (r *Report) MaxPredictedPeak() int {
 // constructors enforce those invariants — so lint raw files with
 // AnalyzeSource to get them.
 func Analyze(n *netlist.Netlist, opts Options) *Report {
-	rep := &Report{Design: n.Name}
+	if opts.ContentHash == "" {
+		// Best effort: an unserializable netlist just runs uncached.
+		if h, err := checkpoint.HashNetlist(n); err == nil {
+			opts.ContentHash = h
+		}
+	}
+	rep := &Report{Design: n.Name, ContentHash: opts.ContentHash}
 	ctx := newContext(n, opts)
 	for _, rule := range registry {
 		if rule.Check == nil || opts.disabled(rule.Name) {
@@ -281,6 +310,7 @@ func Analyze(n *netlist.Netlist, opts Options) *Report {
 		rep.Findings = append(rep.Findings, rule.Check(ctx)...)
 	}
 	rep.Fingerprint = ctx.fingerprint()
+	rep.Algebra = buildAlgebra(ctx)
 	rep.Cones, rep.SuggestedBudgetTerms, rep.SuggestedConeTimeoutMS = predictCones(ctx)
 	sortFindings(rep.Findings)
 	return rep

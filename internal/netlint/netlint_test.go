@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -381,14 +382,16 @@ z1 = p;
 }
 
 func TestBlowupRiskSaturation(t *testing.T) {
-	// A chain of squarings: t_{k+1} = t_k * t_k doubles the bound every
-	// level; 40 levels blow past costCap.
+	// An OR chain over 40 distinct inputs: each level's ANF is
+	// t ^ x ^ t*x, so the term count roughly doubles per level and the true
+	// expansion has ~2^40 terms. Unlike a squaring chain (which algebra
+	// proves collapses to degree 1), this blowup is real: both the
+	// syntactic term bound and the semantic degree bound saturate.
 	n := netlist.New("blowup")
-	a, _ := n.AddInput("a0")
-	b, _ := n.AddInput("b0")
-	cur, _ := n.AddGate(netlist.Xor, a, b)
-	for i := 0; i < 40; i++ {
-		cur, _ = n.AddGate(netlist.And, cur, cur)
+	cur, _ := n.AddInput("x0")
+	for i := 1; i < 40; i++ {
+		in, _ := n.AddInput(fmt.Sprintf("x%d", i))
+		cur, _ = n.AddGate(netlist.Or, cur, in)
 	}
 	n.MarkOutput("z0", cur)
 	rep := Analyze(n, Options{})

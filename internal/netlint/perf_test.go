@@ -1,0 +1,68 @@
+package netlint_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/galoisfield/gfre/internal/extract"
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/gf2poly"
+	"github.com/galoisfield/gfre/internal/netlint/sem"
+)
+
+// semWallShareLimit is the cost contract the semantic sweep must honor at
+// production scale: preflighting a submission may cost at most this fraction
+// of one full extraction, so running it on every job is always affordable.
+const semWallShareLimit = 0.05
+
+// TestSemWallShareAtM233 guards the contract at the largest NIST field the
+// differential suite exercises. The sweep is timed best-of-three so a noisy
+// scheduler cannot fail the guard spuriously; extraction is timed once, as
+// the yardstick. Noise can only slow the denominator and shrink the ratio,
+// so the guard errs toward passing — a deliberate trade that keeps it
+// non-flaky while still catching any real regression of the sweep itself.
+func TestSemWallShareAtM233(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf guard: skipped in -short")
+	}
+	p, err := gf2poly.Parse("x^233+x^74+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(233, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	semBest := time.Duration(1 << 62)
+	var r *sem.Result
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		r = sem.Analyze(n, sem.Options{})
+		if d := time.Since(t0); d < semBest {
+			semBest = d
+		}
+	}
+	// The sweep being fast is worthless if it stopped seeing the algebra:
+	// pin the classification before trusting the timing.
+	if !r.LinearPerOperand() {
+		t.Fatal("sem no longer classifies Mastrovito m=233 as linear per operand")
+	}
+
+	t0 := time.Now()
+	ext, err := extract.IrreduciblePolynomial(n, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(t0)
+	if ext.P.String() != p.String() {
+		t.Fatalf("extraction recovered %s, want %s", ext.P, p)
+	}
+
+	ratio := float64(semBest) / float64(wall)
+	t.Logf("sem=%v extraction=%v ratio=%.2f%%", semBest, wall, 100*ratio)
+	if ratio > semWallShareLimit {
+		t.Errorf("semantic sweep took %.2f%% of extraction wall time at m=233, budget is %.0f%% (sem=%v, extraction=%v)",
+			100*ratio, 100*semWallShareLimit, semBest, wall)
+	}
+}

@@ -1,6 +1,8 @@
 package netlint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -84,6 +86,11 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations,omitempty"`
+	// PartialFingerprints lets SARIF consumers (GitHub code scanning)
+	// track a finding's identity across runs: re-linting an unchanged file
+	// must not resurface resolved alerts, and a message-text tweak must
+	// not re-open them.
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
 }
 
 type sarifLocation struct {
@@ -101,6 +108,28 @@ type sarifArtifact struct {
 
 type sarifRegion struct {
 	StartLine int `json:"startLine"`
+}
+
+// partialFingerprint derives a stable identity for one finding: rule ID,
+// the report's content hash, the witness signal names and the source line,
+// but never the message text (messages are wording, not identity). The
+// "gfre/v1" key is versioned so a future scheme can coexist during
+// migration.
+func partialFingerprint(rep *Report, f Finding) map[string]string {
+	h := sha256.New()
+	io.WriteString(h, f.Rule) //nolint:errcheck — sha256 never errors
+	h.Write([]byte{0})
+	io.WriteString(h, rep.ContentHash) //nolint:errcheck
+	for _, s := range f.Signals {
+		h.Write([]byte{0})
+		io.WriteString(h, s) //nolint:errcheck
+	}
+	if f.Line > 0 {
+		fmt.Fprintf(h, "%c%d", 0, f.Line)
+	}
+	return map[string]string{
+		"gfre/v1": hex.EncodeToString(h.Sum(nil))[:16],
+	}
 }
 
 func sarifLevel(s Severity) string {
@@ -136,9 +165,10 @@ func WriteSARIF(w io.Writer, reports ...*Report) error {
 		uri = strings.ReplaceAll(uri, "\\", "/")
 		for _, f := range rep.Findings {
 			res := sarifResult{
-				RuleID:  f.Rule,
-				Level:   sarifLevel(f.Severity),
-				Message: sarifMessage{Text: f.Message},
+				RuleID:              f.Rule,
+				Level:               sarifLevel(f.Severity),
+				Message:             sarifMessage{Text: f.Message},
+				PartialFingerprints: partialFingerprint(rep, f),
 			}
 			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: uri}}
 			if f.Line > 0 {

@@ -1,0 +1,100 @@
+package netlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSARIFGoldenRoundTrip pins the SARIF rendering byte-for-byte against a
+// committed golden file, and checks the properties the golden alone cannot:
+// every result carries a stable partialFingerprint, the log parses back as
+// JSON with the fields code-scanning consumers require, and re-linting the
+// identical source reproduces identical fingerprints (alert identity is
+// content-derived, not run-derived).
+func TestSARIFGoldenRoundTrip(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "trojan8.eqn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() []byte {
+		rep := AnalyzeSource(src, "testdata/trojan8.eqn", "", Options{RequireMultiplier: true})
+		var buf bytes.Buffer
+		if err := WriteSARIF(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := render()
+
+	golden := filepath.Join("..", "..", "testdata", "golden", "trojan8.sarif")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output drifted from golden (run with -update if intended)\ngot:\n%s", got)
+	}
+
+	// Round-trip: the log must parse, and every result must carry the
+	// versioned fingerprint key with a 16-hex-digit value.
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				Level               string            `json:"level"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(got, &log); err != nil {
+		t.Fatalf("rendered SARIF does not parse: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("unexpected log shape: %d runs", len(log.Runs))
+	}
+	for _, res := range log.Runs[0].Results {
+		fp := res.PartialFingerprints["gfre/v1"]
+		if len(fp) != 16 {
+			t.Errorf("result %s: fingerprint %q, want 16 hex digits", res.RuleID, fp)
+		}
+	}
+
+	// Identity is stable across runs over identical content.
+	if again := render(); !bytes.Equal(got, again) {
+		t.Error("re-linting identical source changed the SARIF output")
+	}
+}
+
+// TestPartialFingerprintIgnoresMessage pins that a finding's identity is its
+// rule + content + witness, never its message text: rewording a diagnostic
+// must not re-open resolved code-scanning alerts.
+func TestPartialFingerprintIgnoresMessage(t *testing.T) {
+	rep := &Report{ContentHash: "deadbeef"}
+	a := Finding{Rule: "key-gate", Message: "old wording", Signals: []string{"k0"}}
+	b := Finding{Rule: "key-gate", Message: "new improved wording", Signals: []string{"k0"}}
+	if fa, fb := partialFingerprint(rep, a), partialFingerprint(rep, b); fa["gfre/v1"] != fb["gfre/v1"] {
+		t.Errorf("message text changed the fingerprint: %q vs %q", fa["gfre/v1"], fb["gfre/v1"])
+	}
+	c := Finding{Rule: "key-gate", Message: "old wording", Signals: []string{"k1"}}
+	if fa, fc := partialFingerprint(rep, a), partialFingerprint(rep, c); fa["gfre/v1"] == fc["gfre/v1"] {
+		t.Error("distinct witnesses share a fingerprint")
+	}
+	other := &Report{ContentHash: "cafef00d"}
+	if fa, fo := partialFingerprint(rep, a), partialFingerprint(other, a); fa["gfre/v1"] == fo["gfre/v1"] {
+		t.Error("distinct content shares a fingerprint")
+	}
+}

@@ -1,0 +1,180 @@
+package sem
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Class labels a primary input's role in the inferred operand partition.
+type Class uint8
+
+const (
+	// ClassA / ClassB are the two multiplication operand vectors.
+	ClassA Class = iota
+	ClassB
+	// ClassKey marks surplus inputs outside both operand vectors. For a
+	// clean GF(2^m) multiplier the partition is exhaustive (2m inputs, two
+	// vectors of m), so a key-classed input is itself a finding: it is the
+	// structural signature of logic-locking keys and opaque constants.
+	ClassKey
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassA:
+		return "a"
+	case ClassB:
+		return "b"
+	}
+	return "key"
+}
+
+// Ports is the operand partition of a netlist's primary inputs, inferred
+// from port naming the same way extraction's port identifier works: bit
+// vectors are grouped by alphabetic prefix (a3 / a[3] / a_3 spellings).
+type Ports struct {
+	// Partitioned reports whether two operand vectors could be identified.
+	// When false every input is classed ClassA and the per-operand degree
+	// split degenerates to the total degree; key detection is disabled (an
+	// unnamed or scrambled design gives no basis for calling an input
+	// surplus, and guessing would fabricate false positives).
+	Partitioned bool
+	// APrefix / BPrefix name the chosen operand vectors.
+	APrefix, BPrefix string
+	// AWidth / BWidth are the vector widths.
+	AWidth, BWidth int
+	// Class is indexed by input position (the order of Netlist.Inputs()).
+	Class []Class
+	// KeyInputs holds the gate IDs of ClassKey inputs, ascending.
+	KeyInputs []int
+}
+
+// portPat splits a port name into alphabetic prefix and bit index, matching
+// netlint's io-naming convention.
+var portPat = regexp.MustCompile(`^([A-Za-z_]+?)_?\[?(\d+)\]?$`)
+
+// operandish prefixes get priority when several equal-width vectors compete
+// for the operand slots; conventional operand names beat key/control names.
+var operandish = map[string]bool{
+	"a": true, "b": true, "x": true, "y": true, "A": true, "B": true,
+	"in": true, "op": true, "opa": true, "opb": true,
+}
+
+// classify infers the operand partition from the named input list. ids are
+// primary-input gate IDs in port order, names their signal names.
+func classify(ids []int, names []string) Ports {
+	p := Ports{Class: make([]Class, len(ids))}
+
+	type vec struct {
+		prefix  string
+		members []int // input positions
+	}
+	byPrefix := map[string]*vec{}
+	var order []string // first-seen prefix order, for determinism
+	loose := []int{}   // positions whose names defy the convention
+	for i, name := range names {
+		m := portPat.FindStringSubmatch(name)
+		if m == nil {
+			loose = append(loose, i)
+			continue
+		}
+		v := byPrefix[m[1]]
+		if v == nil {
+			v = &vec{prefix: m[1]}
+			byPrefix[m[1]] = v
+			order = append(order, m[1])
+		}
+		v.members = append(v.members, i)
+	}
+
+	vecs := make([]*vec, 0, len(order))
+	for _, pre := range order {
+		vecs = append(vecs, byPrefix[pre])
+	}
+	// Operand vectors: prefer the widest equal-width pair (multiplier
+	// operands always match in width, key vectors usually don't), break
+	// ties toward conventional operand prefixes, then name order. Sorting
+	// is stable on the width/priority key so equal candidates keep a
+	// deterministic order.
+	sort.SliceStable(vecs, func(i, j int) bool {
+		vi, vj := vecs[i], vecs[j]
+		if len(vi.members) != len(vj.members) {
+			return len(vi.members) > len(vj.members)
+		}
+		oi, oj := operandish[vi.prefix], operandish[vj.prefix]
+		if oi != oj {
+			return oi
+		}
+		return vi.prefix < vj.prefix
+	})
+	// Among the sorted candidates pick the first pair with equal widths >= 2;
+	// a width-1 pair counts only when both prefixes are conventional operand
+	// names (the degenerate m=1 multiplier), never on naming accidents.
+	ai, bi := -1, -1
+	for i := 0; i+1 < len(vecs) && ai < 0; i++ {
+		w := len(vecs[i].members)
+		if w != len(vecs[i+1].members) {
+			continue
+		}
+		if w >= 2 || (w == 1 && operandish[vecs[i].prefix] && operandish[vecs[i+1].prefix]) {
+			ai, bi = i, i+1
+		}
+	}
+	if ai < 0 {
+		// No equal-width pair: fall back to the two widest vectors when
+		// both are plausible (>= 2 bits each).
+		if len(vecs) >= 2 && len(vecs[0].members) >= 2 && len(vecs[1].members) >= 2 {
+			ai, bi = 0, 1
+		}
+	}
+	if ai < 0 {
+		// Unpartitionable: single vector, anonymous naming, or degenerate
+		// widths. Everything is ClassA (degTot carries the information).
+		return p
+	}
+	a, b := vecs[ai], vecs[bi]
+	// Keep the conventional a-before-b orientation when both match.
+	if !operandish[a.prefix] && operandish[b.prefix] || a.prefix > b.prefix && operandish[a.prefix] == operandish[b.prefix] {
+		a, b = b, a
+	}
+	p.Partitioned = true
+	p.APrefix, p.BPrefix = a.prefix, b.prefix
+	p.AWidth, p.BWidth = len(a.members), len(b.members)
+
+	inA := map[int]bool{}
+	for _, pos := range a.members {
+		inA[pos] = true
+	}
+	inB := map[int]bool{}
+	for _, pos := range b.members {
+		inB[pos] = true
+	}
+	for pos := range names {
+		switch {
+		case inA[pos]:
+			p.Class[pos] = ClassA
+		case inB[pos]:
+			p.Class[pos] = ClassB
+		default:
+			p.Class[pos] = ClassKey
+			p.KeyInputs = append(p.KeyInputs, ids[pos])
+		}
+	}
+	sort.Ints(p.KeyInputs)
+	return p
+}
+
+// bitIndex parses the bit position out of a conventional port name
+// (unused bits return -1). Exposed for tests.
+func bitIndex(name string) int {
+	m := portPat.FindStringSubmatch(name)
+	if m == nil {
+		return -1
+	}
+	v, err := strconv.Atoi(m[2])
+	if err != nil {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,344 @@
+package sem
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/galoisfield/gfre/internal/gen"
+	"github.com/galoisfield/gfre/internal/netlist"
+	"github.com/galoisfield/gfre/internal/polytab"
+)
+
+// TestMultiplierBilinearity is the core soundness/precision check from the
+// acceptance criteria: every generated multiplier must be classified fully
+// linear-in-each-operand with degree-correct output bits — degA = degB = 1,
+// degKey = 0, degTot = 2 for every non-constant output.
+func TestMultiplierBilinearity(t *testing.T) {
+	archs := map[string]func(int) (*netlist.Netlist, error){
+		"mastrovito": func(m int) (*netlist.Netlist, error) {
+			p, err := polytab.Default(m)
+			if err != nil {
+				return nil, err
+			}
+			return gen.Mastrovito(m, p)
+		},
+		"montgomery": func(m int) (*netlist.Netlist, error) {
+			p, err := polytab.Default(m)
+			if err != nil {
+				return nil, err
+			}
+			return gen.Montgomery(m, p)
+		},
+		"mastrovito-matrix": func(m int) (*netlist.Netlist, error) {
+			p, err := polytab.Default(m)
+			if err != nil {
+				return nil, err
+			}
+			return gen.MastrovitoMatrix(m, p)
+		},
+		"monpro": func(m int) (*netlist.Netlist, error) {
+			p, err := polytab.Default(m)
+			if err != nil {
+				return nil, err
+			}
+			return gen.MonPro(m, p)
+		},
+	}
+	for _, m := range []int{8, 64, 163, 233} {
+		for name, build := range archs {
+			if m > 64 && (name == "mastrovito-matrix") {
+				continue // O(m^3) gates; the smaller sizes cover it
+			}
+			t.Run(fmt.Sprintf("%s/m=%d", name, m), func(t *testing.T) {
+				n, err := build(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := Analyze(n, Options{})
+				if !r.Ports.Partitioned {
+					t.Fatalf("ports not partitioned: %+v", r.Ports)
+				}
+				if r.Ports.APrefix != "a" || r.Ports.BPrefix != "b" {
+					t.Fatalf("operand prefixes = %q/%q", r.Ports.APrefix, r.Ports.BPrefix)
+				}
+				if len(r.Ports.KeyInputs) != 0 {
+					t.Fatalf("clean multiplier has %d key inputs (false positives)", len(r.Ports.KeyInputs))
+				}
+				if !r.LinearPerOperand() {
+					t.Fatalf("not linear per operand")
+				}
+				for _, of := range r.Outputs {
+					if of.Const >= 0 {
+						continue
+					}
+					if of.DegA != 1 || of.DegB != 1 || of.DegKey != 0 {
+						t.Fatalf("output %s: degA=%d degB=%d degKey=%d, want 1/1/0",
+							of.Name, of.DegA, of.DegB, of.DegKey)
+					}
+					if of.DegTot != 2 {
+						t.Fatalf("output %s: degTot=%d, want 2", of.Name, of.DegTot)
+					}
+					if len(of.KeyInputs) != 0 {
+						t.Fatalf("output %s: spurious key inputs %v", of.Name, of.KeyInputs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExactDomainIdentities checks the truth-table sub-domain proves
+// algebraic facts syntactic analysis cannot see.
+func TestExactDomainIdentities(t *testing.T) {
+	n := netlist.New("identities")
+	a, _ := n.AddInput("a0")
+	b, _ := n.AddInput("b0")
+
+	// x XOR x through two distinct AND paths: AND(a,b) XOR AND(a,b) built
+	// as two separate gates, reconverging. Syntactic const folding sees
+	// nothing (no constant fanins, distinct gate IDs).
+	p1, _ := n.AddGate(netlist.And, a, b)
+	p2, _ := n.AddGate(netlist.And, a, b)
+	zero, _ := n.AddGate(netlist.Xor, p1, p2)
+
+	// MUX with equal branches is its data input regardless of select.
+	mux, _ := n.AddGate(netlist.Mux, p1, p1, b)
+
+	// OR(x, NOT x) = 1.
+	na, _ := n.AddGate(netlist.Not, a)
+	one, _ := n.AddGate(netlist.Or, a, na)
+
+	// Keep everything reachable.
+	t1, _ := n.AddGate(netlist.Xor, zero, mux)
+	t2, _ := n.AddGate(netlist.Xor, t1, one)
+	n.MarkOutput("z0", t2)
+	n.MarkOutput("z1", a)
+
+	r := Analyze(n, Options{})
+	if v, ok := r.Const(zero); !ok || v {
+		t.Errorf("XOR of reconvergent equal paths: const=%v ok=%v, want 0", v, ok)
+	}
+	if !r.AlgebraicConst(zero) {
+		t.Error("reconvergent cancellation not marked algebraic")
+	}
+	if v, ok := r.Const(one); !ok || !v {
+		t.Errorf("OR(x, NOT x): const=%v ok=%v, want 1", v, ok)
+	}
+	if _, ok := r.Const(mux); ok {
+		t.Error("MUX with equal branches is not constant (it is p1)")
+	}
+	if da, db, _, dt := r.Degrees(mux); da != 1 || db != 1 || dt != 2 {
+		t.Errorf("MUX(p,p,s) degrees = %d/%d/%d, want 1/1/2 (equals p)", da, db, dt)
+	}
+	// z0 = 0 ^ p1 ^ 1 = NOT p1: degree (1,1).
+	if da, db, _, dt := r.Degrees(t2); da != 1 || db != 1 || dt != 2 {
+		t.Errorf("output degrees = %d/%d/%d, want 1/1/2", da, db, dt)
+	}
+	if !r.Exact(t2) {
+		t.Error("two-input cone should stay in the exact domain")
+	}
+}
+
+// TestKeyGateDetection plants surplus key inputs and checks support
+// tracking flags exactly the gated outputs.
+func TestKeyGateDetection(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, keys, err := gen.Obfuscate(n, gen.ObfuscateOptions{Style: gen.ObfXor, Keys: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(obf, Options{})
+	if !r.Ports.Partitioned {
+		t.Fatal("obfuscated multiplier ports not partitioned")
+	}
+	if len(r.Ports.KeyInputs) != len(keys.KeyInputs) {
+		t.Fatalf("classified %d key inputs, planted %d", len(r.Ports.KeyInputs), len(keys.KeyInputs))
+	}
+	gated := r.GatedKeyInputs()
+	if len(gated) != len(keys.KeyInputs) {
+		t.Fatalf("flagged %d gated keys %v, planted %v", len(gated), gated, keys.KeyInputs)
+	}
+	want := map[int]bool{}
+	for _, id := range keys.KeyInputs {
+		want[id] = true
+	}
+	for _, id := range gated {
+		if !want[id] {
+			t.Fatalf("flagged non-planted input %d (%s)", id, obf.NameOf(id))
+		}
+	}
+}
+
+// TestSupportWidening forces the intern table past its cap and checks the
+// analysis stays sound (support only grows) and key membership survives.
+func TestSupportWidening(t *testing.T) {
+	p, err := polytab.Default(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Mastrovito(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Analyze(n, Options{})
+	widened := Analyze(n, Options{MaxSets: 16})
+	if widened.Widened == 0 {
+		t.Fatal("expected widening events with a 16-set cap")
+	}
+	if len(full.Outputs) != len(widened.Outputs) {
+		t.Fatal("output count mismatch")
+	}
+	for i := range full.Outputs {
+		if widened.Outputs[i].SupportSize < full.Outputs[i].SupportSize {
+			t.Fatalf("output %d: widened support %d < precise support %d (unsound)",
+				i, widened.Outputs[i].SupportSize, full.Outputs[i].SupportSize)
+		}
+		if widened.Outputs[i].DegA != full.Outputs[i].DegA || widened.Outputs[i].DegB != full.Outputs[i].DegB {
+			t.Fatalf("output %d: widening changed degrees", i)
+		}
+		if len(widened.Outputs[i].KeyInputs) != 0 {
+			t.Fatalf("output %d: widening fabricated key inputs", i)
+		}
+	}
+}
+
+// TestUnpartitionedPorts checks scrambled/anonymous designs disable key
+// detection rather than guessing.
+func TestUnpartitionedPorts(t *testing.T) {
+	n := netlist.New("anon")
+	var ins []int
+	for i := 0; i < 6; i++ {
+		id, _ := n.AddInput(fmt.Sprintf("sig%d", i))
+		ins = append(ins, id)
+	}
+	cur := ins[0]
+	for _, id := range ins[1:] {
+		cur, _ = n.AddGate(netlist.And, cur, id)
+	}
+	x, _ := n.AddGate(netlist.Xor, cur, ins[0])
+	n.MarkOutput("out0", cur)
+	n.MarkOutput("out1", x)
+	r := Analyze(n, Options{})
+	if r.Ports.Partitioned {
+		t.Fatalf("single-vector design should not partition: %+v", r.Ports)
+	}
+	if got := r.GatedKeyInputs(); len(got) != 0 {
+		t.Fatalf("unpartitioned design flagged keys %v", got)
+	}
+	// All inputs default to ClassA; total degree still tracked.
+	if _, _, _, dt := r.Degrees(cur); dt != 6 {
+		t.Fatalf("AND chain degTot = %d, want 6", dt)
+	}
+}
+
+// TestAnalyzeCached checks the content-hash cache shares results.
+func TestAnalyzeCached(t *testing.T) {
+	p, err := polytab.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gen.Montgomery(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := AnalyzeCached(n, "", Options{})
+	r2 := AnalyzeCached(n, "", Options{})
+	if r1 != r2 {
+		t.Error("identical netlists did not share a cached result")
+	}
+	r3 := AnalyzeCached(n, "explicit-hash", Options{})
+	r4 := AnalyzeCached(n, "explicit-hash", Options{})
+	if r3 != r4 {
+		t.Error("explicit-hash results not shared")
+	}
+}
+
+// TestDegenerateInputs exercises edge shapes the fuzzer will feed.
+func TestDegenerateInputs(t *testing.T) {
+	// No inputs at all.
+	n := netlist.New("consts")
+	c0, _ := n.AddGate(netlist.Const0)
+	c1, _ := n.AddGate(netlist.Const1)
+	x, _ := n.AddGate(netlist.Xor, c0, c1)
+	n.MarkOutput("z0", x)
+	r := Analyze(n, Options{})
+	if v, ok := r.Const(x); !ok || !v {
+		t.Errorf("XOR(0,1): const=%v ok=%v", v, ok)
+	}
+	if r.AlgebraicConst(x) {
+		t.Error("constant propagation wrongly marked algebraic")
+	}
+
+	// Output directly on an input.
+	n2 := netlist.New("wire")
+	a, _ := n2.AddInput("a0")
+	n2.MarkOutput("z0", a)
+	r2 := Analyze(n2, Options{})
+	if r2.Outputs[0].DegTot != 1 || r2.Outputs[0].SupportSize != 1 {
+		t.Errorf("wire output fact: %+v", r2.Outputs[0])
+	}
+
+	// LUT wider than the exact domain (7 inputs) takes the coarse path.
+	n3 := netlist.New("widelut")
+	var ins []int
+	for i := 0; i < 7; i++ {
+		id, _ := n3.AddInput(fmt.Sprintf("a%d", i))
+		ins = append(ins, id)
+	}
+	table := make([]bool, 1<<7)
+	for i := range table {
+		table[i] = i%3 == 0
+	}
+	lut, _ := n3.AddLut(table, ins...)
+	n3.MarkOutput("z0", lut)
+	r3 := Analyze(n3, Options{})
+	if r3.Outputs[0].SupportSize != 7 {
+		t.Errorf("wide LUT support = %d, want 7", r3.Outputs[0].SupportSize)
+	}
+	if _, _, _, dt := r3.Degrees(lut); dt != 7 {
+		t.Errorf("wide LUT coarse degTot = %d, want 7", dt)
+	}
+}
+
+// TestTruthTableHelpers pins the bit-level helpers.
+func TestTruthTableHelpers(t *testing.T) {
+	// XOR of two variables: tt = 0110.
+	xor2 := uint64(0b0110)
+	if got := mobius(xor2, 2); got != 0b0110 {
+		t.Errorf("mobius(xor) = %04b, want 0110 (x ^ y)", got)
+	}
+	// AND: tt = 1000 -> ANF has only the xy monomial (row 3).
+	and2 := uint64(0b1000)
+	if got := mobius(and2, 2); got != 0b1000 {
+		t.Errorf("mobius(and) = %04b, want 1000 (xy)", got)
+	}
+	// OR: tt = 1110 -> x ^ y ^ xy (rows 1, 2, 3).
+	or2 := uint64(0b1110)
+	if got := mobius(or2, 2); got != 0b1110 {
+		t.Errorf("mobius(or) = %04b, want 1110 (x ^ y ^ xy)", got)
+	}
+	if !essential(xor2, 2, 0) || !essential(xor2, 2, 1) {
+		t.Error("xor essential vars")
+	}
+	// f = x0 (ignores x1): tt = 1010.
+	proj := uint64(0b1010)
+	if essential(proj, 2, 1) {
+		t.Error("projection should not depend on x1")
+	}
+	if got := dropVar(proj, 2, 1); got != 0b10 {
+		t.Errorf("dropVar = %02b, want 10", got)
+	}
+	if unateIn(xor2, 2, 0) {
+		t.Error("xor is not unate")
+	}
+	if !unateIn(and2, 2, 0) || !unateIn(or2, 2, 1) {
+		t.Error("and/or are unate")
+	}
+}

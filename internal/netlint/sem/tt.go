@@ -1,0 +1,99 @@
+package sem
+
+// Exact truth-table sub-domain: any wire whose cone reaches at most six
+// distinct primary inputs is represented by a 64-bit truth table over those
+// inputs. Within this domain everything is decidable — constants, exact ANF
+// degree, exact support, unateness — which is what lets dead-by-algebra
+// prove results syntactic constant folding cannot (x XOR x through distinct
+// reconvergent paths, MUX branches that agree, comparator trees that
+// collapse). Row index bit i is the value of variable i.
+
+// lowMask[i] selects the truth-table rows where variable i is 0.
+var lowMask = [6]uint64{
+	0x5555555555555555,
+	0x3333333333333333,
+	0x0f0f0f0f0f0f0f0f,
+	0x00ff00ff00ff00ff,
+	0x0000ffff0000ffff,
+	0x00000000ffffffff,
+}
+
+// rowMask masks the valid rows of a k-variable table.
+func rowMask(k int) uint64 {
+	if k >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (uint(1) << uint(k))) - 1
+}
+
+// mobius converts a truth table to its ANF spectrum in place: bit m of the
+// result is the coefficient of the monomial whose variable set is m. The
+// standard XOR butterfly, one pass per variable.
+func mobius(tt uint64, k int) uint64 {
+	for i := 0; i < k; i++ {
+		tt ^= (tt & lowMask[i]) << (uint(1) << uint(i))
+	}
+	return tt
+}
+
+// essential reports whether variable i actually influences the function.
+func essential(tt uint64, k, i int) bool {
+	s := uint(1) << uint(i)
+	return ((tt>>s)^tt)&lowMask[i]&rowMask(k) != 0
+}
+
+// unateIn reports whether the function is unate (monotone or anti-monotone)
+// in variable i.
+func unateIn(tt uint64, k, i int) bool {
+	s := uint(1) << uint(i)
+	rm := rowMask(k)
+	c0 := tt & lowMask[i] & rm
+	c1 := (tt >> s) & lowMask[i] & rm
+	return c0&^c1 == 0 || c1&^c0 == 0
+}
+
+// dropVar removes (inessential) variable i from a k-variable table by taking
+// the x_i = 0 cofactor and compacting the remaining rows: the even block of
+// every 2^i-row block pair moves down.
+func dropVar(tt uint64, k, i int) uint64 {
+	bs := uint(1) << uint(i)
+	mask := uint64(1)<<bs - 1
+	var out uint64
+	sh := uint(0)
+	for off := uint(0); off < uint(1)<<uint(k); off += 2 * bs {
+		out |= ((tt >> off) & mask) << sh
+		sh += bs
+	}
+	return out
+}
+
+// dupAt inserts an ignored variable at position p of a table of sBits rows:
+// every block of 2^p rows is duplicated, doubling the table. The inverse of
+// dropVar, used to lift a fanin table into a joint variable space.
+func dupAt(tt uint64, sBits, p int) uint64 {
+	bs := 1 << uint(p)
+	if bs >= sBits {
+		return tt | tt<<uint(sBits)
+	}
+	mask := uint64(1)<<uint(bs) - 1
+	var out uint64
+	sh := uint(0)
+	for off := 0; off < sBits; off += bs {
+		blk := (tt >> uint(off)) & mask
+		out |= (blk | blk<<uint(bs)) << sh
+		sh += uint(2 * bs)
+	}
+	return out
+}
+
+// ttConst classifies a k-variable table: (isConst, value).
+func ttConst(tt uint64, k int) (bool, bool) {
+	rm := rowMask(k)
+	switch tt & rm {
+	case 0:
+		return true, false
+	case rm:
+		return true, true
+	}
+	return false, false
+}

@@ -2,6 +2,8 @@ package netlint
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -384,6 +386,13 @@ func AnalyzeSource(data []byte, filename, format string, opts Options) *Report {
 	if format == "" {
 		format = DetectFormat(filename, data)
 	}
+	if opts.ContentHash == "" {
+		// Key the semantic cache on the source bytes: repeated gflint runs
+		// and gfred's admission-then-execution double lint of the same file
+		// share one semantic sweep without re-serializing the netlist.
+		sum := sha256.Sum256(data)
+		opts.ContentHash = hex.EncodeToString(sum[:])
+	}
 	design := strings.TrimSuffix(filepath.Base(filename), filepath.Ext(filename))
 	rep := &Report{Design: design, Source: filename}
 
@@ -437,7 +446,9 @@ func AnalyzeSource(data []byte, filename, format string, opts Options) *Report {
 		rep.Design = design
 	}
 	rep.Findings = append(rep.Findings, dag.Findings...)
+	rep.ContentHash = dag.ContentHash
 	rep.Fingerprint = dag.Fingerprint
+	rep.Algebra = dag.Algebra
 	rep.Cones = dag.Cones
 	rep.SuggestedBudgetTerms = dag.SuggestedBudgetTerms
 	rep.SuggestedConeTimeoutMS = dag.SuggestedConeTimeoutMS

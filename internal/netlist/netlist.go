@@ -20,6 +20,7 @@ package netlist
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"github.com/galoisfield/gfre/internal/anf"
 )
@@ -131,6 +132,24 @@ type Gate struct {
 	Table []bool // truth table for Lut gates (len = 1<<len(Fanin))
 }
 
+// Eval computes the gate's cell function on the given fanin values (one per
+// Fanin entry, in order; bit i of a LUT row index is fanin i). It shares the
+// per-type eval used by simulation and GateANF, so every consumer of a
+// gate's Boolean semantics — including static analyzers building local truth
+// tables — agrees with the simulator by construction.
+func (g Gate) Eval(in []bool) bool {
+	if g.Type == Lut {
+		row := 0
+		for i, v := range in {
+			if v {
+				row |= 1 << uint(i)
+			}
+		}
+		return g.Table[row]
+	}
+	return g.Type.eval(in)
+}
+
 // Netlist is a combinational circuit. Build with New and the Add* methods;
 // gates are identified by dense integer IDs in topological order.
 type Netlist struct {
@@ -176,7 +195,7 @@ func (n *Netlist) NameOf(id int) string {
 	if s := n.names[id]; s != "" {
 		return s
 	}
-	return fmt.Sprintf("n%d", id)
+	return "n" + strconv.Itoa(id)
 }
 
 // Lookup resolves a signal name to its gate ID.

@@ -224,12 +224,27 @@ func RunPeer(ctx context.Context, base string, cfg PeerConfig) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Reusable idle timer: time.After per iteration would leak a
+			// timer allocation for every empty poll.
+			var idle *time.Timer
+			defer func() {
+				if idle != nil {
+					idle.Stop()
+				}
+			}()
 			for ctx.Err() == nil {
 				g, err := cl.Lease(workerName(cfg.ID, w), 0)
 				if err != nil || g == nil {
+					if idle == nil {
+						idle = time.NewTimer(cfg.IdleSleep)
+					} else {
+						// Safe: the loop only re-reaches this Reset after
+						// draining idle.C (the ctx.Done arm ends the loop).
+						idle.Reset(cfg.IdleSleep)
+					}
 					select {
 					case <-ctx.Done():
-					case <-time.After(cfg.IdleSleep):
+					case <-idle.C:
 					}
 					continue
 				}

@@ -74,6 +74,14 @@ func RunWorkers(ctx context.Context, src Source, n *netlist.Netlist, cfg WorkerC
 func workerLoop(ctx context.Context, src Source, n *netlist.Netlist, cfg WorkerConfig, w int) error {
 	name := workerName(cfg.ID, w)
 	idle := cfg.IdleSleep
+	// One reusable backoff timer for the whole loop; time.After here would
+	// allocate a timer per idle iteration that lives until it fires.
+	var backoff *time.Timer
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -85,10 +93,17 @@ func workerLoop(ctx context.Context, src Source, n *netlist.Netlist, cfg WorkerC
 		case err != nil || g == nil:
 			// Transport errors land here too: back off and retry — the
 			// scheduler owns correctness, the worker only owes patience.
+			if backoff == nil {
+				backoff = time.NewTimer(idle)
+			} else {
+				// Safe: the only way past the select below without
+				// returning is draining backoff.C.
+				backoff.Reset(idle)
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(idle):
+			case <-backoff.C:
 			}
 			if idle < 16*cfg.IdleSleep {
 				idle *= 2
